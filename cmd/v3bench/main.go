@@ -1,0 +1,47 @@
+// Command v3bench regenerates the paper's micro-benchmark figures
+// (Section 5, Figures 3-8) and prints Tables 1 and 2.
+//
+// Usage:
+//
+//	v3bench            # all figures, full iteration counts
+//	v3bench -fig 3     # one figure
+//	v3bench -quick     # fewer iterations (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/v3storage/v3/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to run (3-8); 0 runs all, 1/2 print Tables 1/2")
+	quick := flag.Bool("quick", false, "reduced iteration counts")
+	flag.Parse()
+	o := bench.Options{Quick: *quick}
+
+	runners := map[int]func() *bench.Table{
+		1: bench.Table1Render,
+		2: bench.Table2Render,
+		3: func() *bench.Table { return bench.Fig3(o) },
+		4: func() *bench.Table { return bench.Fig4(o) },
+		5: func() *bench.Table { return bench.Fig5(o) },
+		6: func() *bench.Table { return bench.Fig6(o) },
+		7: func() *bench.Table { return bench.Fig7(o) },
+		8: func() *bench.Table { return bench.Fig8(o) },
+	}
+	if *fig != 0 {
+		r, ok := runners[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "v3bench: no such figure %d (1-8)\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Println(r())
+		return
+	}
+	for i := 1; i <= 8; i++ {
+		fmt.Println(runners[i]())
+	}
+}

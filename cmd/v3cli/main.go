@@ -1,0 +1,115 @@
+// Command v3cli is a client for a v3d storage daemon: single reads and
+// writes plus a small throughput/latency bench mode.
+//
+// Usage:
+//
+//	v3cli -addr host:9300 write 4096 "hello"
+//	v3cli -addr host:9300 read 4096 5
+//	v3cli -addr host:9300 bench -n 1000 -size 8192 -depth 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/v3storage/v3/internal/netv3"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9300", "v3d address")
+	vol := flag.Uint("vol", 1, "volume id")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "v3cli: need a command: read | write | bench")
+		os.Exit(2)
+	}
+	c, err := netv3.Dial(*addr, netv3.DefaultClientConfig())
+	if err != nil {
+		log.Fatalf("v3cli: %v", err)
+	}
+	defer c.Close()
+	v := uint32(*vol)
+
+	switch args[0] {
+	case "read":
+		if len(args) != 3 {
+			log.Fatal("v3cli: read <offset> <length>")
+		}
+		off, _ := strconv.ParseInt(args[1], 10, 64)
+		n, _ := strconv.Atoi(args[2])
+		buf := make([]byte, n)
+		if err := c.Read(v, off, buf); err != nil {
+			log.Fatalf("v3cli: %v", err)
+		}
+		os.Stdout.Write(buf)
+		fmt.Println()
+	case "write":
+		if len(args) != 3 {
+			log.Fatal("v3cli: write <offset> <data>")
+		}
+		off, _ := strconv.ParseInt(args[1], 10, 64)
+		if err := c.Write(v, off, []byte(args[2])); err != nil {
+			log.Fatalf("v3cli: %v", err)
+		}
+		fmt.Println("ok")
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		n := fs.Int("n", 1000, "I/Os")
+		size := fs.Int("size", 8192, "request size")
+		depth := fs.Int("depth", 8, "concurrent streams")
+		writes := fs.Bool("writes", false, "write instead of read")
+		_ = fs.Parse(args[1:])
+		runBench(c, v, *n, *size, *depth, *writes)
+	default:
+		log.Fatalf("v3cli: unknown command %q", args[0])
+	}
+}
+
+func runBench(c *netv3.Client, vol uint32, n, size, depth int, writes bool) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var total time.Duration
+	count := 0
+	t0 := time.Now()
+	per := n / depth
+	for d := 0; d < depth; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			buf := make([]byte, size)
+			for i := 0; i < per; i++ {
+				off := int64((d*per+i)*size) % (1 << 20)
+				s := time.Now()
+				var err error
+				if writes {
+					err = c.Write(vol, off, buf)
+				} else {
+					err = c.Read(vol, off, buf)
+				}
+				if err != nil {
+					log.Printf("v3cli: %v", err)
+					return
+				}
+				mu.Lock()
+				total += time.Since(s)
+				count++
+				mu.Unlock()
+			}
+		}(d)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if count == 0 {
+		log.Fatal("v3cli: no I/Os completed")
+	}
+	fmt.Printf("%d I/Os of %d bytes, depth %d: %.1f MB/s, mean latency %v\n",
+		count, size, depth,
+		float64(count)*float64(size)/elapsed.Seconds()/1e6,
+		total/time.Duration(count))
+}

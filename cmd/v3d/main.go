@@ -1,0 +1,78 @@
+// Command v3d is the real (TCP) V3 storage daemon: it exports one or more
+// volumes over the V3 block protocol.
+//
+// Usage:
+//
+//	v3d -addr :9300 -size 256M                 # in-memory volume 1
+//	v3d -addr :9300 -file /data/vol.img -size 1G -cache 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/v3storage/v3/internal/netv3"
+)
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	u := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(u, "G"):
+		mult, u = 1<<30, u[:len(u)-1]
+	case strings.HasSuffix(u, "M"):
+		mult, u = 1<<20, u[:len(u)-1]
+	case strings.HasSuffix(u, "K"):
+		mult, u = 1<<10, u[:len(u)-1]
+	}
+	n, err := strconv.ParseInt(u, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":9300", "listen address")
+	sizeStr := flag.String("size", "64M", "volume size (supports K/M/G suffix)")
+	file := flag.String("file", "", "back the volume with this file (default: memory)")
+	cache := flag.Int("cache", 0, "server MQ cache size in 8K blocks (0 = off)")
+	credits := flag.Int("credits", 64, "flow-control window per session")
+	flag.Parse()
+
+	size, err := parseSize(*sizeStr)
+	if err != nil || size <= 0 {
+		fmt.Fprintf(os.Stderr, "v3d: bad -size %q\n", *sizeStr)
+		os.Exit(2)
+	}
+	cfg := netv3.DefaultServerConfig()
+	cfg.Credits = *credits
+	cfg.CacheBlocks = *cache
+	cfg.Logger = log.New(os.Stderr, "v3d: ", log.LstdFlags)
+	srv := netv3.NewServer(cfg)
+
+	var store netv3.BlockStore
+	if *file != "" {
+		fs, err := netv3.NewFileStore(*file, size)
+		if err != nil {
+			log.Fatalf("v3d: %v", err)
+		}
+		store = fs
+	} else {
+		store = netv3.NewMemStore(size)
+	}
+	srv.AddVolume(1, store)
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("v3d: %v", err)
+	}
+	log.Printf("v3d: serving volume 1 (%d bytes) on %s", size, bound)
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("v3d: %v", err)
+	}
+}

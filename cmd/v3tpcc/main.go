@@ -1,0 +1,46 @@
+// Command v3tpcc regenerates the paper's TPC-C experiments (Section 6,
+// Figures 9-14): optimization ablations, normalized transaction rates,
+// CPU-utilization breakdowns, and the disk-count sweep.
+//
+// Usage:
+//
+//	v3tpcc             # all figures (long: many multi-second simulations)
+//	v3tpcc -fig 10     # one figure
+//	v3tpcc -quick      # shorter warmup/measurement windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/v3storage/v3/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to run (9-14); 0 runs all")
+	quick := flag.Bool("quick", false, "shorter simulation windows")
+	flag.Parse()
+	o := bench.Options{Quick: *quick}
+
+	runners := map[int]func() *bench.Table{
+		9:  func() *bench.Table { return bench.FigAblation(bench.LargeSetup(), o) },
+		10: func() *bench.Table { return bench.FigTpmC(bench.LargeSetup(), o) },
+		11: func() *bench.Table { return bench.FigBreakdown(bench.LargeSetup(), o) },
+		12: func() *bench.Table { return bench.FigAblation(bench.MidSizeSetup(), o) },
+		13: func() *bench.Table { return bench.Fig13Sweep(o) },
+		14: func() *bench.Table { return bench.FigBreakdown(bench.MidSizeSetup(), o) },
+	}
+	if *fig != 0 {
+		r, ok := runners[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "v3tpcc: no such figure %d (9-14)\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Println(r())
+		return
+	}
+	for i := 9; i <= 14; i++ {
+		fmt.Println(runners[i]())
+	}
+}

@@ -1,0 +1,27 @@
+// Microbench: reproduce a slice of the paper's Figure 3 through the
+// simulation API — the latency of a cached read through each DSA
+// implementation versus raw VI, at a few request sizes.
+package main
+
+import (
+	"fmt"
+
+	"github.com/v3storage/v3/internal/bench"
+	"github.com/v3storage/v3/internal/core"
+)
+
+func main() {
+	fmt.Println("Latency of raw VI and the three DSA implementations (cached reads)")
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "size", "VI", "kDSA", "wDSA", "cDSA")
+	for _, size := range []int{512, 2048, 8192} {
+		vi := bench.RawVILatency(size, 50)
+		k := bench.DSALatency(core.KDSA, size, 50)
+		w := bench.DSALatency(core.WDSA, size, 50)
+		c := bench.DSALatency(core.CDSA, size, 50)
+		fmt.Printf("%-8d %10v %10v %10v %10v\n", size, vi, k, w, c)
+	}
+	fmt.Println()
+	fmt.Println("The paper's Section 5.1 shapes: cDSA closest to raw VI (no kernel")
+	fmt.Println("on the I/O path), kDSA above it (syscall + I/O manager), wDSA")
+	fmt.Println("highest (kernel32.dll completion semantics).")
+}

@@ -1,0 +1,3 @@
+module github.com/v3storage/v3
+
+go 1.22

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/core"
+)
+
+func TestRawVILatencyMatchesPaperEnvelope(t *testing.T) {
+	// Paper Figure 3: raw VI at 512 B is ~0.04-0.05 ms; at 16 KB ~0.2 ms.
+	small := RawVILatency(512, 50)
+	big := RawVILatency(16384, 50)
+	if small < 25*time.Microsecond || small > 70*time.Microsecond {
+		t.Fatalf("VI 512B latency %v outside paper envelope", small)
+	}
+	if big < 150*time.Microsecond || big > 280*time.Microsecond {
+		t.Fatalf("VI 16K latency %v outside paper envelope", big)
+	}
+}
+
+func TestDSAOverheadOverVI(t *testing.T) {
+	// Paper Section 5.1: "V3 adds about 15-50 µs overhead on top of VI",
+	// cDSA least, wDSA most.
+	for _, size := range []int{512, 8192} {
+		vi := RawVILatency(size, 50)
+		c := DSALatency(core.CDSA, size, 50)
+		k := DSALatency(core.KDSA, size, 50)
+		w := DSALatency(core.WDSA, size, 50)
+		if c <= vi {
+			t.Fatalf("size %d: cDSA (%v) cannot be faster than raw VI (%v)", size, c, vi)
+		}
+		if !(c < k && k < w) {
+			t.Fatalf("size %d: latency order wrong: c=%v k=%v w=%v", size, c, k, w)
+		}
+		if over := c - vi; over > 60*time.Microsecond {
+			t.Fatalf("size %d: cDSA adds %v over VI, want tens of µs", size, over)
+		}
+	}
+}
+
+func TestBreakdownComponentsAddUp(t *testing.T) {
+	for _, impl := range []core.Impl{core.KDSA, core.WDSA, core.CDSA} {
+		bd := ResponseBreakdown(impl, 8192, 40)
+		sum := bd.CPUOverhead + bd.NodeToNode + bd.Server
+		if sum < bd.Total*95/100 || sum > bd.Total*105/100 {
+			t.Fatalf("%v: components %v don't add to total %v", impl, sum, bd.Total)
+		}
+		if bd.Server <= 0 || bd.CPUOverhead <= 0 {
+			t.Fatalf("%v: degenerate breakdown %+v", impl, bd)
+		}
+	}
+}
+
+func TestBreakdownWDSAHeaviestCPU(t *testing.T) {
+	// Paper Figure 4: wDSA incurs ~3x the CPU overhead of cDSA.
+	c := ResponseBreakdown(core.CDSA, 8192, 40)
+	w := ResponseBreakdown(core.WDSA, 8192, 40)
+	if w.CPUOverhead < 2*c.CPUOverhead {
+		t.Fatalf("wDSA CPU (%v) should be several times cDSA's (%v)",
+			w.CPUOverhead, c.CPUOverhead)
+	}
+}
+
+func TestCachedLoadSaturatesLink(t *testing.T) {
+	// Paper Figure 6: with >= 4 outstanding, 8 KB requests saturate the
+	// ~110 MB/s interconnect; 1 outstanding at 128 KB approaches ~90+.
+	r := CachedLoad(core.KDSA, 8192, 4, 50*time.Millisecond)
+	if r.ThroughputMBs < 90 || r.ThroughputMBs > 115 {
+		t.Fatalf("4x8K throughput %.1f MB/s, want near saturation", r.ThroughputMBs)
+	}
+	one := CachedLoad(core.KDSA, 128*1024, 1, 50*time.Millisecond)
+	if one.ThroughputMBs < 70 || one.ThroughputMBs > 112 {
+		t.Fatalf("1x128K throughput %.1f MB/s, want high but below saturation", one.ThroughputMBs)
+	}
+}
+
+func TestCachedLoadResponseGrowsWithQueue(t *testing.T) {
+	// Paper Figure 5: response time grows roughly linearly once the link
+	// saturates.
+	r1 := CachedLoad(core.KDSA, 8192, 1, 50*time.Millisecond)
+	r16 := CachedLoad(core.KDSA, 8192, 16, 50*time.Millisecond)
+	if r16.MeanResponse < 4*r1.MeanResponse {
+		t.Fatalf("16 outstanding (%v) should be several times 1 outstanding (%v)",
+			r16.MeanResponse, r1.MeanResponse)
+	}
+}
+
+func TestVsLocalSmallRequestsComparable(t *testing.T) {
+	// Paper Figure 7: below 64 KB, V3 adds <3% to random read response
+	// time (we accept <10% against simulation noise).
+	r := VsLocal(8192, false, 1, 60)
+	if r.V3Response > r.LocalResponse*110/100 {
+		t.Fatalf("V3 8K read %v vs local %v: more than 10%% overhead",
+			r.V3Response, r.LocalResponse)
+	}
+	if r.V3Response < r.LocalResponse*90/100 {
+		t.Fatalf("V3 8K read %v suspiciously faster than local %v",
+			r.V3Response, r.LocalResponse)
+	}
+}
+
+func TestVsLocal128KOverhead(t *testing.T) {
+	// Paper Figure 7: at 128 KB, V3 is ~10% slower (3 RDMA packets +
+	// transfer time). Accept 3-25%.
+	r := VsLocal(128*1024, false, 1, 40)
+	ratio := float64(r.V3Response) / float64(r.LocalResponse)
+	if ratio < 1.0 || ratio > 1.25 {
+		t.Fatalf("V3/local at 128K = %.3f, want ~1.1", ratio)
+	}
+}
+
+func TestVsLocalWriteParityWithPipelining(t *testing.T) {
+	// Paper Figure 8: with outstanding requests the throughput gap
+	// closes. At 2 outstanding reads, V3 ~= local.
+	r := VsLocal(8192, false, 2, 60)
+	if r.V3MBs < r.LocalMBs*85/100 {
+		t.Fatalf("V3 read throughput %.2f MB/s far below local %.2f",
+			r.V3MBs, r.LocalMBs)
+	}
+}
+
+func TestBuildMultiServerSystem(t *testing.T) {
+	cfg := MicroConfig(core.CDSA)
+	cfg.NumServers = 3
+	sys := Build(cfg)
+	if len(sys.Servers) != 3 {
+		t.Fatalf("servers = %d", len(sys.Servers))
+	}
+	if sys.Client.VolumeSize() != 3*sys.Servers[0].VolumeSize() {
+		t.Fatal("client volume should span the servers")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	for _, tbl := range []*Table{Table1Render(), Table2Render()} {
+		out := tbl.String()
+		if !strings.Contains(out, "Mid-size") || !strings.Contains(out, "Large") {
+			t.Fatalf("table missing columns:\n%s", out)
+		}
+	}
+	if len(Table1()) != 2 || len(Table2()) != 2 {
+		t.Fatal("presets wrong")
+	}
+	if Table1()[1].CPUs != 32 || Table2()[1].TotalDisks != 640 {
+		t.Fatal("large preset values wrong")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if sizeLabel(512) != "512" || sizeLabel(8192) != "8K" || sizeLabel(1<<20) != "1M" {
+		t.Fatal("size labels wrong")
+	}
+	if norm(50, 100) != "50" || norm(1, 0) != "-" {
+		t.Fatal("norm wrong")
+	}
+	if pct(0.5) != "50%" {
+		t.Fatal("pct wrong")
+	}
+	tbl := &Table{Title: "T", Note: "n", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	if !strings.Contains(tbl.String(), "(n)") {
+		t.Fatal("note not rendered")
+	}
+}
+
+// The OLTP shape tests are multi-second simulations; skip them in -short.
+
+func TestMidSizeTPCCShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long OLTP simulation")
+	}
+	dur := OLTPDurations{Warmup: 1500 * time.Millisecond, Measure: 1500 * time.Millisecond}
+	setup := MidSizeSetup()
+	local := RunTPCCLocal(setup, 0, dur)
+	kdsa := RunTPCCDSA(setup, core.KDSA, core.AllOpts(), dur)
+	if local.TpmC <= 0 || kdsa.TpmC <= 0 {
+		t.Fatal("no transactions")
+	}
+	// Paper Figure 13: kDSA with 60 disks is within a few percent of the
+	// 176-disk local case. Accept +-15% against short-run noise.
+	ratio := kdsa.TpmC / local.TpmC
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("kDSA/local = %.2f, want ~1.0", ratio)
+	}
+	// Paper Section 6.2: 40-45% V3 read cache hit ratio (accept 25-55%
+	// for the shortened warmup).
+	if kdsa.ServerHit < 0.25 || kdsa.ServerHit > 0.55 {
+		t.Fatalf("server hit %.2f outside band", kdsa.ServerHit)
+	}
+	var sum float64
+	for _, v := range kdsa.Breakdown {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("breakdown sums to %.3f", sum)
+	}
+}
+
+func TestOptimizationsImproveMidSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long OLTP simulation")
+	}
+	dur := OLTPDurations{Warmup: 1500 * time.Millisecond, Measure: 1500 * time.Millisecond}
+	setup := MidSizeSetup()
+	unopt := RunTPCCDSA(setup, core.KDSA, core.NoOpts(), dur)
+	opt := RunTPCCDSA(setup, core.KDSA, core.AllOpts(), dur)
+	// Paper Figure 12: the optimizations buy kDSA ~19% on the mid-size
+	// configuration. Our mid-size sits at the disk/CPU crossover, so the
+	// CPU savings translate weakly there (see EXPERIMENTS.md); the
+	// material gain is asserted on the large configuration by
+	// TestLargeAblationStages. Here: optimizations must never hurt beyond
+	// run-to-run noise.
+	if opt.TpmC < unopt.TpmC*0.93 {
+		t.Fatalf("optimizations regressed: unopt=%.0f opt=%.0f", unopt.TpmC, opt.TpmC)
+	}
+}
+
+func TestOptStagesOrdering(t *testing.T) {
+	stages := OptStages()
+	if len(stages) != 4 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	if stages[0].Opts != core.NoOpts() || stages[3].Opts != core.AllOpts() {
+		t.Fatal("stage endpoints wrong")
+	}
+	if stages[1].Opts.BatchedDereg != true || stages[1].Opts.BatchedInterrupts != false {
+		t.Fatal("dereg stage wrong")
+	}
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/core"
+)
+
+// TestLargeAblationStages verifies the Figure 9 shape on the large
+// configuration: the fully optimized stack substantially outperforms the
+// unoptimized one for both kDSA and cDSA, and batched deregistration
+// alone is a material win (the TLB-shootdown effect of Section 6.1).
+func TestLargeAblationStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute OLTP simulation")
+	}
+	dur := OLTPDurations{Warmup: 1500 * time.Millisecond, Measure: 1500 * time.Millisecond}
+	setup := LargeSetup()
+	for _, impl := range []core.Impl{core.KDSA, core.CDSA} {
+		unopt := RunTPCCDSA(setup, impl, core.NoOpts(), dur)
+		dereg := RunTPCCDSA(setup, impl, core.Opts{BatchedDereg: true}, dur)
+		full := RunTPCCDSA(setup, impl, core.AllOpts(), dur)
+		if dereg.TpmC < unopt.TpmC*1.05 {
+			t.Errorf("%v: batched dereg should gain >5%%: %0.f -> %0.f",
+				impl, unopt.TpmC, dereg.TpmC)
+		}
+		if full.TpmC < unopt.TpmC*1.20 {
+			t.Errorf("%v: full optimization should gain >20%%: %0.f -> %0.f",
+				impl, unopt.TpmC, full.TpmC)
+		}
+	}
+}

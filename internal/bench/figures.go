@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/v3storage/v3/internal/core"
+)
+
+// Options controls run lengths: Quick trades precision for speed (used by
+// tests); full runs are used to regenerate EXPERIMENTS.md.
+type Options struct {
+	Quick bool
+}
+
+func (o Options) iters() int {
+	if o.Quick {
+		return 40
+	}
+	return 200
+}
+
+func (o Options) loadDur() time.Duration {
+	if o.Quick {
+		return 30 * time.Millisecond
+	}
+	return 200 * time.Millisecond
+}
+
+func (o Options) oltpDur() OLTPDurations {
+	if o.Quick {
+		return OLTPDurations{Warmup: time.Second, Measure: time.Second}
+	}
+	return DefaultDurations()
+}
+
+var implOrder = []core.Impl{core.KDSA, core.WDSA, core.CDSA}
+
+// Fig3 regenerates Figure 3: latency of raw VI and the three DSA
+// implementations across request sizes.
+func Fig3(o Options) *Table {
+	t := &Table{
+		Title:  "Figure 3: Latency of raw VI and DSA for various request sizes (ms)",
+		Note:   "single outstanding request, server cache hit",
+		Header: []string{"size", "VI", "kDSA", "wDSA", "cDSA"},
+	}
+	for _, size := range Fig3Sizes() {
+		row := []string{sizeLabel(size), ms(RawVILatency(size, o.iters()))}
+		for _, impl := range implOrder {
+			row = append(row, ms(DSALatency(impl, size, o.iters())))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig4 regenerates Figure 4: response-time breakdown for 2 KB and 8 KB
+// reads per implementation.
+func Fig4(o Options) *Table {
+	t := &Table{
+		Title:  "Figure 4: Response time breakdown for a read I/O request (µs)",
+		Header: []string{"size", "impl", "CPU-overhead", "node-to-node", "V3-server", "total"},
+	}
+	for _, size := range []int{2048, 8192} {
+		for _, impl := range implOrder {
+			bd := ResponseBreakdown(impl, size, o.iters())
+			t.AddRow(sizeLabel(size), impl.String(),
+				us(bd.CPUOverhead), us(bd.NodeToNode), us(bd.Server), us(bd.Total))
+		}
+	}
+	return t
+}
+
+// Fig5 regenerates Figure 5: cached 8 KB read response time vs
+// outstanding I/Os.
+func Fig5(o Options) *Table {
+	t := &Table{
+		Title:  "Figure 5: V3 read response time for cached blocks (8 KB requests)",
+		Header: []string{"outstanding", "mean response (ms)"},
+	}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		r := CachedLoad(core.KDSA, 8192, k, o.loadDur())
+		t.AddRow(fmt.Sprintf("%d", k), ms(r.MeanResponse))
+	}
+	return t
+}
+
+// Fig6 regenerates Figure 6: cached read throughput vs request size for
+// several outstanding-request counts.
+func Fig6(o Options) *Table {
+	t := &Table{
+		Title:  "Figure 6: V3 read throughput for cached blocks (MB/s)",
+		Header: []string{"size", "1 I/O", "2 I/Os", "4 I/Os", "8 I/Os", "16 I/Os"},
+	}
+	for _, size := range RequestSizes() {
+		row := []string{sizeLabel(size)}
+		for _, k := range []int{1, 2, 4, 8, 16} {
+			r := CachedLoad(core.KDSA, size, k, o.loadDur())
+			row = append(row, mbs(r.ThroughputMBs))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig7 regenerates Figure 7: V3 vs local response time for random reads
+// and writes, one outstanding request, zero server cache.
+func Fig7(o Options) *Table {
+	t := &Table{
+		Title:  "Figure 7: V3 and local read/write response time (ms), 1 outstanding",
+		Header: []string{"size", "V3 read", "local read", "V3 write", "local write"},
+	}
+	iters := o.iters() / 2
+	if iters < 10 {
+		iters = 10
+	}
+	for _, size := range RequestSizes() {
+		rd := VsLocal(size, false, 1, iters)
+		wr := VsLocal(size, true, 1, iters)
+		t.AddRow(sizeLabel(size), ms(rd.V3Response), ms(rd.LocalResponse),
+			ms(wr.V3Response), ms(wr.LocalResponse))
+	}
+	return t
+}
+
+// Fig8 regenerates Figure 8: V3 vs local throughput with two outstanding
+// requests.
+func Fig8(o Options) *Table {
+	t := &Table{
+		Title:  "Figure 8: V3 and local read/write throughput (MB/s), 2 outstanding",
+		Header: []string{"size", "V3 read", "local read", "V3 write", "local write"},
+	}
+	iters := o.iters() / 2
+	if iters < 10 {
+		iters = 10
+	}
+	for _, size := range RequestSizes() {
+		rd := VsLocal(size, false, 2, iters)
+		wr := VsLocal(size, true, 2, iters)
+		t.AddRow(sizeLabel(size), mbs(rd.V3MBs), mbs(rd.LocalMBs),
+			mbs(wr.V3MBs), mbs(wr.LocalMBs))
+	}
+	return t
+}
+
+// FigAblation regenerates Figure 9 (large) or Figure 12 (mid-size): the
+// effect of stacking the Section 3 optimizations on tpmC for kDSA and
+// cDSA, normalized to the unoptimized case (=100).
+func FigAblation(setup OLTPSetup, o Options) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure %s: Effect of optimizations on tpmC (%s configuration)",
+			map[string]string{"large": "9", "mid-size": "12"}[setup.Name], setup.Name),
+		Note:   "normalized to the unoptimized case = 100",
+		Header: []string{"stage", "kDSA", "cDSA"},
+	}
+	dur := o.oltpDur()
+	base := map[core.Impl]float64{}
+	rows := map[string][]string{}
+	var order []string
+	for _, stage := range OptStages() {
+		order = append(order, stage.Name)
+		rows[stage.Name] = []string{stage.Name}
+	}
+	for _, impl := range []core.Impl{core.KDSA, core.CDSA} {
+		for i, stage := range OptStages() {
+			r := RunTPCCDSA(setup, impl, stage.Opts, dur)
+			if i == 0 {
+				base[impl] = r.TpmC
+			}
+			rows[stage.Name] = append(rows[stage.Name], norm(r.TpmC, base[impl]))
+		}
+	}
+	for _, name := range order {
+		t.AddRow(rows[name]...)
+	}
+	return t
+}
+
+// FigTpmC regenerates Figure 10 (large) or the V3 points of Figure 13
+// (mid-size): normalized TPC-C transaction rates for local and the three
+// DSA implementations.
+func FigTpmC(setup OLTPSetup, o Options) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure %s: Normalized TPC-C transaction rates (%s configuration)",
+			map[string]string{"large": "10", "mid-size": "13 (V3 points)"}[setup.Name], setup.Name),
+		Note:   "local case = 100",
+		Header: []string{"config", "normalized tpmC", "server cache hit"},
+	}
+	dur := o.oltpDur()
+	local := RunTPCCLocal(setup, 0, dur)
+	t.AddRow("Local", "100", "-")
+	for _, impl := range implOrder {
+		r := RunTPCCDSA(setup, impl, core.AllOpts(), dur)
+		t.AddRow(impl.String(), norm(r.TpmC, local.TpmC), pct(r.ServerHit))
+	}
+	return t
+}
+
+// FigBreakdown regenerates Figure 11 (large) or Figure 14 (mid-size):
+// the CPU-utilization breakdown under TPC-C for each implementation.
+func FigBreakdown(setup OLTPSetup, o Options) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure %s: CPU utilization breakdown for TPC-C (%s configuration)",
+			map[string]string{"large": "11", "mid-size": "14"}[setup.Name], setup.Name),
+		Header: []string{"impl", "SQL", "OSKernel", "Lock", "DSA", "VI", "Other", "Idle"},
+	}
+	dur := o.oltpDur()
+	for _, impl := range implOrder {
+		r := RunTPCCDSA(setup, impl, core.AllOpts(), dur)
+		bd := r.Breakdown
+		t.AddRow(impl.String(), pct(bd["SQL"]), pct(bd["OSKernel"]), pct(bd["Lock"]),
+			pct(bd["DSA"]), pct(bd["VI"]), pct(bd["Other"]), pct(bd["Idle"]))
+	}
+	return t
+}
+
+// Fig13Sweep regenerates Figure 13's local curve: normalized tpmC as a
+// function of the number of locally attached disks, plus the three V3
+// points at 60 disks.
+func Fig13Sweep(o Options) *Table {
+	setup := MidSizeSetup()
+	t := &Table{
+		Title:  "Figure 13: Normalized TPC-C transaction rate vs number of disks (mid-size)",
+		Note:   "local case at 176 disks = 100; V3 configurations use 60 disks",
+		Header: []string{"config", "disks", "normalized tpmC"},
+	}
+	dur := o.oltpDur()
+	ref := RunTPCCLocal(setup, 176, dur)
+	counts := []int{30, 60, 90, 120, 150, 176, 210}
+	if o.Quick {
+		counts = []int{30, 90, 176}
+	}
+	for _, n := range counts {
+		var r OLTPResult
+		if n == 176 {
+			r = ref
+		} else {
+			r = RunTPCCLocal(setup, n, dur)
+		}
+		t.AddRow("Local", fmt.Sprintf("%d", n), norm(r.TpmC, ref.TpmC))
+	}
+	for _, impl := range implOrder {
+		r := RunTPCCDSA(setup, impl, core.AllOpts(), dur)
+		t.AddRow(impl.String(), "60", norm(r.TpmC, ref.TpmC))
+	}
+	return t
+}
+
+// Table1Render prints the paper's Table 1 presets.
+func Table1Render() *Table {
+	t := &Table{
+		Title:  "Table 1: Database host configuration summary",
+		Header: []string{"component", "Mid-size", "Large"},
+	}
+	rows := Table1()
+	m, l := rows[0], rows[1]
+	t.AddRow("CPUs", fmt.Sprintf("%d x %d MHz", m.CPUs, m.CPUMHz), fmt.Sprintf("%d x %d MHz", l.CPUs, l.CPUMHz))
+	t.AddRow("Memory (GB)", fmt.Sprintf("%d", m.MemoryGB), fmt.Sprintf("%d", l.MemoryGB))
+	t.AddRow("NICs (cLan)", fmt.Sprintf("%d", m.NICs), fmt.Sprintf("%d", l.NICs))
+	t.AddRow("Local disks", fmt.Sprintf("%d", m.LocalDisks), fmt.Sprintf("%d", l.LocalDisks))
+	t.AddRow("Database size (TB)", fmt.Sprintf("%.0f", m.DBSizeTB), fmt.Sprintf("%.0f", l.DBSizeTB))
+	t.AddRow("Warehouses", fmt.Sprintf("%d", m.Warehouses), fmt.Sprintf("%d", l.Warehouses))
+	return t
+}
+
+// Table2Render prints the paper's Table 2 presets.
+func Table2Render() *Table {
+	t := &Table{
+		Title:  "Table 2: V3 server configuration summary",
+		Header: []string{"component", "Mid-size", "Large"},
+	}
+	rows := Table2()
+	m, l := rows[0], rows[1]
+	t.AddRow("V3 nodes", fmt.Sprintf("%d", m.Nodes), fmt.Sprintf("%d", l.Nodes))
+	t.AddRow("CPUs/node", fmt.Sprintf("%d", m.CPUsPerNode), fmt.Sprintf("%d", l.CPUsPerNode))
+	t.AddRow("Memory/node (GB)", fmt.Sprintf("%.0f", m.MemoryGBNode), fmt.Sprintf("%.0f", l.MemoryGBNode))
+	t.AddRow("V3 cache/node (GB)", fmt.Sprintf("%.1f", m.CacheGBNode), fmt.Sprintf("%.1f", l.CacheGBNode))
+	t.AddRow("Disk type", m.DiskType, l.DiskType)
+	t.AddRow("Total disks", fmt.Sprintf("%d", m.TotalDisks), fmt.Sprintf("%d", l.TotalDisks))
+	t.AddRow("Total space (TB)", fmt.Sprintf("%.1f", m.TotalSpaceTB), fmt.Sprintf("%.1f", l.TotalSpaceTB))
+	return t
+}

@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/v3storage/v3/internal/core"
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/localio"
+	"github.com/v3storage/v3/internal/oskrnl"
+	"github.com/v3storage/v3/internal/sim"
+	"github.com/v3storage/v3/internal/v3srv"
+	"github.com/v3storage/v3/internal/vi"
+	"github.com/v3storage/v3/internal/vinic"
+)
+
+// RequestSizes are the micro-benchmark request sizes (Section 5: 512
+// bytes to 128 KB "cover all realistic I/O request sizes in databases").
+func RequestSizes() []int {
+	return []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072}
+}
+
+// Fig3Sizes are the sizes plotted in Figure 3 (512 B - 16 KB).
+func Fig3Sizes() []int { return []int{512, 1024, 2048, 4096, 8192, 16384} }
+
+// warmRegion reads every block in [0, blocks) once so subsequent reads of
+// the region hit the V3 server cache.
+func warmRegion(sys *System, blocks int, blockSize int) {
+	sys.E.Go("warmer", func(p *sim.Proc) {
+		for b := 0; b < blocks; b++ {
+			sys.Client.Read(p, int64(b)*int64(blockSize), blockSize)
+		}
+	})
+	sys.E.RunFor(time.Duration(blocks) * 20 * time.Millisecond)
+}
+
+// RawVILatency measures the paper's raw VI latency test (Section 5.1):
+// register a receive buffer, send a 64-byte request, the server RDMAs
+// back `size` bytes from a preregistered buffer, the client takes a
+// completion interrupt and deregisters. No DSA, no V3 server.
+func RawVILatency(size int, iters int) time.Duration {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, 4)
+	kern := oskrnl.New(e, cpus, oskrnl.DefaultParams())
+	srvCPUs := hw.NewCPUPool(e, 2)
+	nicC, nicS := vinic.NewPair(e, vinic.DefaultParams(), "cli", "srv")
+	viParams := vi.DefaultParams()
+	viParams.BatchedDereg = false // raw VI: per-buffer deregistration
+	provC := vi.NewProvider(e, cpus, nicC, viParams)
+	provS := vi.NewProvider(e, srvCPUs, nicS, viParams)
+	provS.SetPinnedBuffers(true) // server send buffer is preregistered
+	connC, connS := vi.Connect(provC, provS)
+	isr := kern.NewISRQueue("raw-vi")
+
+	// Echo server: polls for requests (event handler feeds a queue) and
+	// RDMAs the payload back.
+	reqQ := sim.NewQueue[int]()
+	connS.SetHandler(func(m *vinic.Message) { reqQ.Put(e, m.Payload.(int)) })
+	e.Go("raw-server", func(p *sim.Proc) {
+		for {
+			n := reqQ.Get(p)
+			srvCPUs.Use(p, hw.CatOther, time.Microsecond) // poll + dispatch
+			connS.RDMAWrite(p, n, "data", true)
+		}
+	})
+
+	var done *sim.Event
+	connC.SetHandler(func(m *vinic.Message) {
+		// Completion-queue interrupt on the client.
+		isr.Raise(func(p *sim.Proc) {
+			connC.PopCompletion(p)
+			done.Fire(e)
+		})
+	})
+
+	var total time.Duration
+	e.Go("raw-client", func(p *sim.Proc) {
+		for i := 0; i < iters; i++ {
+			t0 := p.Now()
+			h := provC.Register(p, size)
+			done = sim.NewEvent()
+			connC.Send(p, 64, size)
+			done.Wait(p)
+			provC.Deregister(p, h)
+			total += time.Duration(p.Now() - t0)
+		}
+	})
+	e.RunFor(time.Duration(iters+1) * 10 * time.Millisecond)
+	return total / time.Duration(iters)
+}
+
+// DSALatency measures the Figure 3 V3 latency: a cached read of size
+// bytes through one DSA implementation, single outstanding request.
+func DSALatency(impl core.Impl, size int, iters int) time.Duration {
+	sys := Build(MicroConfig(impl))
+	blocks := 32
+	warmRegion(sys, blocks, 16384) // warm 512 KB: covers all offsets used
+	var total time.Duration
+	sys.E.Go("load", func(p *sim.Proc) {
+		for i := 0; i < iters; i++ {
+			off := int64(i%blocks) * 16384
+			t0 := p.Now()
+			sys.Client.Read(p, off, size)
+			total += time.Duration(p.Now() - t0)
+		}
+		sys.Client.Stop()
+	})
+	sys.E.RunFor(time.Duration(iters+1) * 5 * time.Millisecond)
+	return total / time.Duration(iters)
+}
+
+// Breakdown is the Figure 4 decomposition of a read's response time.
+type Breakdown struct {
+	Impl        core.Impl
+	Size        int
+	Total       time.Duration
+	CPUOverhead time.Duration // host CPU to initiate and complete the I/O
+	NodeToNode  time.Duration // NIC + wire + NIC, both directions
+	Server      time.Duration // V3 server residence
+}
+
+// ResponseBreakdown measures the three components for one implementation
+// and size (uncontended single request, cached on the server).
+func ResponseBreakdown(impl core.Impl, size int, iters int) Breakdown {
+	sys := Build(MicroConfig(impl))
+	blocks := 32
+	warmRegion(sys, blocks, 16384)
+	var total, server time.Duration
+	var busy0 time.Duration
+	busyAll := func() time.Duration {
+		var b time.Duration
+		for _, cat := range hw.Categories() {
+			b += sys.CPUs.Busy(cat)
+		}
+		return b
+	}
+	sys.E.Go("load", func(p *sim.Proc) {
+		busy0 = busyAll()
+		for i := 0; i < iters; i++ {
+			off := int64(i%blocks) * 16384
+			t0 := p.Now()
+			r := sys.Client.Read(p, off, size)
+			total += time.Duration(p.Now() - t0)
+			server += r.ServerTime()
+		}
+		sys.Client.Stop()
+	})
+	sys.E.RunFor(time.Duration(iters+1) * 5 * time.Millisecond)
+	n := time.Duration(iters)
+	bd := Breakdown{
+		Impl: impl, Size: size,
+		Total:  total / n,
+		Server: server / n,
+	}
+	// Node-to-node latency is computed from the link model (request out,
+	// data + completion back); the CPU-overhead component is the residual
+	// of the measured round trip. Host CPU burned off the critical path
+	// (e.g. wDSA's post-wakeup bookkeeping) is real utilization — the
+	// OLTP experiments account for it — but does not belong in the
+	// response-time bar.
+	nic := MicroConfig(impl).NIC
+	bd.NodeToNode = nic.OneWay(64) + nic.OneWay(size) + nic.OneWay(64) - nic.PropDelay - nic.RecvPktCost
+	bd.CPUOverhead = bd.Total - bd.Server - bd.NodeToNode
+	if bd.CPUOverhead < 0 {
+		bd.CPUOverhead = 0
+	}
+	measured := (busyAll() - busy0) / n
+	if measured < bd.CPUOverhead {
+		bd.CPUOverhead = measured
+	}
+	return bd
+}
+
+// CachedLoadResult is one point of Figures 5/6.
+type CachedLoadResult struct {
+	Size          int
+	Outstanding   int
+	MeanResponse  time.Duration
+	ThroughputMBs float64
+}
+
+// CachedLoad runs `outstanding` concurrent streams of synchronous cached
+// reads of `size` for the given duration and reports mean response time
+// and aggregate throughput (Figures 5 and 6).
+func CachedLoad(impl core.Impl, size, outstanding int, dur time.Duration) CachedLoadResult {
+	cfg := MicroConfig(impl)
+	sys := Build(cfg)
+	// Warm a region large enough that each stream cycles through distinct
+	// blocks without re-missing.
+	blockSpan := 256 * 1024
+	blocks := 16
+	warmRegion(sys, blocks, blockSpan)
+	var count int64
+	var totalLat time.Duration
+	for s := 0; s < outstanding; s++ {
+		stream := s
+		sys.E.Go("stream", func(p *sim.Proc) {
+			i := 0
+			for {
+				off := int64((stream*7+i)%blocks) * int64(blockSpan)
+				t0 := p.Now()
+				sys.Client.Read(p, off, size)
+				totalLat += time.Duration(p.Now() - t0)
+				count++
+				i++
+			}
+		})
+	}
+	t0 := sys.E.Now()
+	sys.E.RunFor(dur)
+	elapsed := (sys.E.Now() - t0).Seconds()
+	sys.Client.Stop()
+	res := CachedLoadResult{Size: size, Outstanding: outstanding}
+	if count > 0 {
+		res.MeanResponse = totalLat / time.Duration(count)
+		res.ThroughputMBs = float64(count) * float64(size) / elapsed / 1e6
+	}
+	return res
+}
+
+// VsLocalResult is one point of Figures 7/8: V3 (zero server cache)
+// against a locally attached disk.
+type VsLocalResult struct {
+	Size          int
+	Write         bool
+	V3Response    time.Duration
+	LocalResponse time.Duration
+	V3MBs         float64
+	LocalMBs      float64
+}
+
+// buildUncachedV3 returns a micro system whose server cache is disabled
+// and which stripes over a single local-class disk, matching the paper's
+// "same disks either local or in the V3 server" setup.
+func buildUncachedV3(impl core.Impl) *System {
+	cfg := MicroConfig(impl)
+	cfg.Server.CacheBlocks = 0
+	cfg.Server.NumDisks = 1
+	return Build(cfg)
+}
+
+func buildLocal(ncpu int) (*sim.Engine, *localio.Client) {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, ncpu)
+	kern := oskrnl.New(e, cpus, oskrnl.DefaultParams())
+	lcfg := localio.DefaultConfig()
+	lcfg.NumDisks = 1
+	return e, localio.New(e, cpus, kern, lcfg)
+}
+
+// VsLocal measures response time (outstanding=1) or throughput
+// (outstanding>1) for random reads or writes of `size`, on V3 with a cold
+// server and on a local disk (Figures 7 and 8).
+func VsLocal(size int, write bool, outstanding, iters int) VsLocalResult {
+	res := VsLocalResult{Size: size, Write: write}
+	span := int64(1) << 20 // request-aligned slots within one stripe
+
+	// V3 side.
+	sys := buildUncachedV3(core.KDSA)
+	var v3Total time.Duration
+	var v3Count int64
+	var v3Span sim.Time
+	done := 0
+	for s := 0; s < outstanding; s++ {
+		stream := s
+		sys.E.Go("v3-stream", func(p *sim.Proc) {
+			rng := sim.NewRand(uint64(stream) + 7)
+			slots := span / int64(size)
+			for i := 0; i < iters; i++ {
+				off := rng.Int63() % slots * int64(size)
+				t0 := p.Now()
+				if write {
+					sys.Client.Write(p, off, size)
+				} else {
+					sys.Client.Read(p, off, size)
+				}
+				v3Total += time.Duration(p.Now() - t0)
+				v3Count++
+			}
+			done++
+			if done == outstanding {
+				v3Span = p.Now()
+				sys.Client.Stop()
+			}
+		})
+	}
+	sys.E.RunFor(time.Duration(outstanding*iters+10) * 50 * time.Millisecond)
+	if v3Count > 0 {
+		res.V3Response = v3Total / time.Duration(v3Count)
+		res.V3MBs = float64(v3Count) * float64(size) / v3Span.Seconds() / 1e6
+	}
+
+	// Local side.
+	e, lc := buildLocal(4)
+	var loTotal time.Duration
+	var loCount int64
+	var loSpan sim.Time
+	done = 0
+	for s := 0; s < outstanding; s++ {
+		stream := s
+		e.Go("local-stream", func(p *sim.Proc) {
+			rng := sim.NewRand(uint64(stream) + 7)
+			slots := span / int64(size)
+			for i := 0; i < iters; i++ {
+				off := rng.Int63() % slots * int64(size)
+				t0 := p.Now()
+				if write {
+					lc.Write(p, off, size)
+				} else {
+					lc.Read(p, off, size)
+				}
+				loTotal += time.Duration(p.Now() - t0)
+				loCount++
+			}
+			done++
+			if done == outstanding {
+				loSpan = p.Now()
+			}
+		})
+	}
+	e.RunFor(time.Duration(outstanding*iters+10) * 50 * time.Millisecond)
+	if loCount > 0 {
+		res.LocalResponse = loTotal / time.Duration(loCount)
+		res.LocalMBs = float64(loCount) * float64(size) / loSpan.Seconds() / 1e6
+	}
+	return res
+}
+
+// ensure referenced packages stay linked even if a runner is trimmed.
+var _ = v3srv.OpRead

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/v3storage/v3/internal/core"
+	"github.com/v3storage/v3/internal/diskmodel"
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/localio"
+	"github.com/v3storage/v3/internal/oltp"
+	"github.com/v3storage/v3/internal/oskrnl"
+	"github.com/v3storage/v3/internal/sim"
+	"github.com/v3storage/v3/internal/v3srv"
+)
+
+// MemScale is the factor by which the paper's memory sizes and working
+// sets are divided in the simulation. Scaling cache capacity and working
+// set together preserves hit ratios while keeping the simulated state in
+// host memory (DESIGN.md, substitutions).
+const MemScale = 64
+
+// OLTPSetup names one of the paper's two platforms (Tables 1 and 2).
+type OLTPSetup struct {
+	Name         string
+	HostCPUs     int
+	Workers      int
+	V3Nodes      int
+	DisksPerNode int
+	V3CacheBlks  int // per node, scaled
+	DiskParams   diskmodel.Params
+	LocalDisks   int
+	BufferPool   int   // scaled pages
+	DBPages      int64 // scaled pages
+}
+
+// MidSizeSetup returns the 4-way platform: 1 TB database, 100 GB working
+// set, 4 V3 nodes x 15 SCSI disks (60 total) vs 176 local disks.
+func MidSizeSetup() OLTPSetup {
+	return OLTPSetup{
+		Name:         "mid-size",
+		HostCPUs:     4,
+		Workers:      320,
+		V3Nodes:      4,
+		DisksPerNode: 15,
+		V3CacheBlks:  200000 / MemScale * 64 / 64, // 1.6 GB per node
+		DiskParams:   diskmodel.SCSI10K(),
+		LocalDisks:   176,
+		BufferPool:   375000 / MemScale, // ~3 GB of the 4 GB host
+		DBPages:      12800000 / MemScale,
+	}
+}
+
+// LargeSetup returns the 32-way platform: 10 TB database, ~1 TB working
+// set, 8 V3 nodes x 80 FC disks (640 total) vs 640 local disks.
+func LargeSetup() OLTPSetup {
+	return OLTPSetup{
+		Name:         "large",
+		HostCPUs:     32,
+		Workers:      3000,
+		V3Nodes:      8,
+		DisksPerNode: 80,
+		V3CacheBlks:  300000 / MemScale, // 2.4 GB per node
+		DiskParams:   diskmodel.FC15K(),
+		LocalDisks:   640,
+		BufferPool:   3840000 / MemScale, // ~30 GB of the 32 GB host
+		DBPages:      128000000 / MemScale,
+	}
+}
+
+// OLTPResult is one TPC-C run's outcome.
+type OLTPResult struct {
+	Label        string
+	TpmC         float64
+	Breakdown    map[string]float64 // CPU utilization fractions + Idle
+	BufferHit    float64
+	ServerHit    float64 // V3 cache hit ratio (0 for local)
+	Interrupts   int64
+	PhysReads    int64
+	PhysWrites   int64
+	SimulatedFor time.Duration
+}
+
+// OLTPDurations controls warmup and measurement windows.
+type OLTPDurations struct {
+	Warmup  time.Duration
+	Measure time.Duration
+}
+
+// DefaultDurations returns windows long enough for stable ratios.
+func DefaultDurations() OLTPDurations {
+	return OLTPDurations{Warmup: 2500 * time.Millisecond, Measure: 3 * time.Second}
+}
+
+// QuickDurations returns short windows for tests.
+func QuickDurations() OLTPDurations {
+	return OLTPDurations{Warmup: 2 * time.Second, Measure: 2 * time.Second}
+}
+
+func engineConfig(setup OLTPSetup) oltp.Config {
+	cfg := oltp.DefaultConfig()
+	cfg.Workers = setup.Workers
+	cfg.BufferPoolPages = setup.BufferPool
+	cfg.DBPages = setup.DBPages
+	cfg.Cleaners = setup.HostCPUs * 6
+	// Pace the checkpoint write stream to the platform: ~25-30% of the
+	// I/O mix, identical across storage clients for a fair comparison.
+	cfg.CheckpointMax = 40 * setup.HostCPUs
+	return cfg
+}
+
+func v3ServerConfig(setup OLTPSetup) v3srv.Config {
+	scfg := v3srv.DefaultConfig()
+	scfg.NumDisks = setup.DisksPerNode
+	scfg.Workers = 4 * setup.DisksPerNode
+	scfg.DiskParams = setup.DiskParams
+	scfg.CacheBlocks = setup.V3CacheBlks
+	return scfg
+}
+
+// RunTPCCDSA runs TPC-C against the V3 back-end with one DSA
+// implementation and the given optimization set.
+func RunTPCCDSA(setup OLTPSetup, impl core.Impl, opts core.Opts, dur OLTPDurations) OLTPResult {
+	sysCfg := SystemConfig{
+		ClientCPUs: setup.HostCPUs,
+		NumServers: setup.V3Nodes,
+		Server:     v3ServerConfig(setup),
+		DSA:        core.DefaultConfig(impl),
+		VI:         MicroConfig(impl).VI,
+		NIC:        MicroConfig(impl).NIC,
+		Kernel:     oskrnl.DefaultParams(),
+	}
+	sysCfg.DSA.Opts = opts
+	sys := Build(sysCfg)
+	en := oltp.New(sys.E, sys.CPUs, oltp.DSAStorage{C: sys.Client}, engineConfig(setup))
+	en.Start()
+	sys.E.RunFor(dur.Warmup)
+	sys.CPUs.ResetAccounting()
+	en.BeginMeasurement()
+	intr0 := sys.Kern.Interrupts()
+	sys.E.RunFor(dur.Measure)
+	res := OLTPResult{
+		Label:        impl.String(),
+		TpmC:         en.TpmC(),
+		Breakdown:    sys.CPUs.Breakdown(),
+		BufferHit:    en.BufferHitRatio(),
+		Interrupts:   sys.Kern.Interrupts() - intr0,
+		SimulatedFor: dur.Measure,
+	}
+	res.PhysReads, res.PhysWrites = en.PhysicalIOs()
+	var hits, total float64
+	for _, srv := range sys.Servers {
+		hits += srv.CacheHitRatio()
+		total++
+	}
+	if total > 0 {
+		res.ServerHit = hits / total
+	}
+	en.Stop()
+	sys.Client.Stop()
+	return res
+}
+
+// RunTPCCLocal runs TPC-C against the local-disk baseline with ndisks
+// locally attached disks (ndisks <= 0 selects the setup's default).
+func RunTPCCLocal(setup OLTPSetup, ndisks int, dur OLTPDurations) OLTPResult {
+	if ndisks <= 0 {
+		ndisks = setup.LocalDisks
+	}
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, setup.HostCPUs)
+	kern := oskrnl.New(e, cpus, oskrnl.DefaultParams())
+	lcfg := localio.DefaultConfig()
+	lcfg.NumDisks = ndisks
+	lcfg.DiskParams = setup.DiskParams
+	lc := localio.New(e, cpus, kern, lcfg)
+	en := oltp.New(e, cpus, oltp.LocalStorage{C: lc}, engineConfig(setup))
+	en.Start()
+	e.RunFor(dur.Warmup)
+	cpus.ResetAccounting()
+	en.BeginMeasurement()
+	intr0 := kern.Interrupts()
+	e.RunFor(dur.Measure)
+	res := OLTPResult{
+		Label:        "Local",
+		TpmC:         en.TpmC(),
+		Breakdown:    cpus.Breakdown(),
+		BufferHit:    en.BufferHitRatio(),
+		Interrupts:   kern.Interrupts() - intr0,
+		SimulatedFor: dur.Measure,
+	}
+	res.PhysReads, res.PhysWrites = en.PhysicalIOs()
+	en.Stop()
+	return res
+}
+
+// OptStages returns the Figure 9/12 optimization stacks in order:
+// Unoptimized, +dereg, +dereg+intrpt, +dereg+intrpt+sync.
+func OptStages() []struct {
+	Name string
+	Opts core.Opts
+} {
+	return []struct {
+		Name string
+		Opts core.Opts
+	}{
+		{"Unoptimized", core.Opts{}},
+		{"dereg", core.Opts{BatchedDereg: true}},
+		{"dereg+intrpt", core.Opts{BatchedDereg: true, BatchedInterrupts: true}},
+		{"dereg+intrpt+sync", core.AllOpts()},
+	}
+}

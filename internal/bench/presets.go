@@ -1,0 +1,135 @@
+// Package bench assembles complete simulated systems (database host, VI
+// interconnect, V3 storage nodes) and runs the paper's experiments: the
+// micro-benchmarks of Section 5 (Figures 3-8) and the TPC-C experiments
+// of Section 6 (Figures 9-14), plus the configuration presets of
+// Tables 1 and 2.
+package bench
+
+import (
+	"fmt"
+
+	"github.com/v3storage/v3/internal/core"
+	"github.com/v3storage/v3/internal/diskmodel"
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/oskrnl"
+	"github.com/v3storage/v3/internal/sim"
+	"github.com/v3storage/v3/internal/v3srv"
+	"github.com/v3storage/v3/internal/vi"
+	"github.com/v3storage/v3/internal/vinic"
+)
+
+// SystemConfig describes one complete client + V3 back-end assembly.
+type SystemConfig struct {
+	ClientCPUs int
+	NumServers int // V3 nodes, one NIC/VI connection each
+	Server     v3srv.Config
+	DSA        core.Config
+	VI         vi.Params
+	NIC        vinic.Params
+	Kernel     oskrnl.Params
+}
+
+// MicroConfig returns the Section 5 micro-benchmark setup: one client,
+// one V3 node presenting a virtual disk, kDSA by default.
+func MicroConfig(impl core.Impl) SystemConfig {
+	return SystemConfig{
+		ClientCPUs: 4,
+		NumServers: 1,
+		Server:     v3srv.DefaultConfig(),
+		DSA:        core.DefaultConfig(impl),
+		VI:         vi.DefaultParams(),
+		NIC:        vinic.DefaultParams(),
+		Kernel:     oskrnl.DefaultParams(),
+	}
+}
+
+// System is an assembled simulation ready to drive.
+type System struct {
+	E       *sim.Engine
+	CPUs    *hw.CPUPool
+	Kern    *oskrnl.Kernel
+	Client  *core.Client
+	Servers []*v3srv.Server
+}
+
+// Build assembles the system: client CPU pool and kernel, then per
+// server a NIC pair, VI providers on both ends, a VI connection, and the
+// server node itself.
+func Build(cfg SystemConfig) *System {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, cfg.ClientCPUs)
+	kern := oskrnl.New(e, cpus, cfg.Kernel)
+	// DSA's batched-deregistration option is implemented as an extension
+	// to the VI layer (Section 3.1), so it flows into the VI parameters.
+	viParams := cfg.VI
+	viParams.BatchedDereg = cfg.DSA.Opts.BatchedDereg
+	cl := core.NewClient(e, cpus, kern, cfg.DSA)
+	sys := &System{E: e, CPUs: cpus, Kern: kern, Client: cl}
+	// One page-table lock per host, shared by every NIC's provider: the
+	// cost center of unbatched deregistration at high processor counts.
+	pageLock := hw.NewSyncLock(e, cpus)
+	for i := 0; i < cfg.NumServers; i++ {
+		nicC, nicS := vinic.NewPair(e, cfg.NIC, fmt.Sprintf("host-nic%d", i), fmt.Sprintf("v3-nic%d", i))
+		prov := vi.NewProvider(e, cpus, nicC, viParams)
+		prov.SetPageLock(pageLock)
+		scfg := cfg.Server
+		scfg.Name = fmt.Sprintf("v3-%d", i)
+		srv := v3srv.New(e, scfg, nicS, viParams)
+		connC, connS := vi.Connect(prov, srv.Provider())
+		srv.AttachClient(connS)
+		cl.AttachServer(prov, connC, srv.VolumeSize())
+		sys.Servers = append(sys.Servers, srv)
+	}
+	return sys
+}
+
+// TotalServed sums completed requests across servers.
+func (s *System) TotalServed() int64 {
+	var n int64
+	for _, srv := range s.Servers {
+		n += srv.Served()
+	}
+	return n
+}
+
+// Table1Row is one column of Table 1 (database host configuration).
+type Table1Row struct {
+	Name       string
+	CPUs       int
+	CPUMHz     int
+	MemoryGB   int
+	NICs       int
+	LocalDisks int
+	DBSizeTB   float64
+	Warehouses int
+}
+
+// Table1 returns the paper's database-host configurations.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{Name: "Mid-size", CPUs: 4, CPUMHz: 700, MemoryGB: 4, NICs: 4, LocalDisks: 176, DBSizeTB: 1, Warehouses: 1625},
+		{Name: "Large", CPUs: 32, CPUMHz: 800, MemoryGB: 32, NICs: 8, LocalDisks: 640, DBSizeTB: 10, Warehouses: 10000},
+	}
+}
+
+// Table2Row is one column of Table 2 (V3 server configuration).
+type Table2Row struct {
+	Name         string
+	Nodes        int
+	CPUsPerNode  int
+	MemoryGBNode float64
+	CacheGBNode  float64
+	DiskType     string
+	TotalDisks   int
+	TotalSpaceTB float64
+}
+
+// Table2 returns the paper's V3 back-end configurations.
+func Table2() []Table2Row {
+	return []Table2Row{
+		{Name: "Mid-size", Nodes: 4, CPUsPerNode: 2, MemoryGBNode: 2, CacheGBNode: 1.6,
+			DiskType: diskmodel.SCSI10K().Name, TotalDisks: 60, TotalSpaceTB: 1},
+		{Name: "Large", Nodes: 8, CPUsPerNode: 2, MemoryGBNode: 3, CacheGBNode: 2.4,
+			DiskType: diskmodel.FC15K().Name, TotalDisks: 640, TotalSpaceTB: 11.5},
+	}
+}

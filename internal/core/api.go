@@ -1,0 +1,172 @@
+package core
+
+import (
+	"time"
+
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/sim"
+	"github.com/v3storage/v3/internal/v3srv"
+)
+
+// CAPI is the new I/O API cDSA exports to applications (Section 2.2:
+// "The new API consists primarily of 15 calls to handle synchronous or
+// asynchronous read/write operations, I/O completions, and
+// scatter/gather I/Os"). The fifteen calls:
+//
+//  1. Open            — bind the API to a DSA client
+//  2. Close           — drain and detach
+//  3. ReadSync        — synchronous read
+//  4. WriteSync       — synchronous write
+//  5. ReadAsync       — asynchronous read
+//  6. WriteAsync      — asynchronous write
+//  7. ReadGather      — one logical read across discontiguous extents
+//  8. WriteScatter    — one logical write across discontiguous extents
+//  9. Poll            — non-blocking completion-flag check
+//  10. Wait            — block on one request
+//  11. WaitAny         — block until any of a set completes
+//  12. WaitAll         — block until all of a set complete
+//  13. SetCompletionMode — choose polling or interrupt completions
+//  14. Hint            — caching/prefetching hint for the storage server
+//  15. Flush           — drain every outstanding request
+//
+// The paper notes cDSA "also supports more advanced features, such as
+// caching and prefetching hints for the storage server" — Hint is that
+// feature; the V3 server prefetches hinted ranges into its cache.
+type CAPI struct {
+	c      *Client
+	open   bool
+	issued sim.Counter
+}
+
+// Open (call 1) binds the API to a DSA client. The API is designed for
+// cDSA but functions over any implementation (at kDSA/wDSA costs).
+func Open(c *Client) *CAPI { return &CAPI{c: c, open: true} }
+
+// Close (call 2) drains outstanding I/O and detaches.
+func (a *CAPI) Close(p *sim.Proc) {
+	a.Flush(p)
+	a.open = false
+}
+
+// ReadSync (call 3).
+func (a *CAPI) ReadSync(p *sim.Proc, off int64, length int) *Request {
+	a.issued.Inc()
+	return a.c.Read(p, off, length)
+}
+
+// WriteSync (call 4).
+func (a *CAPI) WriteSync(p *sim.Proc, off int64, length int) *Request {
+	a.issued.Inc()
+	return a.c.Write(p, off, length)
+}
+
+// ReadAsync (call 5).
+func (a *CAPI) ReadAsync(p *sim.Proc, off int64, length int) *Request {
+	a.issued.Inc()
+	return a.c.ReadAsync(p, off, length)
+}
+
+// WriteAsync (call 6).
+func (a *CAPI) WriteAsync(p *sim.Proc, off int64, length int) *Request {
+	a.issued.Inc()
+	return a.c.WriteAsync(p, off, length)
+}
+
+// Segment is one extent of a scatter/gather list.
+type Segment struct {
+	Off    int64
+	Length int
+}
+
+// ReadGather (call 7) issues one logical read whose data lands in
+// discontiguous application buffers: every segment goes out
+// asynchronously and the call returns the set for WaitAll.
+func (a *CAPI) ReadGather(p *sim.Proc, segs []Segment) []*Request {
+	reqs := make([]*Request, len(segs))
+	for i, s := range segs {
+		a.issued.Inc()
+		reqs[i] = a.c.ReadAsync(p, s.Off, s.Length)
+	}
+	return reqs
+}
+
+// WriteScatter (call 8) is the write-side equivalent of ReadGather.
+func (a *CAPI) WriteScatter(p *sim.Proc, segs []Segment) []*Request {
+	reqs := make([]*Request, len(segs))
+	for i, s := range segs {
+		a.issued.Inc()
+		reqs[i] = a.c.WriteAsync(p, s.Off, s.Length)
+	}
+	return reqs
+}
+
+// Poll (call 9) checks a completion flag without blocking, charging one
+// flag-check's worth of CPU — the polling primitive of Section 3.2.
+func (a *CAPI) Poll(p *sim.Proc, r *Request) bool {
+	a.c.cpus.Use(p, hw.CatDSA, a.c.cfg.PollCheckCost)
+	return r.Done()
+}
+
+// Wait (call 10) blocks until r completes.
+func (a *CAPI) Wait(p *sim.Proc, r *Request) { a.c.Wait(p, r) }
+
+// WaitAny (call 11) blocks until at least one request of the set has its
+// completion flag set and returns its index.
+func (a *CAPI) WaitAny(p *sim.Proc, reqs []*Request) int {
+	if len(reqs) == 0 {
+		return -1
+	}
+	for {
+		for i, r := range reqs {
+			if r.Done() {
+				// Run the completion observation path for the winner.
+				a.c.Wait(p, r)
+				return i
+			}
+		}
+		a.c.cpus.Use(p, hw.CatDSA, a.c.cfg.PollCheckCost)
+		p.Sleep(a.c.cfg.PollCheckGap * 4)
+	}
+}
+
+// WaitAll (call 12) blocks until every request completes.
+func (a *CAPI) WaitAll(p *sim.Proc, reqs []*Request) {
+	for _, r := range reqs {
+		a.c.Wait(p, r)
+	}
+}
+
+// SetCompletionMode (call 13) switches new requests between polling and
+// interrupt completions ("applications choose either polling or
+// interrupts as the completion mode for I/O requests").
+func (a *CAPI) SetCompletionMode(poll bool) {
+	a.c.cfg.Opts.BatchedInterrupts = poll
+}
+
+// Hint (call 14) advises the storage server to stage [off, off+length)
+// in its cache. The hint is fire-and-forget: no credit, no response.
+func (a *CAPI) Hint(p *sim.Proc, off int64, length int) {
+	if length <= 0 {
+		return
+	}
+	cc, serverOff := a.c.route(off, length)
+	a.c.cpus.Use(p, hw.CatDSA, a.c.cfg.PollCheckCost)
+	cc.vic.Send(p, 64, &v3srv.WireHint{Offset: serverOff, Length: length})
+}
+
+// Flush (call 15) drains every outstanding request on every connection.
+func (a *CAPI) Flush(p *sim.Proc) {
+	for {
+		busy := 0
+		for _, cc := range a.c.conns {
+			busy += cc.outstanding
+		}
+		if busy == 0 {
+			return
+		}
+		p.Sleep(20 * time.Microsecond)
+	}
+}
+
+// Issued returns the number of I/O calls made through the API.
+func (a *CAPI) Issued() int64 { return a.issued.Value() }

@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/bench"
+	"github.com/v3storage/v3/internal/core"
+	"github.com/v3storage/v3/internal/sim"
+)
+
+func TestCAPISyncCalls(t *testing.T) {
+	sys := microSystem(core.CDSA)
+	sys.E.Go("app", func(p *sim.Proc) {
+		api := core.Open(sys.Client)
+		r := api.WriteSync(p, 0, 8192)
+		if !r.Done() {
+			t.Error("write not done")
+		}
+		r = api.ReadSync(p, 0, 8192)
+		if !r.Done() {
+			t.Error("read not done")
+		}
+		if api.Issued() != 2 {
+			t.Errorf("issued=%d", api.Issued())
+		}
+		api.Close(p)
+		sys.Client.Stop()
+	})
+	sys.E.RunFor(time.Second)
+}
+
+func TestCAPIGatherScatter(t *testing.T) {
+	sys := microSystem(core.CDSA)
+	sys.E.Go("app", func(p *sim.Proc) {
+		api := core.Open(sys.Client)
+		segs := []core.Segment{{Off: 0, Length: 4096}, {Off: 65536, Length: 8192}, {Off: 262144, Length: 2048}}
+		wr := api.WriteScatter(p, segs)
+		api.WaitAll(p, wr)
+		for i, r := range wr {
+			if !r.Done() {
+				t.Errorf("scatter segment %d not done", i)
+			}
+		}
+		rd := api.ReadGather(p, segs)
+		api.WaitAll(p, rd)
+		for i, r := range rd {
+			if !r.Done() {
+				t.Errorf("gather segment %d not done", i)
+			}
+		}
+		sys.Client.Stop()
+	})
+	sys.E.RunFor(time.Second)
+	if got := sys.TotalServed(); got != 6 {
+		t.Fatalf("server served %d, want 6", got)
+	}
+}
+
+func TestCAPIWaitAnyReturnsFirst(t *testing.T) {
+	sys := microSystem(core.CDSA)
+	sys.E.Go("app", func(p *sim.Proc) {
+		api := core.Open(sys.Client)
+		// Warm one block so its re-read completes far earlier than a cold
+		// disk read.
+		api.ReadSync(p, 0, 8192)
+		cold := api.ReadAsync(p, 512*1024, 8192)
+		warm := api.ReadAsync(p, 0, 8192)
+		idx := api.WaitAny(p, []*core.Request{cold, warm})
+		if idx != 1 {
+			t.Errorf("WaitAny returned %d, want the cached read (1)", idx)
+		}
+		api.WaitAll(p, []*core.Request{cold, warm})
+		sys.Client.Stop()
+	})
+	sys.E.RunFor(time.Second)
+}
+
+func TestCAPIPollNonBlocking(t *testing.T) {
+	sys := microSystem(core.CDSA)
+	sys.E.Go("app", func(p *sim.Proc) {
+		api := core.Open(sys.Client)
+		r := api.ReadAsync(p, 0, 8192)
+		t0 := p.Now()
+		done := api.Poll(p, r)
+		if done {
+			t.Error("cold read cannot be instantly complete")
+		}
+		if p.Now()-t0 > 100*time.Microsecond {
+			t.Error("Poll blocked")
+		}
+		api.Wait(p, r)
+		if !api.Poll(p, r) {
+			t.Error("Poll false after completion")
+		}
+		sys.Client.Stop()
+	})
+	sys.E.RunFor(time.Second)
+}
+
+func TestCAPIHintWarmsServerCache(t *testing.T) {
+	sys := microSystem(core.CDSA)
+	var coldLat, hintedLat time.Duration
+	sys.E.Go("app", func(p *sim.Proc) {
+		api := core.Open(sys.Client)
+		// Unhinted cold read for reference.
+		coldLat = api.ReadSync(p, 0, 8192).Latency()
+		// Hint a different range, give the prefetcher time, then read it.
+		api.Hint(p, 128*1024, 8192)
+		p.Sleep(50 * time.Millisecond)
+		hintedLat = api.ReadSync(p, 128*1024, 8192).Latency()
+		sys.Client.Stop()
+	})
+	sys.E.RunFor(time.Second)
+	if hintedLat >= coldLat/5 {
+		t.Fatalf("hinted read (%v) should be far faster than cold (%v)", hintedLat, coldLat)
+	}
+}
+
+func TestCAPISetCompletionMode(t *testing.T) {
+	cfg := bench.MicroConfig(core.CDSA)
+	cfg.DSA.PollInterval = 100 * time.Millisecond
+	sys := bench.Build(cfg)
+	sys.E.Go("app", func(p *sim.Proc) {
+		api := core.Open(sys.Client)
+		api.SetCompletionMode(false) // interrupts
+		for i := 0; i < 10; i++ {
+			api.ReadSync(p, int64(i)*8192, 8192)
+		}
+		intrAfterIntrMode := sys.Client.Interrupts()
+		if intrAfterIntrMode < 10 {
+			t.Errorf("interrupt mode took %d interrupts for 10 IOs", intrAfterIntrMode)
+		}
+		api.SetCompletionMode(true) // polling
+		for i := 0; i < 10; i++ {
+			api.ReadSync(p, int64(i)*8192, 8192)
+		}
+		if sys.Client.Interrupts() != intrAfterIntrMode {
+			t.Errorf("poll mode still took interrupts: %d -> %d",
+				intrAfterIntrMode, sys.Client.Interrupts())
+		}
+		sys.Client.Stop()
+	})
+	sys.E.RunFor(2 * time.Second)
+}
+
+func TestCAPIFlushDrains(t *testing.T) {
+	sys := microSystem(core.CDSA)
+	sys.E.Go("app", func(p *sim.Proc) {
+		api := core.Open(sys.Client)
+		var reqs []*core.Request
+		for i := 0; i < 8; i++ {
+			reqs = append(reqs, api.ReadAsync(p, int64(i)*65536, 8192))
+		}
+		api.Flush(p)
+		for i, r := range reqs {
+			if !r.Done() {
+				t.Errorf("request %d incomplete after Flush", i)
+			}
+		}
+		sys.Client.Stop()
+	})
+	sys.E.RunFor(time.Second)
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/sim"
+)
+
+// kDSA: the kernel-level implementation (Section 2.2). Issue enters the
+// kernel through the standard storage API, crosses the Windows I/O
+// manager (which pins the buffer and charges its global lock pairs), then
+// kDSA's own thin monolithic driver path, then VI. Completion arrives as
+// an interrupt unless interrupt batching has disabled them, in which case
+// parked completions are reaped synchronously during subsequent submits
+// (Section 3.2).
+
+func (c *Client) submitKDSA(p *sim.Proc, cc *clientConn, r *Request, serverOff int64) {
+	c.kern.Syscall(p, 0)      // enter the kernel storage API
+	c.kern.IOManagerSubmit(p) // IRP setup + I/O manager lock pairs; buffer is pinned here
+	cc.locks.CrossPairsHold(p, c.cfg.sendPairs(), c.dsaHold(), hw.CatDSA)
+	c.cpus.Use(p, hw.CatDSA, c.cfg.SubmitCost)
+	c.sendWire(p, cc, r, serverOff)
+	// Interrupt batching: above the high watermark, stop taking an
+	// interrupt per response and reap completions here instead.
+	if c.cfg.Opts.BatchedInterrupts {
+		if cc.outstanding >= c.cfg.IntrHigh {
+			cc.intrEnabled = false
+		}
+		if len(cc.pending) > 0 {
+			drain := cc.pending
+			cc.pending = nil
+			for _, pr := range drain {
+				c.completeKDSA(p, pr) // no interrupt cost: synchronous reap
+			}
+		}
+	}
+}
+
+// completeKDSA runs the kernel completion path for one response. When
+// called from the ISR dispatcher the interrupt cost has already been
+// charged; when called synchronously from a submit it has not — that is
+// the entire saving of interrupt batching.
+func (c *Client) completeKDSA(p *sim.Proc, r *Request) {
+	cc := r.cc
+	cc.vic.PopCompletion(p)
+	cc.locks.CrossPairsHold(p, c.cfg.recvPairs(), c.dsaHold(), hw.CatDSA)
+	c.cpus.Use(p, hw.CatDSA, c.cfg.CompleteCost)
+	c.kern.IOManagerComplete(p) // IRP completion + I/O manager lock pairs
+	c.finish(p, r)
+	c.kern.WakeThread(p) // signal the application's event, switch it in
+	r.done.Fire(c.E)
+}

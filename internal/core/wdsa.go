@@ -1,0 +1,43 @@
+package core
+
+import (
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/sim"
+)
+
+// wDSA: the user-level, Win32-compatible implementation (Section 2.2).
+// It replaces kernel32.dll, filtering I/O calls to V3 volumes. Issue is
+// user-level (no syscall), but faithfully implementing the kernel32
+// semantics costs emulation work and extra lock pairs, registration must
+// pin pages (wDSA cannot use AWE because it is unaware of application
+// memory management), and completion still needs the kernel: an interrupt
+// per response, a kernel event signal, and a context switch to the
+// application thread. Section 3 notes that wDSA's strict semantics leave
+// little room for the optimizations, so none of the Opts toggles change
+// its path.
+
+func (c *Client) submitWDSA(p *sim.Proc, cc *clientConn, r *Request, serverOff int64) {
+	cc.locks.CrossPairsHold(p, c.cfg.SendPairsOpt+1, c.dsaHold(), hw.CatDSA)
+	c.cpus.Use(p, hw.CatDSA, c.cfg.SubmitCost+c.cfg.EmulationCost)
+	c.cpus.Use(p, hw.CatOther, c.cfg.EmulationCost/2) // forwarding through system libraries
+	c.sendWire(p, cc, r, serverOff)
+}
+
+// completeWDSA runs in interrupt context: kernel32 completion semantics
+// require triggering the application-specific event or callback.
+func (c *Client) completeWDSA(p *sim.Proc, r *Request) {
+	cc := r.cc
+	cc.vic.PopCompletion(p)
+	cc.locks.CrossPairsHold(p, c.cfg.RecvPairsOpt+1, c.dsaHold(), hw.CatDSA)
+	c.cpus.Use(p, hw.CatDSA, c.cfg.CompleteCost)
+	// kernel32 completion semantics drag the kernel in: the event signal
+	// crosses the same kernel dispatcher locks the I/O manager uses.
+	c.kern.IOManagerComplete(p)
+	c.kern.Syscall(p, c.kern.Params().EventCost) // SetEvent / completion APC
+	c.finish(p, r)
+	c.kern.WakeThread(p)
+	r.done.Fire(c.E)
+	// Post-completion kernel32 bookkeeping runs after the application is
+	// signalled: off the request's latency path, but it still burns CPU.
+	c.cpus.Use(p, hw.CatDSA, c.cfg.EmulationCost)
+}

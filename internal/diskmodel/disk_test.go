@@ -1,0 +1,202 @@
+package diskmodel
+
+import (
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/sim"
+)
+
+func testDisk(e *sim.Engine) *Disk {
+	return New(e, SCSI10K(), sim.NewRand(1))
+}
+
+func TestRotationPeriod(t *testing.T) {
+	if got := SCSI10K().RotationPeriod(); got != 6*time.Millisecond {
+		t.Fatalf("10K RPM rotation = %v, want 6ms", got)
+	}
+	if got := FC15K().RotationPeriod(); got != 4*time.Millisecond {
+		t.Fatalf("15K RPM rotation = %v, want 4ms", got)
+	}
+	if (Params{}).RotationPeriod() != 0 {
+		t.Fatal("zero RPM should give zero period")
+	}
+}
+
+func TestServiceTimeRandomWithinEnvelope(t *testing.T) {
+	e := sim.NewEngine()
+	d := testDisk(e)
+	p := d.Params()
+	for i := 0; i < 1000; i++ {
+		st := d.ServiceTime(-1, int64(i)*1e6, 8192, false)
+		lo := p.Overhead + p.AvgSeek/2
+		hi := p.Overhead + p.AvgSeek/2 + p.AvgSeek + p.RotationPeriod() + time.Millisecond
+		if st < lo || st > hi {
+			t.Fatalf("service time %v outside [%v, %v]", st, lo, hi)
+		}
+	}
+}
+
+func TestServiceTimeSequentialFasterThanRandom(t *testing.T) {
+	e := sim.NewEngine()
+	d := testDisk(e)
+	var seq, rnd time.Duration
+	for i := 0; i < 200; i++ {
+		seq += d.ServiceTime(1000, 1000, 8192, false)
+		rnd += d.ServiceTime(-1, 8192, 8192, false)
+	}
+	if seq >= rnd/4 {
+		t.Fatalf("sequential (%v) should be far faster than random (%v)", seq, rnd)
+	}
+}
+
+func TestServiceTimeScalesWithLength(t *testing.T) {
+	e := sim.NewEngine()
+	d := testDisk(e)
+	small := d.ServiceTime(0, 0, 8192, false)
+	big := d.ServiceTime(0, 0, 8192*16, false)
+	wantDelta := time.Duration(float64(8192*15) / (d.Params().MediaMBps * 1e6) * float64(time.Second))
+	delta := big - small
+	if delta < wantDelta*9/10 || delta > wantDelta*11/10 {
+		t.Fatalf("transfer delta = %v, want ~%v", delta, wantDelta)
+	}
+}
+
+func TestWritePaysExtra(t *testing.T) {
+	e := sim.NewEngine()
+	d := testDisk(e)
+	r := d.ServiceTime(0, 0, 8192, false)
+	w := d.ServiceTime(0, 0, 8192, true)
+	if w-r != d.Params().WriteExtra {
+		t.Fatalf("write extra = %v, want %v", w-r, d.Params().WriteExtra)
+	}
+}
+
+func TestSubmitCompletesAndRecordsTimes(t *testing.T) {
+	e := sim.NewEngine()
+	d := testDisk(e)
+	req := &Request{Offset: 4096, Length: 8192, Done: sim.NewEvent()}
+	d.Submit(req)
+	var finished sim.Time
+	e.Go("waiter", func(p *sim.Proc) {
+		req.Done.Wait(p)
+		finished = p.Now()
+	})
+	e.RunFor(time.Second)
+	if !req.Done.Fired() {
+		t.Fatal("request never completed")
+	}
+	if req.Finish != finished || req.Finish <= req.Start {
+		t.Fatalf("finish=%v start=%v observer=%v", req.Finish, req.Start, finished)
+	}
+	if d.Served() != 1 {
+		t.Fatalf("served = %d", d.Served())
+	}
+}
+
+func TestSubmitWithoutDoneAllocatesEvent(t *testing.T) {
+	e := sim.NewEngine()
+	d := testDisk(e)
+	req := &Request{Offset: 0, Length: 512}
+	d.Submit(req)
+	e.RunFor(time.Second)
+	if req.Done == nil || !req.Done.Fired() {
+		t.Fatal("Submit should allocate and fire Done")
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	e := sim.NewEngine()
+	d := testDisk(e)
+	var order []int
+	for i := 0; i < 5; i++ {
+		req := &Request{Offset: int64(i) * 1e6, Length: 8192, Done: sim.NewEvent()}
+		d.Submit(req)
+		idx := i
+		e.Go("w", func(p *sim.Proc) {
+			req.Done.Wait(p)
+			order = append(order, idx)
+		})
+	}
+	e.RunFor(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestQueueingDelaysLaterRequests(t *testing.T) {
+	e := sim.NewEngine()
+	d := testDisk(e)
+	reqs := make([]*Request, 8)
+	for i := range reqs {
+		reqs[i] = &Request{Offset: int64(i) * 1e7, Length: 8192, Done: sim.NewEvent()}
+		d.Submit(reqs[i])
+	}
+	e.RunFor(time.Second)
+	first := reqs[0].Finish - reqs[0].Start
+	last := reqs[7].Finish - reqs[7].Start
+	if last < 5*first {
+		t.Fatalf("8-deep queue: last latency %v should dwarf first %v", last, first)
+	}
+}
+
+func TestRandomReadLatencyMatchesAnalytic(t *testing.T) {
+	// Mean random 8K read = overhead + avgSeek + rot/2 + transfer.
+	e := sim.NewEngine()
+	d := testDisk(e)
+	var total time.Duration
+	n := 0
+	e.Go("load", func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			done := sim.NewEvent()
+			d.Submit(&Request{Offset: int64(i*37+1) * 1 << 20, Length: 8192, Done: done})
+			t0 := p.Now()
+			done.Wait(p)
+			total += p.Now() - t0
+			n++
+		}
+	})
+	e.Run()
+	mean := total / time.Duration(n)
+	pp := d.Params()
+	want := pp.Overhead + pp.AvgSeek + pp.RotationPeriod()/2 +
+		time.Duration(8192/(pp.MediaMBps*1e6)*float64(time.Second))
+	if mean < want*85/100 || mean > want*115/100 {
+		t.Fatalf("mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestArrayCreatesIndependentDisks(t *testing.T) {
+	e := sim.NewEngine()
+	a := NewArray(e, 4, SCSI10K(), sim.NewRand(2))
+	if len(a.Disks) != 4 {
+		t.Fatalf("len = %d", len(a.Disks))
+	}
+	for i, d := range a.Disks {
+		d.Submit(&Request{Offset: int64(i) * 1e6, Length: 8192})
+	}
+	e.RunFor(time.Second)
+	if a.Served() != 4 {
+		t.Fatalf("served = %d, want 4 (parallel service)", a.Served())
+	}
+	// Parallel: all four should be done well before 4x single service time.
+	if e.Now() > time.Second {
+		t.Fatal("array did not serve in parallel")
+	}
+}
+
+func TestBusyTimeAccumulates(t *testing.T) {
+	e := sim.NewEngine()
+	d := testDisk(e)
+	d.Submit(&Request{Offset: 0, Length: 8192})
+	d.Submit(&Request{Offset: 1 << 20, Length: 8192})
+	e.RunFor(time.Second)
+	if d.BusyTime() <= 0 {
+		t.Fatal("busy time not accumulated")
+	}
+	if d.MeanQueueLen() < 0 {
+		t.Fatal("queue stats broken")
+	}
+}

@@ -1,0 +1,33 @@
+package diskmodel
+
+import "time"
+
+// SCSI10K returns the mid-size configuration's disk: 18 GB 10K RPM
+// UltraSCSI (Table 2, mid-size column).
+func SCSI10K() Params {
+	return Params{
+		Name:       "scsi-18g-10k",
+		RPM:        10000,
+		AvgSeek:    4900 * time.Microsecond,
+		TrackSeek:  600 * time.Microsecond,
+		MediaMBps:  40,
+		Overhead:   200 * time.Microsecond,
+		CapacityGB: 18,
+		WriteExtra: 500 * time.Microsecond,
+	}
+}
+
+// FC15K returns the large configuration's disk: 18 GB 15K RPM Fibre
+// Channel behind a Mylex eXtremeRAID 3000 (Table 2, large column).
+func FC15K() Params {
+	return Params{
+		Name:       "fc-18g-15k",
+		RPM:        15000,
+		AvgSeek:    3800 * time.Microsecond,
+		TrackSeek:  500 * time.Microsecond,
+		MediaMBps:  55,
+		Overhead:   150 * time.Microsecond,
+		CapacityGB: 18,
+		WriteExtra: 400 * time.Microsecond,
+	}
+}

@@ -1,0 +1,119 @@
+// Package flow implements the credit-based flow control DSA layers on
+// top of VI (Section 2.2 of the paper). VI provides no flow control;
+// posting a send with no receive descriptor waiting at the peer is a
+// fatal connection error, and the V3 server has a bounded set of staging
+// buffers. DSA therefore grants the client one credit per server buffer
+// slot; a request may only be issued while holding a credit, and credits
+// return on responses (piggybacked) or explicit credit-grant messages.
+//
+// The package is pure bookkeeping — blocking/wakeup policy belongs to the
+// caller — so the same code drives the simulated and TCP transports.
+package flow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoCredit is returned by TakeNow when no credit is available.
+var ErrNoCredit = errors.New("flow: no credit available")
+
+// Client tracks the client side of a credit scheme. Each credit carries a
+// server buffer slot ID; holding credit slot S entitles the client to one
+// outstanding request whose payload (for writes) occupies server slot S.
+type Client struct {
+	free    []uint32 // available slot IDs (LIFO for cache warmth)
+	held    map[uint32]bool
+	granted int // total slots ever granted
+}
+
+// NewClient returns a client with no credits; call Grant with the
+// ConnectResp allocation.
+func NewClient() *Client {
+	return &Client{held: make(map[uint32]bool)}
+}
+
+// Grant adds n new slots to the pool, numbered consecutively after the
+// existing ones. Used at connect time and when the server enlarges the
+// window.
+func (c *Client) Grant(n int) {
+	for i := 0; i < n; i++ {
+		c.free = append(c.free, uint32(c.granted))
+		c.granted++
+	}
+}
+
+// Available returns the number of credits on hand.
+func (c *Client) Available() int { return len(c.free) }
+
+// InFlight returns the number of credits currently held by requests.
+func (c *Client) InFlight() int { return len(c.held) }
+
+// Total returns the total credits granted over the connection lifetime.
+func (c *Client) Total() int { return c.granted }
+
+// TakeNow removes one credit, returning its slot ID, or ErrNoCredit.
+func (c *Client) TakeNow() (uint32, error) {
+	if len(c.free) == 0 {
+		return 0, ErrNoCredit
+	}
+	slot := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.held[slot] = true
+	return slot, nil
+}
+
+// ReturnSlot gives back the credit for slot (response received). It is an
+// error to return a slot that is not in flight.
+func (c *Client) ReturnSlot(slot uint32) error {
+	if !c.held[slot] {
+		return fmt.Errorf("flow: return of slot %d not in flight", slot)
+	}
+	delete(c.held, slot)
+	c.free = append(c.free, slot)
+	return nil
+}
+
+// Server tracks the server side: which staging buffer slots are busy.
+// The server's slot states must mirror the client's credits; Reserve is
+// called when a request arrives, Release when its response is sent.
+type Server struct {
+	nslots int
+	busy   map[uint32]bool
+}
+
+// NewServer returns a server-side tracker for n slots.
+func NewServer(n int) *Server {
+	return &Server{nslots: n, busy: make(map[uint32]bool)}
+}
+
+// Slots returns the total slot count.
+func (s *Server) Slots() int { return s.nslots }
+
+// Busy returns the number of slots currently reserved.
+func (s *Server) Busy() int { return len(s.busy) }
+
+// Reserve marks slot busy for an arriving request. A reservation of an
+// out-of-range or already-busy slot indicates a protocol violation
+// (client overran its credits) and returns an error; the paper notes
+// that without DSA's flow control such overruns are fatal VI errors.
+func (s *Server) Reserve(slot uint32) error {
+	if int(slot) >= s.nslots {
+		return fmt.Errorf("flow: slot %d out of range (%d slots)", slot, s.nslots)
+	}
+	if s.busy[slot] {
+		return fmt.Errorf("flow: slot %d already busy — client credit overrun", slot)
+	}
+	s.busy[slot] = true
+	return nil
+}
+
+// Release frees slot when the response (which carries the credit back) is
+// sent.
+func (s *Server) Release(slot uint32) error {
+	if !s.busy[slot] {
+		return fmt.Errorf("flow: release of idle slot %d", slot)
+	}
+	delete(s.busy, slot)
+	return nil
+}

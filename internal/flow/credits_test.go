@@ -1,0 +1,139 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClientGrantTake(t *testing.T) {
+	c := NewClient()
+	if _, err := c.TakeNow(); err != ErrNoCredit {
+		t.Fatalf("expected ErrNoCredit, got %v", err)
+	}
+	c.Grant(3)
+	if c.Available() != 3 || c.Total() != 3 {
+		t.Fatalf("avail=%d total=%d", c.Available(), c.Total())
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 3; i++ {
+		slot, err := c.TakeNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[slot] {
+			t.Fatalf("slot %d issued twice", slot)
+		}
+		seen[slot] = true
+	}
+	if c.Available() != 0 || c.InFlight() != 3 {
+		t.Fatalf("avail=%d inflight=%d", c.Available(), c.InFlight())
+	}
+	if _, err := c.TakeNow(); err != ErrNoCredit {
+		t.Fatalf("over-take: %v", err)
+	}
+}
+
+func TestClientReturnCycle(t *testing.T) {
+	c := NewClient()
+	c.Grant(2)
+	a, _ := c.TakeNow()
+	if err := c.ReturnSlot(a); err != nil {
+		t.Fatal(err)
+	}
+	if c.Available() != 2 || c.InFlight() != 0 {
+		t.Fatalf("avail=%d inflight=%d", c.Available(), c.InFlight())
+	}
+	// Returning again is an error.
+	if err := c.ReturnSlot(a); err == nil {
+		t.Fatal("double return accepted")
+	}
+	// Returning a never-taken slot is an error.
+	if err := c.ReturnSlot(99); err == nil {
+		t.Fatal("bogus return accepted")
+	}
+}
+
+func TestClientGrantExtendsNumbering(t *testing.T) {
+	c := NewClient()
+	c.Grant(2)
+	c.Grant(2)
+	slots := map[uint32]bool{}
+	for i := 0; i < 4; i++ {
+		s, err := c.TakeNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots[s] = true
+	}
+	for i := uint32(0); i < 4; i++ {
+		if !slots[i] {
+			t.Fatalf("slot %d never issued: %v", i, slots)
+		}
+	}
+}
+
+func TestServerReserveRelease(t *testing.T) {
+	s := NewServer(2)
+	if err := s.Reserve(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reserve(0); err == nil {
+		t.Fatal("double reserve accepted — credit overrun undetected")
+	}
+	if err := s.Reserve(5); err == nil {
+		t.Fatal("out-of-range reserve accepted")
+	}
+	if s.Busy() != 1 {
+		t.Fatalf("busy=%d", s.Busy())
+	}
+	if err := s.Release(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(0); err == nil {
+		t.Fatal("double release accepted")
+	}
+}
+
+// Property: under any interleaving of takes and returns the invariant
+// available + inflight == total holds, and the server never sees a slot
+// double-reserved when driven by a correct client.
+func TestCreditConservationProperty(t *testing.T) {
+	f := func(ops []bool, grant uint8) bool {
+		n := int(grant%32) + 1
+		c := NewClient()
+		s := NewServer(n)
+		c.Grant(n)
+		var inflight []uint32
+		for _, take := range ops {
+			if take {
+				slot, err := c.TakeNow()
+				if err != nil {
+					continue
+				}
+				if err := s.Reserve(slot); err != nil {
+					return false // server saw overrun from a correct client
+				}
+				inflight = append(inflight, slot)
+			} else if len(inflight) > 0 {
+				slot := inflight[0]
+				inflight = inflight[1:]
+				if err := s.Release(slot); err != nil {
+					return false
+				}
+				if err := c.ReturnSlot(slot); err != nil {
+					return false
+				}
+			}
+			if c.Available()+c.InFlight() != c.Total() {
+				return false
+			}
+			if s.Busy() != c.InFlight() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

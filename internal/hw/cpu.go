@@ -1,0 +1,152 @@
+// Package hw models host hardware shared by every client implementation:
+// an SMP CPU pool with per-category busy-time accounting and a
+// spinlock-style lock whose cost shows up in the "Lock" category.
+//
+// These two models produce the CPU-utilization breakdowns of Figures 11
+// and 14 in the paper and the lock-synchronization effects of Section 3.3.
+package hw
+
+import (
+	"time"
+
+	"github.com/v3storage/v3/internal/sim"
+)
+
+// Category labels a consumer of CPU time. The set matches the paper's
+// CPU-utilization breakdown (Figures 11/14): SQL Server, OS kernel
+// processing, locking, the DSA layer, the VI library/drivers, and other.
+type Category int
+
+// CPU time categories, in the paper's breakdown order.
+const (
+	CatSQL      Category = iota // database transaction processing
+	CatOSKernel                 // syscalls, I/O manager, interrupts, context switches
+	CatLock                     // lock synchronization pairs and spinning
+	CatDSA                      // DSA layer processing
+	CatVI                       // VI library and driver processing
+	CatOther                    // socket library and other system libraries
+	numCategories
+)
+
+// String returns the paper's label for the category.
+func (c Category) String() string {
+	switch c {
+	case CatSQL:
+		return "SQL"
+	case CatOSKernel:
+		return "OSKernel"
+	case CatLock:
+		return "Lock"
+	case CatDSA:
+		return "DSA"
+	case CatVI:
+		return "VI"
+	case CatOther:
+		return "Other"
+	}
+	return "?"
+}
+
+// Categories lists all accounting categories in breakdown order.
+func Categories() []Category {
+	return []Category{CatSQL, CatOSKernel, CatLock, CatDSA, CatVI, CatOther}
+}
+
+// CPUPool models an SMP with a fixed number of identical processors.
+// Simulated threads consume processor time via Use; at most N usages are
+// in service at once and excess demand queues FIFO, which is how CPU
+// saturation translates into throughput loss in the OLTP experiments.
+type CPUPool struct {
+	e     *sim.Engine
+	sem   *sim.Semaphore
+	n     int
+	busy  [numCategories]time.Duration
+	since sim.Time // accounting epoch
+}
+
+// NewCPUPool returns a pool of n processors on engine e.
+func NewCPUPool(e *sim.Engine, n int) *CPUPool {
+	if n <= 0 {
+		panic("hw: CPU pool needs at least one processor")
+	}
+	return &CPUPool{e: e, sem: sim.NewSemaphore(n), n: n, since: e.Now()}
+}
+
+// N returns the number of processors.
+func (c *CPUPool) N() int { return c.n }
+
+// Use consumes d of processor time in category cat, queueing for a free
+// processor first. It blocks the calling process for the queueing delay
+// plus d.
+func (c *CPUPool) Use(p *sim.Proc, cat Category, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.sem.Acquire(p)
+	p.Sleep(d)
+	c.busy[cat] += d
+	c.sem.Release(c.e)
+}
+
+// TryUse consumes d of processor time only if a processor is free right
+// now, reporting whether it ran. Used for opportunistic work such as
+// polling that should never queue.
+func (c *CPUPool) TryUse(p *sim.Proc, cat Category, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	if !c.sem.TryAcquire() {
+		return false
+	}
+	p.Sleep(d)
+	c.busy[cat] += d
+	c.sem.Release(c.e)
+	return true
+}
+
+// ResetAccounting zeroes the per-category busy counters and restarts the
+// accounting window at the current time. Use after warmup.
+func (c *CPUPool) ResetAccounting() {
+	c.busy = [numCategories]time.Duration{}
+	c.since = c.e.Now()
+}
+
+// Busy returns accumulated busy time in cat since the accounting epoch.
+func (c *CPUPool) Busy(cat Category) time.Duration { return c.busy[cat] }
+
+// Utilization returns the fraction of total processor capacity spent in
+// cat since the accounting epoch, in [0,1].
+func (c *CPUPool) Utilization(cat Category) float64 {
+	elapsed := c.e.Now() - c.since
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.busy[cat]) / (float64(elapsed) * float64(c.n))
+}
+
+// TotalUtilization returns the fraction of capacity busy in any category.
+func (c *CPUPool) TotalUtilization() float64 {
+	var u float64
+	for _, cat := range Categories() {
+		u += c.Utilization(cat)
+	}
+	return u
+}
+
+// Breakdown returns the per-category utilization fractions plus idle,
+// summing to ~1.0.
+func (c *CPUPool) Breakdown() map[string]float64 {
+	m := make(map[string]float64, int(numCategories)+1)
+	var tot float64
+	for _, cat := range Categories() {
+		u := c.Utilization(cat)
+		m[cat.String()] = u
+		tot += u
+	}
+	idle := 1 - tot
+	if idle < 0 {
+		idle = 0
+	}
+	m["Idle"] = idle
+	return m
+}

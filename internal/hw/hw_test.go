@@ -1,0 +1,246 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/sim"
+)
+
+func TestCPUPoolSerializesBeyondCapacity(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 2)
+	done := 0
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *sim.Proc) {
+			cpus.Use(p, CatSQL, 10*time.Microsecond)
+			done++
+		})
+	}
+	e.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	// 4 jobs of 10µs on 2 CPUs => 20µs makespan.
+	if e.Now() != 20*time.Microsecond {
+		t.Fatalf("makespan = %v, want 20µs", e.Now())
+	}
+}
+
+func TestCPUPoolAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 1)
+	e.Go("w", func(p *sim.Proc) {
+		cpus.Use(p, CatSQL, 30*time.Microsecond)
+		cpus.Use(p, CatDSA, 10*time.Microsecond)
+		p.Sleep(60 * time.Microsecond) // idle
+	})
+	e.Run()
+	if got := cpus.Busy(CatSQL); got != 30*time.Microsecond {
+		t.Fatalf("SQL busy = %v", got)
+	}
+	if got := cpus.Busy(CatDSA); got != 10*time.Microsecond {
+		t.Fatalf("DSA busy = %v", got)
+	}
+	if u := cpus.Utilization(CatSQL); math.Abs(u-0.3) > 1e-9 {
+		t.Fatalf("SQL util = %v, want 0.3", u)
+	}
+	bd := cpus.Breakdown()
+	if math.Abs(bd["Idle"]-0.6) > 1e-9 {
+		t.Fatalf("idle = %v, want 0.6", bd["Idle"])
+	}
+}
+
+func TestCPUPoolBreakdownSumsToOne(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 4)
+	for i := 0; i < 8; i++ {
+		cat := Categories()[i%len(Categories())]
+		e.Go("w", func(p *sim.Proc) {
+			cpus.Use(p, cat, time.Duration(1+i)*time.Microsecond)
+		})
+	}
+	e.Run()
+	var sum float64
+	for _, v := range cpus.Breakdown() {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("breakdown sums to %v", sum)
+	}
+}
+
+func TestCPUPoolResetAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 1)
+	e.Go("w", func(p *sim.Proc) {
+		cpus.Use(p, CatSQL, 10*time.Microsecond)
+	})
+	e.Run()
+	cpus.ResetAccounting()
+	if cpus.Busy(CatSQL) != 0 {
+		t.Fatal("busy not reset")
+	}
+	e.Go("w", func(p *sim.Proc) {
+		cpus.Use(p, CatVI, 5*time.Microsecond)
+	})
+	e.Run()
+	if u := cpus.Utilization(CatVI); math.Abs(u-1.0) > 1e-9 {
+		t.Fatalf("post-reset util = %v, want 1.0", u)
+	}
+}
+
+func TestCPUPoolTryUse(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 1)
+	var tried, ok bool
+	e.Go("hog", func(p *sim.Proc) {
+		cpus.Use(p, CatSQL, 100*time.Microsecond)
+	})
+	e.Go("opportunist", func(p *sim.Proc) {
+		p.Sleep(10 * time.Microsecond)
+		tried = true
+		ok = cpus.TryUse(p, CatOther, time.Microsecond)
+	})
+	e.Run()
+	if !tried || ok {
+		t.Fatalf("TryUse should have failed while CPU busy (ok=%v)", ok)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := []string{"SQL", "OSKernel", "Lock", "DSA", "VI", "Other"}
+	for i, cat := range Categories() {
+		if cat.String() != want[i] {
+			t.Fatalf("category %d = %q, want %q", i, cat.String(), want[i])
+		}
+	}
+	if Category(99).String() != "?" {
+		t.Fatal("unknown category should stringify to ?")
+	}
+}
+
+func TestSyncLockChargesLockCategory(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 2)
+	l := NewSyncLock(e, cpus)
+	e.Go("w", func(p *sim.Proc) {
+		l.Acquire(p)
+		l.Release(p)
+	})
+	e.Run()
+	if got := cpus.Busy(CatLock); got != DefaultPairCost {
+		t.Fatalf("lock busy = %v, want %v", got, DefaultPairCost)
+	}
+	if l.Acquires() != 1 {
+		t.Fatalf("acquires = %d", l.Acquires())
+	}
+}
+
+func TestSyncLockContentionBurnsCPU(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 4)
+	l := NewSyncLock(e, cpus)
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *sim.Proc) {
+			l.Acquire(p)
+			cpus.Use(p, CatSQL, 20*time.Microsecond) // long critical section
+			l.Release(p)
+		})
+	}
+	e.Run()
+	if l.Spins() == 0 {
+		t.Fatal("expected contended spins")
+	}
+	if cpus.Busy(CatLock) <= 4*DefaultPairCost {
+		t.Fatalf("contention should burn extra Lock CPU, got %v", cpus.Busy(CatLock))
+	}
+}
+
+func TestSyncLockMutualExclusion(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 8)
+	l := NewSyncLock(e, cpus)
+	inside := 0
+	for i := 0; i < 6; i++ {
+		e.Go("w", func(p *sim.Proc) {
+			l.Acquire(p)
+			inside++
+			if inside != 1 {
+				t.Errorf("exclusion violated: %d inside", inside)
+			}
+			p.Sleep(time.Microsecond)
+			inside--
+			l.Release(p)
+		})
+	}
+	e.Run()
+}
+
+func TestSyncLockDo(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 1)
+	l := NewSyncLock(e, cpus)
+	ran := false
+	e.Go("w", func(p *sim.Proc) {
+		l.Do(p, func() { ran = true })
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("Do did not run fn")
+	}
+}
+
+func TestPairSetCrossesRequestedPairs(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 2)
+	ps := NewPairSet(e, cpus, 4)
+	e.Go("w", func(p *sim.Proc) {
+		ps.CrossPairs(p, 10)
+	})
+	e.Run()
+	var total int64
+	for _, l := range ps.Locks() {
+		total += l.Acquires()
+	}
+	if total != 10 {
+		t.Fatalf("crossed %d pairs, want 10", total)
+	}
+	if got := cpus.Busy(CatLock); got != 10*DefaultPairCost {
+		t.Fatalf("lock busy = %v, want %v", got, 10*DefaultPairCost)
+	}
+}
+
+func TestPairSetRotatesStartLock(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 2)
+	ps := NewPairSet(e, cpus, 4)
+	e.Go("w", func(p *sim.Proc) {
+		ps.CrossPairs(p, 1)
+		ps.CrossPairs(p, 1)
+		ps.CrossPairs(p, 1)
+	})
+	e.Run()
+	// Each call should have hit a different lock.
+	hit := 0
+	for _, l := range ps.Locks() {
+		if l.Acquires() == 1 {
+			hit++
+		}
+	}
+	if hit != 3 {
+		t.Fatalf("rotation hit %d distinct locks, want 3", hit)
+	}
+}
+
+func TestPairSetZeroPairsNoop(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := NewCPUPool(e, 1)
+	ps := NewPairSet(e, cpus, 2)
+	e.Go("w", func(p *sim.Proc) { ps.CrossPairs(p, 0) })
+	e.Run()
+	if cpus.Busy(CatLock) != 0 {
+		t.Fatal("zero pairs should cost nothing")
+	}
+}

@@ -1,0 +1,139 @@
+package hw
+
+import (
+	"time"
+
+	"github.com/v3storage/v3/internal/sim"
+)
+
+// Default lock-model constants. A lock/unlock pair on the paper's Xeon
+// SMPs costs a fraction of a microsecond uncontended; contended acquires
+// spin, burning processor time that the paper's profiles attribute to
+// lock synchronization (Section 3.3).
+const (
+	DefaultPairCost    = 400 * time.Nanosecond // uncontended lock+unlock pair
+	DefaultSpinQuantum = 800 * time.Nanosecond // busy-wait slice while contended
+)
+
+// SyncLock models one kernel- or library-level lock in the I/O path.
+// Acquire/Release consume processor time in the Lock category; contended
+// acquires spin (consuming capacity) until the holder releases, which is
+// how lock pressure grows with processor count in the large configuration.
+type SyncLock struct {
+	e        *sim.Engine
+	cpus     *CPUPool
+	mu       *sim.Mutex
+	pairCost time.Duration
+	spin     time.Duration
+	acquires sim.Counter
+	spins    sim.Counter
+}
+
+// NewSyncLock returns a lock accounted against cpus with default costs.
+func NewSyncLock(e *sim.Engine, cpus *CPUPool) *SyncLock {
+	return &SyncLock{
+		e: e, cpus: cpus, mu: sim.NewMutex(),
+		pairCost: DefaultPairCost, spin: DefaultSpinQuantum,
+	}
+}
+
+// SetCosts overrides the uncontended pair cost and the spin quantum.
+func (l *SyncLock) SetCosts(pair, spin time.Duration) {
+	l.pairCost = pair
+	l.spin = spin
+}
+
+// maxSpins bounds busy-waiting per acquire: a contended acquirer burns a
+// few spin quanta (visible as Lock CPU) and then blocks, like an
+// adaptive spin-then-block lock. The bound keeps heavy contention
+// expensive without letting spin feedback collapse the whole system.
+const maxSpins = 3
+
+// Acquire takes the lock. The acquire half of the pair cost is charged
+// immediately; while contended the caller burns bounded spin quanta in
+// the Lock category, then blocks.
+func (l *SyncLock) Acquire(p *sim.Proc) {
+	l.acquires.Inc()
+	l.cpus.Use(p, CatLock, l.pairCost/2)
+	for i := 0; i < maxSpins && l.mu.Locked(); i++ {
+		l.spins.Inc()
+		l.cpus.Use(p, CatLock, l.spin)
+	}
+	l.mu.Lock(p)
+}
+
+// Release drops the lock and charges the release half of the pair cost.
+func (l *SyncLock) Release(p *sim.Proc) {
+	l.mu.Unlock(l.e)
+	l.cpus.Use(p, CatLock, l.pairCost/2)
+}
+
+// Do runs fn with the lock held.
+func (l *SyncLock) Do(p *sim.Proc, fn func()) {
+	l.Acquire(p)
+	fn()
+	l.Release(p)
+}
+
+// Acquires returns the number of Acquire calls.
+func (l *SyncLock) Acquires() int64 { return l.acquires.Value() }
+
+// Spins returns the number of contended spin quanta burned.
+func (l *SyncLock) Spins() int64 { return l.spins.Value() }
+
+// PairSet is a bundle of locks representing the synchronization pairs a
+// single I/O crosses (Section 3.3: ~8-10 pairs for kDSA, 5 for cDSA).
+// CrossPairs charges n lock pairs against a representative subset of the
+// set, rotating so that multiple connections spread contention the way
+// per-VI locks do in the real system.
+type PairSet struct {
+	cpus  *CPUPool
+	locks []*SyncLock
+	next  int
+}
+
+// NewPairSet creates n independent locks.
+func NewPairSet(e *sim.Engine, cpus *CPUPool, n int) *PairSet {
+	ps := &PairSet{cpus: cpus, locks: make([]*SyncLock, n)}
+	for i := range ps.locks {
+		ps.locks[i] = NewSyncLock(e, cpus)
+	}
+	return ps
+}
+
+// CrossPairs acquires and releases pairs lock pairs, starting from a
+// rotating index so different I/Os hit different locks first.
+func (ps *PairSet) CrossPairs(p *sim.Proc, pairs int) {
+	if len(ps.locks) == 0 || pairs <= 0 {
+		return
+	}
+	start := ps.next
+	ps.next = (ps.next + 1) % len(ps.locks)
+	for i := 0; i < pairs; i++ {
+		l := ps.locks[(start+i)%len(ps.locks)]
+		l.Acquire(p)
+		l.Release(p)
+	}
+}
+
+// CrossPairsHold is CrossPairs with a critical section: each pair holds
+// its lock for hold of processor time charged to cat (the work done under
+// the lock — queue manipulation, table updates — is real work in that
+// layer, while the pair overhead and any spinning land in CatLock). Hold
+// time is what makes these locks contend as processor counts grow.
+func (ps *PairSet) CrossPairsHold(p *sim.Proc, pairs int, hold time.Duration, cat Category) {
+	if len(ps.locks) == 0 || pairs <= 0 {
+		return
+	}
+	start := ps.next
+	ps.next = (ps.next + 1) % len(ps.locks)
+	for i := 0; i < pairs; i++ {
+		l := ps.locks[(start+i)%len(ps.locks)]
+		l.Acquire(p)
+		ps.cpus.Use(p, cat, hold)
+		l.Release(p)
+	}
+}
+
+// Locks exposes the underlying locks for targeted use.
+func (ps *PairSet) Locks() []*SyncLock { return ps.locks }

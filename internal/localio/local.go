@@ -1,0 +1,235 @@
+// Package localio models the paper's baseline: locally attached disks
+// behind a highly optimized Fibre Channel / SCSI driver (Section 6: "The
+// FC device driver used in the local case is a highly optimized version
+// provided by the disk controller vendor"). Every I/O crosses the kernel
+// (syscall + I/O manager) and an efficient driver; completions arrive as
+// hardware interrupts with controller-side coalescing ("SCSI controllers
+// and drivers are optimized to reduce the number of interrupts on the
+// receive path, and to impose very little overhead on the send path").
+package localio
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/v3storage/v3/internal/diskmodel"
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/oskrnl"
+	"github.com/v3storage/v3/internal/sim"
+	"github.com/v3storage/v3/internal/volume"
+)
+
+// Config sizes the local storage subsystem.
+type Config struct {
+	NumDisks     int
+	DiskParams   diskmodel.Params
+	DiskBytes    int64
+	StripeSize   int64
+	SubmitCost   time.Duration // driver send-path work
+	CompleteCost time.Duration // driver completion work
+	Coalesce     int           // completions reaped per controller interrupt
+	DisksPerHBA  int           // disks behind one host bus adapter (one interrupt line each)
+}
+
+// DefaultConfig returns the mid-size local configuration's per-element
+// costs (the disk count varies by experiment).
+func DefaultConfig() Config {
+	return Config{
+		NumDisks:     176,
+		DiskParams:   diskmodel.SCSI10K(),
+		DiskBytes:    17 << 30,
+		StripeSize:   64 * 1024,
+		SubmitCost:   17 * time.Microsecond,
+		CompleteCost: 17 * time.Microsecond,
+		Coalesce:     6,
+		DisksPerHBA:  40,
+	}
+}
+
+// Request is one local I/O in flight.
+type Request struct {
+	Offset int64
+	Length int
+	Write  bool
+
+	appDone     *sim.Event
+	issued      sim.Time
+	completedAt sim.Time
+}
+
+// Done reports completion.
+func (r *Request) Done() bool { return r.appDone.Fired() }
+
+// Latency returns issue-to-completion time (zero until complete).
+func (r *Request) Latency() time.Duration {
+	if r.completedAt == 0 {
+		return 0
+	}
+	return time.Duration(r.completedAt - r.issued)
+}
+
+// hba is one host bus adapter: its own interrupt line and completion
+// engine, serving a contiguous group of disks. Large configurations have
+// many (640 disks cannot funnel through one interrupt line).
+type hba struct {
+	isr   *oskrnl.ISRQueue
+	doneQ *sim.Queue[*Request]
+}
+
+// Client is the local-disk I/O path on the database host.
+type Client struct {
+	e      *sim.Engine
+	cpus   *hw.CPUPool
+	kern   *oskrnl.Kernel
+	cfg    Config
+	disks  *diskmodel.Array
+	layout volume.Layout
+	hbas   []*hba
+
+	lat    sim.Series
+	reads  sim.Counter
+	writes sim.Counter
+}
+
+// New builds the local storage stack: the disk array, a striped volume
+// over it, and the interrupt-coalescing completion engine.
+func New(e *sim.Engine, cpus *hw.CPUPool, kern *oskrnl.Kernel, cfg Config) *Client {
+	lay, err := volume.NewStripe(cfg.NumDisks, cfg.StripeSize, cfg.DiskBytes-(cfg.DiskBytes%cfg.StripeSize))
+	if err != nil {
+		panic("localio: " + err.Error())
+	}
+	c := &Client{
+		e: e, cpus: cpus, kern: kern, cfg: cfg,
+		disks:  diskmodel.NewArray(e, cfg.NumDisks, cfg.DiskParams, sim.NewRand(0x10ca1)),
+		layout: lay,
+	}
+	per := cfg.DisksPerHBA
+	if per <= 0 {
+		per = 40
+	}
+	nhba := (cfg.NumDisks + per - 1) / per
+	for i := 0; i < nhba; i++ {
+		h := &hba{
+			isr:   kern.NewISRQueue(fmt.Sprintf("fc-hba%d", i)),
+			doneQ: sim.NewQueue[*Request](),
+		}
+		c.hbas = append(c.hbas, h)
+		e.Go(fmt.Sprintf("fc-completer%d", i), func(p *sim.Proc) { c.completer(p, h) })
+	}
+	return c
+}
+
+// VolumeSize returns the usable volume size.
+func (c *Client) VolumeSize() int64 { return c.layout.Size() }
+
+// ReadAsync issues an asynchronous read.
+func (c *Client) ReadAsync(p *sim.Proc, off int64, length int) *Request {
+	return c.submit(p, off, length, false)
+}
+
+// WriteAsync issues an asynchronous write.
+func (c *Client) WriteAsync(p *sim.Proc, off int64, length int) *Request {
+	return c.submit(p, off, length, true)
+}
+
+// Read performs a synchronous read.
+func (c *Client) Read(p *sim.Proc, off int64, length int) *Request {
+	r := c.ReadAsync(p, off, length)
+	c.Wait(p, r)
+	return r
+}
+
+// Write performs a synchronous write.
+func (c *Client) Write(p *sim.Proc, off int64, length int) *Request {
+	r := c.WriteAsync(p, off, length)
+	c.Wait(p, r)
+	return r
+}
+
+// Wait blocks until r completes.
+func (c *Client) Wait(p *sim.Proc, r *Request) { r.appDone.Wait(p) }
+
+func (c *Client) submit(p *sim.Proc, off int64, length int, write bool) *Request {
+	r := &Request{Offset: off, Length: length, Write: write, appDone: sim.NewEvent(), issued: p.Now()}
+	c.kern.Syscall(p, 0)
+	c.kern.IOManagerSubmit(p)
+	c.cpus.Use(p, hw.CatOther, c.cfg.SubmitCost) // tuned vendor driver, send path
+	var ext []volume.Extent
+	var err error
+	if write {
+		ext, err = c.layout.MapWrite(off, length)
+		c.writes.Inc()
+	} else {
+		ext, err = c.layout.MapRead(off, length)
+		c.reads.Inc()
+	}
+	if err != nil {
+		panic("localio: " + err.Error())
+	}
+	// Fire the disk I/Os; a shepherd watches for the last completion and
+	// hands the request to the interrupt engine.
+	events := make([]*sim.Event, len(ext))
+	for i, x := range ext {
+		done := sim.NewEvent()
+		events[i] = done
+		c.disks.Disks[x.Disk].Submit(&diskmodel.Request{
+			Offset: x.Offset, Length: x.Length, Write: write, Done: done,
+		})
+	}
+	h := c.hbas[ext[0].Disk/max(1, c.cfg.DisksPerHBA)%len(c.hbas)]
+	c.e.Go("io-shepherd", func(sp *sim.Proc) {
+		for _, ev := range events {
+			ev.Wait(sp)
+		}
+		h.doneQ.Put(c.e, r)
+	})
+	return r
+}
+
+// completer models the controller's coalesced completion interrupts: one
+// interrupt reaps every completion that has accumulated, up to the
+// coalescing window.
+func (c *Client) completer(p *sim.Proc, h *hba) {
+	coalesce := c.cfg.Coalesce
+	if coalesce < 1 {
+		coalesce = 1
+	}
+	for {
+		first := h.doneQ.Get(p)
+		batch := []*Request{first}
+		for len(batch) < coalesce {
+			r, ok := h.doneQ.TryGet()
+			if !ok {
+				break
+			}
+			batch = append(batch, r)
+		}
+		done := sim.NewEvent()
+		h.isr.Raise(func(ip *sim.Proc) {
+			for _, r := range batch {
+				c.kern.IOManagerComplete(ip)
+				c.cpus.Use(ip, hw.CatOther, c.cfg.CompleteCost)
+				c.kern.WakeThread(ip)
+				r.completedAt = ip.Now()
+				c.lat.AddDuration(time.Duration(r.completedAt - r.issued))
+				r.appDone.Fire(c.e)
+			}
+			done.Fire(c.e)
+		})
+		done.Wait(p) // don't take the next interrupt until this one retires
+	}
+}
+
+// IOs returns completed (read, write) counts.
+func (c *Client) IOs() (reads, writes int64) { return c.reads.Value(), c.writes.Value() }
+
+// MeanLatency returns the mean completion latency.
+func (c *Client) MeanLatency() time.Duration {
+	return time.Duration(c.lat.Mean() * float64(time.Second))
+}
+
+// CompletedIOs returns the number of completed I/Os.
+func (c *Client) CompletedIOs() int { return c.lat.N() }
+
+// Disks exposes the array for stats.
+func (c *Client) Disks() *diskmodel.Array { return c.disks }

@@ -1,0 +1,161 @@
+package localio
+
+import (
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/oskrnl"
+	"github.com/v3storage/v3/internal/sim"
+)
+
+func rig(ndisks int) (*sim.Engine, *hw.CPUPool, *oskrnl.Kernel, *Client) {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, 4)
+	kern := oskrnl.New(e, cpus, oskrnl.DefaultParams())
+	cfg := DefaultConfig()
+	cfg.NumDisks = ndisks
+	return e, cpus, kern, New(e, cpus, kern, cfg)
+}
+
+func TestSyncReadCompletes(t *testing.T) {
+	e, _, _, c := rig(4)
+	var r *Request
+	e.Go("app", func(p *sim.Proc) {
+		r = c.Read(p, 8192, 8192)
+	})
+	e.RunFor(time.Second)
+	if r == nil || !r.Done() {
+		t.Fatal("read did not complete")
+	}
+	// Random disk read on 10K RPM: several ms.
+	if r.Latency() < 2*time.Millisecond || r.Latency() > 25*time.Millisecond {
+		t.Fatalf("latency %v outside disk envelope", r.Latency())
+	}
+	rd, wr := c.IOs()
+	if rd != 1 || wr != 0 {
+		t.Fatalf("rd=%d wr=%d", rd, wr)
+	}
+}
+
+func TestWriteSlowerThanRead(t *testing.T) {
+	e, _, _, c := rig(4)
+	var sumR, sumW time.Duration
+	e.Go("app", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			r := c.Read(p, int64(i)*1<<20, 8192)
+			sumR += r.Latency()
+			w := c.Write(p, int64(i)*1<<20+512<<10, 8192)
+			sumW += w.Latency()
+		}
+	})
+	e.RunFor(10 * time.Second)
+	if sumW <= sumR {
+		t.Fatalf("writes (%v) should be slower than reads (%v) on average", sumW, sumR)
+	}
+}
+
+func TestParallelismAcrossDisks(t *testing.T) {
+	// 16 concurrent random I/Os over 16 disks should take ~1 disk time,
+	// not 16x.
+	e, _, _, c := rig(16)
+	var finished sim.Time
+	e.Go("app", func(p *sim.Proc) {
+		var reqs []*Request
+		for i := 0; i < 16; i++ {
+			// One request per 64K stripe -> distinct disks.
+			reqs = append(reqs, c.ReadAsync(p, int64(i)*64*1024, 8192))
+		}
+		for _, r := range reqs {
+			c.Wait(p, r)
+		}
+		finished = p.Now()
+	})
+	e.RunFor(time.Second)
+	if c.CompletedIOs() != 16 {
+		t.Fatalf("completed %d", c.CompletedIOs())
+	}
+	if finished > 40*time.Millisecond {
+		t.Fatalf("16 parallel IOs took %v — not parallel", finished)
+	}
+}
+
+func TestInterruptCoalescingUnderLoad(t *testing.T) {
+	// Coalescing engages when completions arrive faster than the
+	// completion path retires them. Force that with a slow completion
+	// path and bursts of simultaneous completions.
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, 4)
+	kern := oskrnl.New(e, cpus, oskrnl.DefaultParams())
+	cfg := DefaultConfig()
+	cfg.NumDisks = 32
+	cfg.CompleteCost = 2 * time.Millisecond // backlog builds behind each interrupt
+	c := New(e, cpus, kern, cfg)
+	e.Go("app", func(p *sim.Proc) {
+		for round := 0; round < 10; round++ {
+			var reqs []*Request
+			for i := 0; i < 32; i++ {
+				reqs = append(reqs, c.ReadAsync(p, int64(i)*64*1024+int64(round)*1<<26, 8192))
+			}
+			for _, r := range reqs {
+				c.Wait(p, r)
+			}
+		}
+	})
+	e.RunFor(120 * time.Second)
+	ios := int64(c.CompletedIOs())
+	if ios != 320 {
+		t.Fatalf("completed %d", ios)
+	}
+	if kern.Interrupts() >= ios*3/4 {
+		t.Fatalf("interrupts (%d) not coalesced below IO count (%d)", kern.Interrupts(), ios)
+	}
+}
+
+func TestKernelCostsCharged(t *testing.T) {
+	e, cpus, _, c := rig(2)
+	e.Go("app", func(p *sim.Proc) {
+		c.Read(p, 0, 8192)
+	})
+	e.RunFor(time.Second)
+	if cpus.Busy(hw.CatOSKernel) <= 0 {
+		t.Fatal("kernel time not charged")
+	}
+	if cpus.Busy(hw.CatLock) <= 0 {
+		t.Fatal("I/O manager lock pairs not charged")
+	}
+	if cpus.Busy(hw.CatOther) <= 0 {
+		t.Fatal("driver time not charged")
+	}
+}
+
+func TestLargeRequestSpansStripes(t *testing.T) {
+	e, _, _, c := rig(4)
+	var r *Request
+	e.Go("app", func(p *sim.Proc) {
+		r = c.Read(p, 0, 256*1024) // 4 stripes of 64K
+	})
+	e.RunFor(time.Second)
+	if !r.Done() {
+		t.Fatal("multi-extent read did not complete")
+	}
+	if c.Disks().Served() != 4 {
+		t.Fatalf("disk IOs = %d, want 4", c.Disks().Served())
+	}
+}
+
+func TestMeanLatencyTracked(t *testing.T) {
+	e, _, _, c := rig(2)
+	e.Go("app", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			c.Read(p, int64(i)*1<<20, 8192)
+		}
+	})
+	e.RunFor(time.Second)
+	if c.MeanLatency() <= 0 {
+		t.Fatal("no mean latency")
+	}
+	if c.VolumeSize() <= 0 {
+		t.Fatal("volume size wrong")
+	}
+}

@@ -1,0 +1,84 @@
+package mqcache
+
+import "container/list"
+
+// LRU is a plain least-recently-used cache, the ablation baseline for the
+// V3 server cache (BenchmarkAblationCache).
+type LRU struct {
+	capacity int
+	order    *list.List // front = MRU
+	entries  map[uint64]*list.Element
+	hits     int64
+	accesses int64
+}
+
+// NewLRU returns an LRU cache holding capacity blocks.
+func NewLRU(capacity int) *LRU {
+	if capacity <= 0 {
+		panic("mqcache: capacity must be positive")
+	}
+	return &LRU{capacity: capacity, order: list.New(), entries: make(map[uint64]*list.Element)}
+}
+
+// Ref implements Cache.
+func (l *LRU) Ref(key uint64) bool {
+	l.accesses++
+	el, ok := l.entries[key]
+	if !ok {
+		return false
+	}
+	l.hits++
+	l.order.MoveToFront(el)
+	return true
+}
+
+// Insert implements Cache.
+func (l *LRU) Insert(key uint64) (uint64, bool) {
+	if _, ok := l.entries[key]; ok {
+		return 0, false
+	}
+	var victim uint64
+	evicted := false
+	if len(l.entries) >= l.capacity {
+		back := l.order.Back()
+		victim = back.Value.(uint64)
+		l.order.Remove(back)
+		delete(l.entries, victim)
+		evicted = true
+	}
+	l.entries[key] = l.order.PushFront(key)
+	return victim, evicted
+}
+
+// Contains implements Cache.
+func (l *LRU) Contains(key uint64) bool { _, ok := l.entries[key]; return ok }
+
+// Remove implements Cache.
+func (l *LRU) Remove(key uint64) bool {
+	el, ok := l.entries[key]
+	if !ok {
+		return false
+	}
+	l.order.Remove(el)
+	delete(l.entries, key)
+	return true
+}
+
+// Len implements Cache.
+func (l *LRU) Len() int { return len(l.entries) }
+
+// Cap implements Cache.
+func (l *LRU) Cap() int { return l.capacity }
+
+// HitRatio returns hits/accesses since creation.
+func (l *LRU) HitRatio() float64 {
+	if l.accesses == 0 {
+		return 0
+	}
+	return float64(l.hits) / float64(l.accesses)
+}
+
+var (
+	_ Cache = (*MQ)(nil)
+	_ Cache = (*LRU)(nil)
+)

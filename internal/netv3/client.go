@@ -1,0 +1,344 @@
+package netv3
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/v3storage/v3/internal/flow"
+	"github.com/v3storage/v3/internal/reliable"
+	"github.com/v3storage/v3/internal/wire"
+)
+
+// ClientConfig tunes a netv3 client.
+type ClientConfig struct {
+	// WantCredits asks the server for a flow-control window (0 accepts
+	// the server's default).
+	WantCredits int
+	// ReconnectBackoff and MaxReconnects drive the reconnection state
+	// machine after a connection failure.
+	ReconnectBackoff time.Duration
+	MaxReconnects    int
+	// DialTimeout bounds each dial attempt.
+	DialTimeout time.Duration
+}
+
+// DefaultClientConfig returns production defaults.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		ReconnectBackoff: 100 * time.Millisecond,
+		MaxReconnects:    8,
+		DialTimeout:      5 * time.Second,
+	}
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("netv3: client closed")
+
+type pendingIO struct {
+	seq    uint64
+	msg    wire.Message // for replay after reconnection
+	body   []byte       // write payload (replay) — nil for reads
+	buf    []byte       // read destination
+	doneCh chan error
+}
+
+// Client is a DSA-style block client for a netv3 server. It is safe for
+// concurrent use; requests overlap up to the credit window.
+type Client struct {
+	cfg  ClientConfig
+	addr string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	fc      *flow.Client
+	creditC chan uint32 // available slot ids (buffered = window)
+	pending map[uint64]*pendingIO
+	tracker *reliable.Tracker
+	reconn  *reliable.Reconnector
+	nextSeq uint64
+	nextReq uint64
+	maxXfer uint32
+	closed  bool
+	genID   int // bumps on every reconnect; stale readers exit
+	start   time.Time
+
+	reconnects int64
+}
+
+// Dial connects to a netv3 server.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	c := &Client{
+		cfg:     cfg,
+		addr:    addr,
+		pending: make(map[uint64]*pendingIO),
+		tracker: reliable.NewTracker(0, 0),
+		reconn:  reliable.NewReconnector(cfg.ReconnectBackoff, cfg.MaxReconnects),
+		start:   time.Now(),
+	}
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked dials and handshakes; call with mu held (or before the
+// client is shared).
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteTo(conn, &wire.Connect{ClientID: 1, WantCreds: uint16(c.cfg.WantCredits)}); err != nil {
+		conn.Close()
+		return err
+	}
+	msg, err := wire.ReadFrom(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	resp, ok := msg.(*wire.ConnectResp)
+	if !ok || resp.Status != wire.StatusOK {
+		conn.Close()
+		return fmt.Errorf("netv3: handshake rejected: %v", msg)
+	}
+	c.conn = conn
+	c.maxXfer = resp.MaxXfer
+	// The credit window is created once; it survives reconnections (the
+	// server grants the same window per session, and in-flight slots are
+	// replayed on the new session).
+	if c.creditC == nil {
+		credits := int(resp.Credits)
+		c.fc = flow.NewClient()
+		c.fc.Grant(credits)
+		c.creditC = make(chan uint32, credits)
+		for {
+			slot, err := c.fc.TakeNow()
+			if err != nil {
+				break
+			}
+			c.creditC <- slot
+		}
+	}
+	c.genID++
+	go c.reader(conn, c.genID)
+	return nil
+}
+
+// MaxTransfer returns the server's per-request transfer bound.
+func (c *Client) MaxTransfer() int { return int(c.maxXfer) }
+
+// KillConnForTest severs the underlying TCP connection without marking
+// the client closed, so the next I/O exercises the reconnection path.
+// For fault-injection tests and demos only.
+func (c *Client) KillConnForTest() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// Reconnects returns how many times the session has been re-established.
+func (c *Client) Reconnects() int64 { return c.reconnects }
+
+// Close tears the session down; outstanding requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn != nil {
+		_ = wire.WriteTo(c.conn, &wire.Disconnect{})
+		c.conn.Close()
+	}
+	for _, p := range c.pending {
+		p.doneCh <- ErrClosed
+	}
+	c.pending = map[uint64]*pendingIO{}
+	return nil
+}
+
+// Read fills buf from volume vol at off.
+func (c *Client) Read(vol uint32, off int64, buf []byte) error {
+	slot := <-c.creditC
+	defer func() { c.creditC <- slot }()
+	p := &pendingIO{buf: buf, doneCh: make(chan error, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.nextSeq++
+	c.nextReq++
+	p.seq = c.nextSeq
+	m := &wire.Read{
+		Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq,
+		Volume: vol, Offset: uint64(off), Length: uint32(len(buf)),
+	}
+	p.msg = m
+	c.pending[p.seq] = p
+	c.tracker.Track(p.seq, time.Since(c.start))
+	err := wire.WriteTo(c.conn, m)
+	c.mu.Unlock()
+	if err != nil {
+		c.connectionBroken()
+	}
+	return <-p.doneCh
+}
+
+// Write commits data to volume vol at off.
+func (c *Client) Write(vol uint32, off int64, data []byte) error {
+	slot := <-c.creditC
+	defer func() { c.creditC <- slot }()
+	p := &pendingIO{body: data, doneCh: make(chan error, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.nextSeq++
+	c.nextReq++
+	p.seq = c.nextSeq
+	m := &wire.Write{
+		Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq,
+		Volume: vol, Offset: uint64(off), Length: uint32(len(data)), Slot: slot,
+	}
+	p.msg = m
+	c.pending[p.seq] = p
+	c.tracker.Track(p.seq, time.Since(c.start))
+	err := c.writeWithBody(m, data)
+	c.mu.Unlock()
+	if err != nil {
+		c.connectionBroken()
+	}
+	return <-p.doneCh
+}
+
+// writeWithBody sends a control frame plus payload atomically with
+// respect to other senders. Caller holds mu.
+func (c *Client) writeWithBody(m wire.Message, body []byte) error {
+	if err := wire.WriteTo(c.conn, m); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := c.conn.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reader demultiplexes responses for one connection generation.
+func (c *Client) reader(conn net.Conn, gen int) {
+	for {
+		msg, err := wire.ReadFrom(conn)
+		if err != nil {
+			c.mu.Lock()
+			stale := gen != c.genID || c.closed
+			c.mu.Unlock()
+			if !stale {
+				c.connectionBroken()
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.ReadResp:
+			c.mu.Lock()
+			p := c.pending[uint64(m.Ack)]
+			c.mu.Unlock()
+			var err error
+			if p != nil && m.Status == wire.StatusOK {
+				_, err = io.ReadFull(conn, p.buf)
+			} else if m.Status != wire.StatusOK {
+				err = m.Status.Err()
+			}
+			c.complete(uint64(m.Ack), err)
+		case *wire.WriteResp:
+			c.complete(uint64(m.Ack), m.Status.Err())
+		case *wire.Pong:
+			// liveness only
+		default:
+			// Unexpected frame: treat as protocol failure.
+			c.connectionBroken()
+			return
+		}
+	}
+}
+
+func (c *Client) complete(seq uint64, err error) {
+	c.mu.Lock()
+	p := c.pending[seq]
+	delete(c.pending, seq)
+	c.tracker.Ack(seq)
+	c.mu.Unlock()
+	if p != nil {
+		p.doneCh <- err
+	}
+}
+
+// connectionBroken drives the reconnection state machine: redial with
+// backoff and replay every unacknowledged request on the new session.
+func (c *Client) connectionBroken() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.reconn.State() != reliable.StateConnected {
+		return
+	}
+	now := time.Since(c.start)
+	c.reconn.ConnectionBroken(now)
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	for c.reconn.State() == reliable.StateReconnecting {
+		now = time.Since(c.start)
+		if !c.reconn.ShouldAttempt(now) {
+			next, _ := c.reconn.NextAttemptAt()
+			c.mu.Unlock()
+			time.Sleep(next - now)
+			c.mu.Lock()
+			if c.closed {
+				return
+			}
+			continue
+		}
+		if err := c.connectLocked(); err != nil {
+			c.reconn.AttemptFailed(time.Since(c.start))
+			continue
+		}
+		c.reconn.AttemptSucceeded()
+		c.reconnects++
+		c.tracker.Reset(time.Since(c.start))
+		// Replay unacknowledged requests in order on the new session.
+		for _, seq := range c.tracker.Unacked() {
+			p, ok := c.pending[seq]
+			if !ok {
+				continue
+			}
+			if err := c.writeWithBody(p.msg, p.body); err != nil {
+				// New connection failed immediately; loop again.
+				c.reconn.ConnectionBroken(time.Since(c.start))
+				c.conn.Close()
+				break
+			}
+		}
+		if c.reconn.State() == reliable.StateConnected {
+			return
+		}
+	}
+	// Permanent failure: fail everything outstanding.
+	for seq, p := range c.pending {
+		delete(c.pending, seq)
+		p.doneCh <- fmt.Errorf("netv3: connection lost and reconnection failed")
+	}
+	c.closed = true
+}

@@ -1,0 +1,362 @@
+package netv3
+
+import (
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/v3storage/v3/internal/flow"
+	"github.com/v3storage/v3/internal/mqcache"
+	"github.com/v3storage/v3/internal/wire"
+)
+
+// ServerConfig sizes a netv3 server.
+type ServerConfig struct {
+	// Credits is the flow-control window granted per session: the number
+	// of staging buffer slots, each MaxXfer bytes.
+	Credits int
+	// MaxXfer bounds a single transfer.
+	MaxXfer uint32
+	// CacheBlocks enables a server-side MQ read cache of 8 KB blocks per
+	// volume (0 disables).
+	CacheBlocks int
+	// Logger receives connection-level errors; nil silences them.
+	Logger *log.Logger
+}
+
+// DefaultServerConfig returns sensible defaults: 64 slots of 1 MB.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{Credits: 64, MaxXfer: 1 << 20}
+}
+
+const cacheBlockSize = 8192
+
+// volume is one exported store with its optional block cache.
+type volume struct {
+	store BlockStore
+	mu    sync.Mutex
+	cache *mqcache.MQ
+	data  map[uint64][]byte // cached block payloads
+	hits  atomic.Int64
+	miss  atomic.Int64
+}
+
+// Server exports volumes over TCP.
+type Server struct {
+	cfg      ServerConfig
+	mu       sync.Mutex
+	volumes  map[uint32]*volume
+	ln       net.Listener
+	sessions atomic.Int64
+	served   atomic.Int64
+	nextSess atomic.Uint64
+	closed   atomic.Bool
+}
+
+// NewServer returns a server with no volumes; add them with AddVolume.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Credits <= 0 {
+		cfg.Credits = 64
+	}
+	if cfg.MaxXfer == 0 {
+		cfg.MaxXfer = 1 << 20
+	}
+	return &Server{cfg: cfg, volumes: make(map[uint32]*volume)}
+}
+
+// AddVolume exports store under the given volume ID.
+func (s *Server) AddVolume(id uint32, store BlockStore) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := &volume{store: store}
+	if s.cfg.CacheBlocks > 0 {
+		v.cache = mqcache.NewMQ(s.cfg.CacheBlocks, 0, 0)
+		v.data = make(map[uint64][]byte)
+	}
+	s.volumes[id] = v
+}
+
+// VolumeSize returns the size of volume id, or 0 if absent.
+func (s *Server) VolumeSize(id uint32) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.volumes[id]; ok {
+		return v.store.Size()
+	}
+	return 0
+}
+
+// Served returns the number of requests completed.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Sessions returns the number of sessions accepted.
+func (s *Server) Sessions() int64 { return s.sessions.Load() }
+
+// CacheStats returns aggregate (hits, misses) across volumes.
+func (s *Server) CacheStats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range s.volumes {
+		hits += v.hits.Load()
+		misses += v.miss.Load()
+	}
+	return hits, misses
+}
+
+// Listen binds addr and returns the bound address (use ":0" for an
+// ephemeral port).
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve accepts sessions until Close. Call after Listen.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.sessions.Add(1)
+		go s.session(conn)
+	}
+}
+
+// ListenAndServe combines Listen and Serve on addr.
+func (s *Server) ListenAndServe(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops accepting and closes the listener.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// session speaks the V3 protocol on one connection. Control messages are
+// fixed 64-byte frames; write payloads follow their Write message, read
+// payloads follow the ReadResp.
+func (s *Server) session(conn net.Conn) {
+	defer conn.Close()
+	msg, err := wire.ReadFrom(conn)
+	if err != nil {
+		s.logf("netv3: handshake read: %v", err)
+		return
+	}
+	connect, ok := msg.(*wire.Connect)
+	if !ok {
+		s.logf("netv3: expected Connect, got %v", wire.TypeOf(msg))
+		return
+	}
+	credits := s.cfg.Credits
+	if w := int(connect.WantCreds); w > 0 && w < credits {
+		credits = w
+	}
+	fc := flow.NewServer(credits)
+	var wmu sync.Mutex // serializes response frames + bodies
+	resp := &wire.ConnectResp{
+		Status: wire.StatusOK, Credits: uint16(credits),
+		MaxXfer: s.cfg.MaxXfer, SessionID: s.nextSess.Add(1),
+	}
+	if err := wire.WriteTo(conn, resp); err != nil {
+		return
+	}
+	reply := func(m wire.Message, body []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := wire.WriteTo(conn, m); err != nil {
+			return err
+		}
+		if len(body) > 0 {
+			_, err := conn.Write(body)
+			return err
+		}
+		return nil
+	}
+	var fcMu sync.Mutex
+	for {
+		msg, err := wire.ReadFrom(conn)
+		if err != nil {
+			if err != io.EOF {
+				s.logf("netv3: session read: %v", err)
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Read:
+			fcMu.Lock()
+			// Reads carry no slot on the wire in this direction; flow
+			// control is enforced by the client. Nothing to reserve.
+			fcMu.Unlock()
+			go s.handleRead(m, reply)
+		case *wire.Write:
+			fcMu.Lock()
+			err := fc.Reserve(m.Slot)
+			fcMu.Unlock()
+			if err != nil {
+				s.logf("netv3: %v", err)
+				_ = reply(&wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq)},
+					ReqID: m.ReqID, Status: wire.StatusEAgain}, nil)
+				continue
+			}
+			// The payload follows the control message on the stream and
+			// must be drained before the next frame.
+			if m.Length > s.cfg.MaxXfer {
+				s.logf("netv3: oversized write %d", m.Length)
+				return
+			}
+			body := make([]byte, m.Length)
+			if _, err := io.ReadFull(conn, body); err != nil {
+				return
+			}
+			go func() {
+				s.handleWrite(m, body, reply)
+				fcMu.Lock()
+				_ = fc.Release(m.Slot)
+				fcMu.Unlock()
+			}()
+		case *wire.Ping:
+			_ = reply(&wire.Pong{Header: wire.Header{Seq: m.Seq}}, nil)
+		case *wire.Disconnect:
+			return
+		default:
+			s.logf("netv3: unexpected %v", wire.TypeOf(msg))
+			return
+		}
+	}
+}
+
+func (s *Server) lookup(id uint32) *volume {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.volumes[id]
+}
+
+func (s *Server) handleRead(m *wire.Read, reply func(wire.Message, []byte) error) {
+	v := s.lookup(m.Volume)
+	if v == nil {
+		_ = reply(&wire.ReadResp{ReqID: m.ReqID, Status: wire.StatusENoVolume, Credits: 1}, nil)
+		return
+	}
+	if m.Length > s.cfg.MaxXfer {
+		_ = reply(&wire.ReadResp{ReqID: m.ReqID, Status: wire.StatusEInval, Credits: 1}, nil)
+		return
+	}
+	body := make([]byte, m.Length)
+	var err error
+	if v.cache != nil {
+		err = v.cachedRead(body, int64(m.Offset))
+	} else {
+		err = v.store.ReadAt(body, int64(m.Offset))
+	}
+	status := wire.StatusOK
+	if err != nil {
+		status = wire.StatusEIO
+		body = nil
+		s.logf("netv3: read: %v", err)
+	}
+	s.served.Add(1)
+	rr := &wire.ReadResp{ReqID: m.ReqID, Status: status, Credits: 1}
+	rr.Ack = uint32(m.Seq)
+	_ = reply(rr, body)
+}
+
+func (s *Server) handleWrite(m *wire.Write, body []byte, reply func(wire.Message, []byte) error) {
+	v := s.lookup(m.Volume)
+	status := wire.StatusOK
+	if v == nil {
+		status = wire.StatusENoVolume
+	} else if err := v.write(body, int64(m.Offset)); err != nil {
+		status = wire.StatusEIO
+		s.logf("netv3: write: %v", err)
+	}
+	s.served.Add(1)
+	wr := &wire.WriteResp{ReqID: m.ReqID, Status: status, Credits: 1}
+	wr.Ack = uint32(m.Seq)
+	_ = reply(wr, nil)
+}
+
+// cachedRead serves aligned 8 KB blocks from the MQ cache and fills
+// misses from the store.
+func (v *volume) cachedRead(b []byte, off int64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	end := off + int64(len(b))
+	for cur := off; cur < end; {
+		blk := uint64(cur / cacheBlockSize)
+		within := cur % cacheBlockSize
+		n := int64(cacheBlockSize - within)
+		if end-cur < n {
+			n = end - cur
+		}
+		if v.cache.Ref(blk) {
+			v.hits.Add(1)
+		} else {
+			v.miss.Add(1)
+			payload := make([]byte, cacheBlockSize)
+			bs := int64(blk) * cacheBlockSize
+			readLen := cacheBlockSize
+			if bs+int64(readLen) > v.store.Size() {
+				readLen = int(v.store.Size() - bs)
+			}
+			if err := v.store.ReadAt(payload[:readLen], bs); err != nil {
+				return err
+			}
+			if victim, ev := v.cache.Insert(blk); ev {
+				delete(v.data, victim)
+			}
+			v.data[blk] = payload
+		}
+		copy(b[cur-off:cur-off+n], v.data[blk][within:within+n])
+		cur += n
+	}
+	return nil
+}
+
+// write commits to the store and updates any cached blocks.
+func (v *volume) write(b []byte, off int64) error {
+	if err := v.store.WriteAt(b, off); err != nil {
+		return err
+	}
+	if v.cache == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	end := off + int64(len(b))
+	for cur := off; cur < end; {
+		blk := uint64(cur / cacheBlockSize)
+		within := cur % cacheBlockSize
+		n := int64(cacheBlockSize - within)
+		if end-cur < n {
+			n = end - cur
+		}
+		if payload, ok := v.data[blk]; ok {
+			copy(payload[within:within+n], b[cur-off:cur-off+n])
+			v.cache.Ref(blk)
+		}
+		cur += n
+	}
+	return nil
+}

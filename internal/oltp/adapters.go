@@ -1,0 +1,63 @@
+package oltp
+
+import (
+	"github.com/v3storage/v3/internal/core"
+	"github.com/v3storage/v3/internal/localio"
+	"github.com/v3storage/v3/internal/sim"
+)
+
+// DSAStorage adapts a DSA client (any of kDSA/wDSA/cDSA) to the engine's
+// Storage interface with synchronous page semantics: the calling worker
+// blocks, and other workers run meanwhile — exactly how a database
+// scheduler overlaps I/O with transaction processing.
+type DSAStorage struct{ C *core.Client }
+
+// ReadPage implements Storage.
+func (s DSAStorage) ReadPage(p *sim.Proc, off int64, length int) { s.C.Read(p, off, length) }
+
+// ReadPages implements Storage: all reads go out asynchronously and the
+// worker blocks for the batch, the way a database scheduler overlaps
+// read-ahead within a transaction.
+func (s DSAStorage) ReadPages(p *sim.Proc, offs []int64, length int) {
+	reqs := make([]*core.Request, len(offs))
+	for i, off := range offs {
+		reqs[i] = s.C.ReadAsync(p, off, length)
+	}
+	for _, r := range reqs {
+		s.C.Wait(p, r)
+	}
+}
+
+// WritePage implements Storage.
+func (s DSAStorage) WritePage(p *sim.Proc, off int64, length int) { s.C.Write(p, off, length) }
+
+// VolumeSize implements Storage.
+func (s DSAStorage) VolumeSize() int64 { return s.C.VolumeSize() }
+
+// LocalStorage adapts the local-disk baseline.
+type LocalStorage struct{ C *localio.Client }
+
+// ReadPage implements Storage.
+func (s LocalStorage) ReadPage(p *sim.Proc, off int64, length int) { s.C.Read(p, off, length) }
+
+// ReadPages implements Storage.
+func (s LocalStorage) ReadPages(p *sim.Proc, offs []int64, length int) {
+	reqs := make([]*localio.Request, len(offs))
+	for i, off := range offs {
+		reqs[i] = s.C.ReadAsync(p, off, length)
+	}
+	for _, r := range reqs {
+		s.C.Wait(p, r)
+	}
+}
+
+// WritePage implements Storage.
+func (s LocalStorage) WritePage(p *sim.Proc, off int64, length int) { s.C.Write(p, off, length) }
+
+// VolumeSize implements Storage.
+func (s LocalStorage) VolumeSize() int64 { return s.C.VolumeSize() }
+
+var (
+	_ Storage = DSAStorage{}
+	_ Storage = LocalStorage{}
+)

@@ -1,0 +1,338 @@
+package oltp
+
+import (
+	"time"
+
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/mqcache"
+	"github.com/v3storage/v3/internal/sim"
+)
+
+// Storage abstracts the block back-end: a DSA client, the local-disk
+// baseline, or anything else that moves 8 KB pages.
+type Storage interface {
+	ReadPage(p *sim.Proc, off int64, length int)
+	// ReadPages overlaps a batch of page reads (database read-ahead).
+	ReadPages(p *sim.Proc, offs []int64, length int)
+	WritePage(p *sim.Proc, off int64, length int)
+	VolumeSize() int64
+}
+
+// Config sizes the database engine. Page counts are scaled-down versions
+// of the paper's configurations (a constant factor on both the working
+// set and the caches preserves hit ratios; see DESIGN.md).
+type Config struct {
+	Workers         int   // concurrent transaction workers (DB threads)
+	BufferPoolPages int   // database buffer pool capacity
+	DBPages         int64 // data working-set size in pages
+	PageSize        int
+	Skew            AccessSkew
+
+	PerAccessCPU time.Duration // B-tree navigation etc. per page touch
+	LatchLocks   int           // DB-internal latches (contend on the host CPUs)
+	LatchHold    time.Duration
+
+	// Per-transaction CPU the database burns outside pure transaction
+	// processing, independent of the storage client: kernel work (context
+	// switches, scheduling), lock synchronization inside the DBMS, and
+	// other system libraries. The paper's Figure 11 discussion: "the
+	// largest part of the 30% [kernel+lock] is due to non-I/O related
+	// activity caused by SQL Server 2000."
+	PerTxKernelCPU time.Duration
+	PerTxLockCPU   time.Duration
+	PerTxOtherCPU  time.Duration
+
+	LogSlots        int64 // 64 KB log slots reserved at the start of the volume
+	GroupCommit     time.Duration
+	GroupCommitSize int
+
+	Cleaners      int           // write-behind threads
+	Checkpoint    time.Duration // dirty-page flush cadence (generates the steady write stream)
+	CheckpointMax int           // dirty pages flushed per checkpoint interval
+	ReadBatch     int           // misses overlapped per read-ahead batch
+	Seed          uint64
+}
+
+// DefaultConfig returns a scaled mid-size engine (Table 1's mid-size
+// column divided by the memory scale factor).
+func DefaultConfig() Config {
+	return Config{
+		Workers:         32,
+		BufferPoolPages: 6000,
+		DBPages:         200000,
+		PageSize:        8192,
+		Skew:            DefaultSkew(),
+		PerAccessCPU:    25 * time.Microsecond,
+		LatchLocks:      16,
+		LatchHold:       300 * time.Nanosecond,
+		PerTxKernelCPU:  1000 * time.Microsecond,
+		PerTxLockCPU:    300 * time.Microsecond,
+		PerTxOtherCPU:   150 * time.Microsecond,
+		LogSlots:        64,
+		GroupCommit:     time.Millisecond,
+		GroupCommitSize: 64 * 1024,
+		Cleaners:        8,
+		Checkpoint:      100 * time.Millisecond,
+		CheckpointMax:   400,
+		ReadBatch:       6,
+		Seed:            0xDB,
+	}
+}
+
+const logSlotBytes = 64 * 1024
+
+// Engine is the simulated database server.
+type Engine struct {
+	e       *sim.Engine
+	cpus    *hw.CPUPool
+	storage Storage
+	cfg     Config
+
+	bufpool *mqcache.LRU
+	dirty   map[int64]bool
+	latches *hw.PairSet
+
+	cleanQ *sim.Queue[int64]
+	logMu  struct {
+		bytes   int
+		waiters []*sim.Event
+		slot    int64
+	}
+
+	running   bool
+	txLat     [numTxTypes]sim.Series
+	committed [numTxTypes]sim.Counter
+	physReads sim.Counter
+	physWrite sim.Counter
+	logWrites sim.Counter
+	pageRefs  sim.Counter
+	poolHits  sim.Counter
+	measuring bool
+	measured  [numTxTypes]int64
+	measureT0 sim.Time
+	refs0     int64
+	hits0     int64
+}
+
+// New creates an engine over storage. Call Start to launch workers.
+func New(e *sim.Engine, cpus *hw.CPUPool, storage Storage, cfg Config) *Engine {
+	if cfg.Workers <= 0 || cfg.BufferPoolPages <= 0 || cfg.DBPages <= 0 {
+		panic("oltp: bad config")
+	}
+	return &Engine{
+		e: e, cpus: cpus, storage: storage, cfg: cfg,
+		bufpool: mqcache.NewLRU(cfg.BufferPoolPages),
+		dirty:   make(map[int64]bool),
+		latches: hw.NewPairSet(e, cpus, cfg.LatchLocks),
+		cleanQ:  sim.NewQueue[int64](),
+	}
+}
+
+// Start launches the worker threads, the log writer, and the cleaners.
+func (en *Engine) Start() {
+	en.running = true
+	rng := sim.NewRand(en.cfg.Seed)
+	for i := 0; i < en.cfg.Workers; i++ {
+		wr := rng.Split()
+		en.e.Go("db-worker", func(p *sim.Proc) { en.worker(p, wr) })
+	}
+	for i := 0; i < en.cfg.Cleaners; i++ {
+		en.e.Go("db-cleaner", en.cleaner)
+	}
+	en.e.Go("db-logwriter", en.logWriter)
+	en.e.Go("db-checkpointer", en.checkpointer)
+}
+
+// checkpointer periodically flushes the dirty set through the cleaners.
+// Together with evictions this produces the steady ~70/30 read/write I/O
+// mix the paper reports for TPC-C.
+func (en *Engine) checkpointer(p *sim.Proc) {
+	limit := en.cfg.CheckpointMax
+	if limit <= 0 {
+		limit = 1 << 30
+	}
+	for en.running {
+		p.Sleep(en.cfg.Checkpoint)
+		n := 0
+		for page := range en.dirty {
+			if n >= limit {
+				break
+			}
+			delete(en.dirty, page)
+			en.cleanQ.Put(en.e, page)
+			n++
+		}
+	}
+}
+
+// Stop halts workers at their next transaction boundary.
+func (en *Engine) Stop() { en.running = false }
+
+// BeginMeasurement zeroes the committed-transaction window (call after
+// warmup).
+func (en *Engine) BeginMeasurement() {
+	en.measuring = true
+	for i := range en.measured {
+		en.measured[i] = en.committed[i].Value()
+	}
+	en.measureT0 = en.e.Now()
+	en.refs0 = en.pageRefs.Value()
+	en.hits0 = en.poolHits.Value()
+}
+
+// TpmC returns New-Order commits per minute over the measurement window.
+func (en *Engine) TpmC() float64 {
+	elapsed := (en.e.Now() - en.measureT0).Minutes()
+	if !en.measuring || elapsed <= 0 {
+		return 0
+	}
+	n := en.committed[NewOrder].Value() - en.measured[NewOrder]
+	return float64(n) / elapsed
+}
+
+// Committed returns total commits of one type.
+func (en *Engine) Committed(t TxType) int64 { return en.committed[t].Value() }
+
+// PhysicalIOs returns (reads, writes) issued to storage, log included.
+func (en *Engine) PhysicalIOs() (int64, int64) {
+	return en.physReads.Value(), en.physWrite.Value() + en.logWrites.Value()
+}
+
+// BufferHitRatio returns the buffer pool hit ratio over the measurement
+// window (or lifetime before BeginMeasurement).
+func (en *Engine) BufferHitRatio() float64 {
+	refs := en.pageRefs.Value() - en.refs0
+	hits := en.poolHits.Value() - en.hits0
+	if refs == 0 {
+		return 0
+	}
+	return float64(hits) / float64(refs)
+}
+
+func (en *Engine) worker(p *sim.Proc, rng *sim.Rand) {
+	profiles := Profiles()
+	for en.running {
+		prof := profiles[PickTx(rng)]
+		t0 := p.Now()
+		en.runTx(p, rng, prof)
+		en.recordTxLatency(prof.Type, p.Now()-t0)
+		en.committed[prof.Type].Inc()
+	}
+}
+
+// runTx executes one transaction: page references with buffer-pool
+// misses going to storage, transaction CPU interleaved, dirty pages
+// queued for write-behind, and a group-commit log write.
+func (en *Engine) runTx(p *sim.Proc, rng *sim.Rand, prof TxProfile) {
+	cpuSlice := prof.CPU / time.Duration(prof.PageReads+prof.PageWrite+1)
+	var pending []int64
+	flush := func() {
+		if len(pending) > 0 {
+			en.storage.ReadPages(p, pending, en.cfg.PageSize)
+			pending = pending[:0]
+		}
+	}
+	batch := en.cfg.ReadBatch
+	if batch <= 0 {
+		batch = 1
+	}
+	for i := 0; i < prof.PageReads; i++ {
+		pending = en.touchPage(p, rng, false, pending)
+		if len(pending) >= batch {
+			flush()
+		}
+		en.cpus.Use(p, hw.CatSQL, cpuSlice+en.cfg.PerAccessCPU)
+	}
+	flush()
+	for i := 0; i < prof.PageWrite; i++ {
+		pending = en.touchPage(p, rng, true, pending)
+		if len(pending) >= batch {
+			flush()
+		}
+		en.cpus.Use(p, hw.CatSQL, cpuSlice+en.cfg.PerAccessCPU)
+	}
+	flush()
+	en.cpus.Use(p, hw.CatSQL, cpuSlice)
+	// SQL-Server-induced kernel, lock, and library time, spread over the
+	// transaction (two slices each so it interleaves with I/O waits).
+	en.cpus.Use(p, hw.CatOSKernel, en.cfg.PerTxKernelCPU/2)
+	en.cpus.Use(p, hw.CatLock, en.cfg.PerTxLockCPU/2)
+	en.cpus.Use(p, hw.CatOther, en.cfg.PerTxOtherCPU)
+	if prof.LogBytes > 0 {
+		en.commitLog(p, prof.LogBytes)
+	}
+	en.cpus.Use(p, hw.CatOSKernel, en.cfg.PerTxKernelCPU/2)
+	en.cpus.Use(p, hw.CatLock, en.cfg.PerTxLockCPU/2)
+}
+
+// touchPage references one page through the buffer pool: a DB latch
+// crossing, a hit, or a miss appended to the read-ahead batch. The frame
+// is claimed (inserted) immediately so concurrent workers do not
+// double-read it; the physical read completes when the batch flushes.
+func (en *Engine) touchPage(p *sim.Proc, rng *sim.Rand, write bool, pending []int64) []int64 {
+	page := en.cfg.Skew.PickPage(rng, en.cfg.DBPages)
+	en.latches.CrossPairsHold(p, 1, en.cfg.LatchHold, hw.CatSQL)
+	en.pageRefs.Inc()
+	if !en.bufpool.Ref(uint64(page)) {
+		en.physReads.Inc()
+		pending = append(pending, en.pageOffset(page))
+		if victim, ev := en.bufpool.Insert(uint64(page)); ev {
+			vp := int64(victim)
+			if en.dirty[vp] {
+				delete(en.dirty, vp)
+				en.cleanQ.Put(en.e, vp)
+			}
+		}
+	} else {
+		en.poolHits.Inc()
+	}
+	if write {
+		en.dirty[page] = true
+	}
+	return pending
+}
+
+// pageOffset maps a data page past the reserved log region.
+func (en *Engine) pageOffset(page int64) int64 {
+	return en.cfg.LogSlots*logSlotBytes + page*int64(en.cfg.PageSize)
+}
+
+// cleaner is a write-behind thread committing dirty victims to storage.
+func (en *Engine) cleaner(p *sim.Proc) {
+	for {
+		page := en.cleanQ.Get(p)
+		en.physWrite.Inc()
+		en.storage.WritePage(p, en.pageOffset(page), en.cfg.PageSize)
+	}
+}
+
+// commitLog appends to the group-commit buffer and waits for the flush
+// that covers this commit.
+func (en *Engine) commitLog(p *sim.Proc, bytes int) {
+	en.logMu.bytes += bytes
+	ev := sim.NewEvent()
+	en.logMu.waiters = append(en.logMu.waiters, ev)
+	ev.Wait(p)
+}
+
+// logWriter flushes the group-commit buffer every GroupCommit interval
+// or when it exceeds GroupCommitSize, writing one 64 KB log slot
+// (sequential region at the start of the volume) per flush.
+func (en *Engine) logWriter(p *sim.Proc) {
+	for en.running || len(en.logMu.waiters) > 0 {
+		p.Sleep(en.cfg.GroupCommit)
+		if en.logMu.bytes == 0 && len(en.logMu.waiters) == 0 {
+			continue
+		}
+		en.logMu.bytes = 0
+		waiters := en.logMu.waiters
+		en.logMu.waiters = nil
+		slot := en.logMu.slot % en.cfg.LogSlots
+		en.logMu.slot++
+		en.logWrites.Inc()
+		en.storage.WritePage(p, slot*logSlotBytes, logSlotBytes)
+		for _, ev := range waiters {
+			ev.Fire(en.e)
+		}
+	}
+}

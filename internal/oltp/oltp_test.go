@@ -1,0 +1,308 @@
+package oltp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/sim"
+)
+
+func TestPickTxMix(t *testing.T) {
+	r := sim.NewRand(1)
+	counts := map[TxType]int{}
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[PickTx(r)]++
+	}
+	frac := func(tt TxType) float64 { return float64(counts[tt]) / float64(n) }
+	if f := frac(NewOrder); f < 0.43 || f > 0.47 {
+		t.Fatalf("NewOrder fraction %.3f, want ~0.45", f)
+	}
+	if f := frac(Payment); f < 0.41 || f > 0.45 {
+		t.Fatalf("Payment fraction %.3f, want ~0.43", f)
+	}
+	for _, tt := range []TxType{OrderStatus, Delivery, StockLevel} {
+		if f := frac(tt); f < 0.03 || f > 0.05 {
+			t.Fatalf("%v fraction %.3f, want ~0.04", tt, f)
+		}
+	}
+}
+
+func TestNURandBounds(t *testing.T) {
+	r := sim.NewRand(2)
+	for i := 0; i < 100000; i++ {
+		if c := CustomerID(r); c < 1 || c > 3000 {
+			t.Fatalf("customer id %d out of range", c)
+		}
+		if it := ItemID(r); it < 1 || it > 100000 {
+			t.Fatalf("item id %d out of range", it)
+		}
+	}
+}
+
+func TestNURandNonUniform(t *testing.T) {
+	// NURand concentrates mass: the most popular percentile should get
+	// well above 1% of draws.
+	r := sim.NewRand(3)
+	counts := make([]int, 3001)
+	n := 300000
+	for i := 0; i < n; i++ {
+		counts[CustomerID(r)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := float64(n) / 3000
+	if float64(max) < 2*uniform {
+		t.Fatalf("NURand looks uniform: max bucket %d vs uniform %f", max, uniform)
+	}
+}
+
+func TestSkewPickPageBoundsAndShape(t *testing.T) {
+	r := sim.NewRand(4)
+	s := DefaultSkew()
+	const total = 100000
+	hot := int64(float64(total) * s.HotFrac)
+	hotCount := 0
+	n := 200000
+	for i := 0; i < n; i++ {
+		p := s.PickPage(r, total)
+		if p < 0 || p >= total {
+			t.Fatalf("page %d out of range", p)
+		}
+		if p < hot {
+			hotCount++
+		}
+	}
+	f := float64(hotCount) / float64(n)
+	if f < s.HotProb*0.9 || f > s.HotProb*1.2 {
+		t.Fatalf("hot fraction %.3f, want ~%.2f", f, s.HotProb)
+	}
+}
+
+func TestTxTypeStrings(t *testing.T) {
+	names := map[TxType]string{
+		NewOrder: "NewOrder", Payment: "Payment", OrderStatus: "OrderStatus",
+		Delivery: "Delivery", StockLevel: "StockLevel",
+	}
+	for tt, want := range names {
+		if tt.String() != want {
+			t.Fatalf("%d name %q", tt, tt.String())
+		}
+	}
+	if TxType(9).String() != "Tx(?)" {
+		t.Fatal("unknown type name")
+	}
+}
+
+// memStorage is an instant in-memory Storage for engine unit tests.
+type memStorage struct {
+	reads, writes int
+	delay         time.Duration
+}
+
+func (m *memStorage) ReadPage(p *sim.Proc, off int64, length int) {
+	m.reads++
+	if m.delay > 0 {
+		p.Sleep(m.delay)
+	}
+}
+func (m *memStorage) ReadPages(p *sim.Proc, offs []int64, length int) {
+	m.reads += len(offs)
+	if m.delay > 0 {
+		p.Sleep(m.delay) // overlapped batch: one latency for the batch
+	}
+}
+func (m *memStorage) WritePage(p *sim.Proc, off int64, length int) {
+	m.writes++
+	if m.delay > 0 {
+		p.Sleep(m.delay)
+	}
+}
+func (m *memStorage) VolumeSize() int64 { return 1 << 40 }
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Workers = 8
+	cfg.BufferPoolPages = 500
+	cfg.DBPages = 10000
+	cfg.Cleaners = 2
+	return cfg
+}
+
+func TestEngineCommitsTransactions(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, 4)
+	st := &memStorage{delay: 200 * time.Microsecond}
+	en := New(e, cpus, st, smallConfig())
+	en.Start()
+	e.RunFor(200 * time.Millisecond)
+	en.BeginMeasurement()
+	e.RunFor(time.Second)
+	en.Stop()
+	e.RunFor(100 * time.Millisecond)
+	if en.Committed(NewOrder) == 0 || en.Committed(Payment) == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if en.TpmC() <= 0 {
+		t.Fatalf("tpmC = %v", en.TpmC())
+	}
+	rd, wr := en.PhysicalIOs()
+	if rd == 0 || wr == 0 {
+		t.Fatalf("physical IOs rd=%d wr=%d", rd, wr)
+	}
+}
+
+func TestEngineBufferPoolAbsorbsHotSet(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, 4)
+	st := &memStorage{}
+	cfg := smallConfig()
+	en := New(e, cpus, st, cfg)
+	en.Start()
+	e.RunFor(2 * time.Second)
+	en.Stop()
+	e.RunFor(100 * time.Millisecond)
+	hr := en.BufferHitRatio()
+	// Pool is 5% of pages but the skew sends 40% of refs to 1% of pages:
+	// hit ratio must be far above 5% yet below 100%.
+	if hr < 0.3 || hr > 0.95 {
+		t.Fatalf("buffer hit ratio %.3f outside plausible band", hr)
+	}
+}
+
+func TestEngineReadWriteMixRoughly70_30(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, 4)
+	st := &memStorage{delay: 100 * time.Microsecond}
+	en := New(e, cpus, st, smallConfig())
+	en.Start()
+	e.RunFor(3 * time.Second)
+	en.Stop()
+	e.RunFor(100 * time.Millisecond)
+	rd, wr := en.PhysicalIOs()
+	f := float64(rd) / float64(rd+wr)
+	// The paper: TPC-C generates random I/O with a 70% read / 30% write
+	// distribution. Accept 55-85% — the exact split depends on cache state.
+	if f < 0.55 || f > 0.85 {
+		t.Fatalf("read fraction %.3f, want ~0.7", f)
+	}
+}
+
+func TestEngineMoreCPUsMoreThroughput(t *testing.T) {
+	run := func(ncpu int) int64 {
+		e := sim.NewEngine()
+		cpus := hw.NewCPUPool(e, ncpu)
+		st := &memStorage{delay: 50 * time.Microsecond}
+		cfg := smallConfig()
+		cfg.Workers = ncpu * 4
+		en := New(e, cpus, st, cfg)
+		en.Start()
+		e.RunFor(time.Second)
+		en.Stop()
+		e.RunFor(100 * time.Millisecond)
+		return en.Committed(NewOrder)
+	}
+	one, four := run(1), run(4)
+	if four < one*2 {
+		t.Fatalf("4 CPUs (%d) should far outrun 1 CPU (%d)", four, one)
+	}
+}
+
+func TestEngineStorageDelaySlowsThroughput(t *testing.T) {
+	run := func(d time.Duration) int64 {
+		e := sim.NewEngine()
+		cpus := hw.NewCPUPool(e, 2)
+		st := &memStorage{delay: d}
+		en := New(e, cpus, st, smallConfig())
+		en.Start()
+		e.RunFor(time.Second)
+		en.Stop()
+		e.RunFor(100 * time.Millisecond)
+		return en.Committed(NewOrder)
+	}
+	fast, slow := run(50*time.Microsecond), run(5*time.Millisecond)
+	if slow >= fast {
+		t.Fatalf("slow storage (%d) should cut throughput vs fast (%d)", slow, fast)
+	}
+}
+
+func TestEngineLogGroupCommit(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, 4)
+	st := &memStorage{delay: 100 * time.Microsecond}
+	en := New(e, cpus, st, smallConfig())
+	en.Start()
+	e.RunFor(time.Second)
+	en.Stop()
+	e.RunFor(100 * time.Millisecond)
+	commits := en.Committed(NewOrder) + en.Committed(Payment) + en.Committed(Delivery)
+	if en.logWrites.Value() == 0 {
+		t.Fatal("no log writes")
+	}
+	if en.logWrites.Value() >= commits {
+		t.Fatalf("group commit should batch: %d log writes for %d commits",
+			en.logWrites.Value(), commits)
+	}
+}
+
+func TestProfilesCoverAllTypes(t *testing.T) {
+	for i, prof := range Profiles() {
+		if prof.Type != TxType(i) {
+			t.Fatalf("profile %d mislabeled %v", i, prof.Type)
+		}
+		if prof.CPU <= 0 || prof.PageReads <= 0 {
+			t.Fatalf("profile %v has no demand", prof.Type)
+		}
+	}
+}
+
+func TestEngineReport(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, 4)
+	st := &memStorage{delay: 200 * time.Microsecond}
+	en := New(e, cpus, st, smallConfig())
+	en.Start()
+	e.RunFor(200 * time.Millisecond)
+	en.BeginMeasurement()
+	e.RunFor(time.Second)
+	en.Stop()
+	e.RunFor(100 * time.Millisecond)
+	rep := en.Report()
+	if rep.TpmC <= 0 {
+		t.Fatal("no tpmC in report")
+	}
+	if len(rep.Types) != 5 {
+		t.Fatalf("types=%d", len(rep.Types))
+	}
+	for _, tr := range rep.Types[:2] { // NewOrder and Payment must have run
+		if tr.Committed == 0 || tr.MeanLat <= 0 {
+			t.Fatalf("%v: committed=%d mean=%v", tr.Type, tr.Committed, tr.MeanLat)
+		}
+		if tr.P99Lat < tr.P90Lat || tr.P90Lat < 0 {
+			t.Fatalf("%v: percentiles out of order", tr.Type)
+		}
+	}
+	out := rep.String()
+	if !strings.Contains(out, "NewOrder") || !strings.Contains(out, "tpmC") {
+		t.Fatalf("report rendering wrong:\n%s", out)
+	}
+	// Heavier transactions should take longer on average.
+	var no, pay time.Duration
+	for _, tr := range rep.Types {
+		switch tr.Type {
+		case NewOrder:
+			no = tr.MeanLat
+		case Payment:
+			pay = tr.MeanLat
+		}
+	}
+	if no <= pay {
+		t.Fatalf("NewOrder (%v) should outweigh Payment (%v)", no, pay)
+	}
+}

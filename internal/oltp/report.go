@@ -1,0 +1,61 @@
+package oltp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/v3storage/v3/internal/sim"
+)
+
+// TxReport summarizes one transaction type's behaviour over a run.
+type TxReport struct {
+	Type      TxType
+	Committed int64
+	MeanLat   time.Duration
+	P90Lat    time.Duration
+	P99Lat    time.Duration
+}
+
+// Report is the per-type performance summary of an Engine run — the kind
+// of table a TPC-C full disclosure report carries alongside tpmC.
+type Report struct {
+	TpmC      float64
+	BufferHit float64
+	Types     []TxReport
+}
+
+// String renders the report as aligned text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tpmC %.0f, buffer-pool hit %.1f%%\n", r.TpmC, r.BufferHit*100)
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %12s\n", "transaction", "committed", "mean", "p90", "p99")
+	for _, t := range r.Types {
+		fmt.Fprintf(&b, "%-12s %10d %12v %12v %12v\n",
+			t.Type, t.Committed, t.MeanLat.Round(time.Microsecond),
+			t.P90Lat.Round(time.Microsecond), t.P99Lat.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Report builds the per-type summary from the engine's recorded
+// transaction latencies.
+func (en *Engine) Report() *Report {
+	r := &Report{TpmC: en.TpmC(), BufferHit: en.BufferHitRatio()}
+	for i := 0; i < int(numTxTypes); i++ {
+		s := &en.txLat[i]
+		r.Types = append(r.Types, TxReport{
+			Type:      TxType(i),
+			Committed: en.committed[i].Value(),
+			MeanLat:   time.Duration(s.Mean() * float64(time.Second)),
+			P90Lat:    time.Duration(s.Percentile(90) * float64(time.Second)),
+			P99Lat:    time.Duration(s.Percentile(99) * float64(time.Second)),
+		})
+	}
+	return r
+}
+
+// recordTxLatency is called by workers at commit.
+func (en *Engine) recordTxLatency(t TxType, d sim.Time) {
+	en.txLat[t].AddDuration(time.Duration(d))
+}

@@ -1,0 +1,155 @@
+// Package oskrnl models the operating-system costs on the database host
+// that differentiate the three DSA implementations: syscall transitions,
+// interrupt dispatch, context switches, the I/O manager's per-request
+// work and its global lock pairs, kernel event objects, and AWE pinned
+// memory (Sections 2.2 and 3 of the paper).
+//
+// All costs are processor time charged to hw.CatOSKernel (lock pairs to
+// hw.CatLock via the lock model), so they surface in the CPU-utilization
+// breakdowns of Figures 11 and 14.
+package oskrnl
+
+import (
+	"time"
+
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/sim"
+)
+
+// Params are the kernel cost constants. Defaults reflect the paper's
+// platforms: interrupt cost "in the order of 5-10 µs", syscalls a couple
+// of µs on 700-800 MHz Xeons.
+type Params struct {
+	SyscallCost       time.Duration // user->kernel->user transition
+	InterruptCost     time.Duration // ISR dispatch + EOI
+	ContextSwitchCost time.Duration // thread switch after a wakeup
+	IOManagerCost     time.Duration // IRP build/complete per visit
+	EventCost         time.Duration // kernel event signal/wait syscall body
+	IOMgrLocks        int           // global I/O-manager locks (shared by all I/Os)
+	IOMgrPairsPerOp   int           // lock pairs per submit and per completion
+	IOMgrHold         time.Duration // critical-section length under each pair
+}
+
+// DefaultParams returns the Windows 2000/XP cost model used throughout
+// the experiments.
+func DefaultParams() Params {
+	return Params{
+		SyscallCost:       6 * time.Microsecond,
+		InterruptCost:     9 * time.Microsecond,
+		ContextSwitchCost: 5 * time.Microsecond,
+		IOManagerCost:     9 * time.Microsecond,
+		EventCost:         1200 * time.Nanosecond,
+		IOMgrLocks:        3,
+		IOMgrPairsPerOp:   2,
+		IOMgrHold:         2 * time.Microsecond,
+	}
+}
+
+// Kernel is the host OS instance: it owns the global I/O-manager locks
+// and the interrupt dispatch machinery.
+type Kernel struct {
+	e      *sim.Engine
+	cpus   *hw.CPUPool
+	params Params
+	iomgr  *hw.PairSet
+
+	interrupts sim.Counter
+	syscalls   sim.Counter
+	ctxsw      sim.Counter
+}
+
+// New creates a kernel on the given engine and CPU pool.
+func New(e *sim.Engine, cpus *hw.CPUPool, params Params) *Kernel {
+	if params.IOMgrLocks <= 0 {
+		params.IOMgrLocks = 1
+	}
+	return &Kernel{
+		e: e, cpus: cpus, params: params,
+		iomgr: hw.NewPairSet(e, cpus, params.IOMgrLocks),
+	}
+}
+
+// Params returns the cost constants.
+func (k *Kernel) Params() Params { return k.params }
+
+// Syscall charges one user/kernel transition plus body of kernel work.
+func (k *Kernel) Syscall(p *sim.Proc, body time.Duration) {
+	k.syscalls.Inc()
+	k.cpus.Use(p, hw.CatOSKernel, k.params.SyscallCost+body)
+}
+
+// IOManagerSubmit models the I/O manager's send-path work for one
+// request: IRP setup plus its global lock pairs (Section 3.3: "the
+// Windows I/O Manager uses at least two more synchronization pairs in
+// both the send and receive paths").
+func (k *Kernel) IOManagerSubmit(p *sim.Proc) {
+	k.cpus.Use(p, hw.CatOSKernel, k.params.IOManagerCost)
+	k.iomgr.CrossPairsHold(p, k.params.IOMgrPairsPerOp, k.params.IOMgrHold, hw.CatOSKernel)
+}
+
+// IOManagerComplete models the receive-path work for one completion.
+func (k *Kernel) IOManagerComplete(p *sim.Proc) {
+	k.cpus.Use(p, hw.CatOSKernel, k.params.IOManagerCost)
+	k.iomgr.CrossPairsHold(p, k.params.IOMgrPairsPerOp, k.params.IOMgrHold, hw.CatOSKernel)
+}
+
+// WakeThread charges the cost of signalling a kernel event and context
+// switching the woken thread in (the completion path of kDSA/wDSA).
+func (k *Kernel) WakeThread(p *sim.Proc) {
+	k.ctxsw.Inc()
+	k.cpus.Use(p, hw.CatOSKernel, k.params.EventCost+k.params.ContextSwitchCost)
+}
+
+// Interrupts returns the number of interrupts dispatched.
+func (k *Kernel) Interrupts() int64 { return k.interrupts.Value() }
+
+// Syscalls returns the number of syscalls charged.
+func (k *Kernel) Syscalls() int64 { return k.syscalls.Value() }
+
+// ContextSwitches returns the number of WakeThread calls.
+func (k *Kernel) ContextSwitches() int64 { return k.ctxsw.Value() }
+
+// ISRQueue is one interrupt line's dispatch queue: raising an interrupt
+// enqueues a service routine; a kernel dispatcher process charges the
+// interrupt cost and runs it. One ISRQueue per NIC models per-device
+// interrupt serialization.
+type ISRQueue struct {
+	k *Kernel
+	q *sim.Queue[func(p *sim.Proc)]
+}
+
+// NewISRQueue creates an interrupt line and starts its dispatcher.
+func (k *Kernel) NewISRQueue(name string) *ISRQueue {
+	isr := &ISRQueue{k: k, q: sim.NewQueue[func(p *sim.Proc)]()}
+	k.e.Go("isr:"+name, func(p *sim.Proc) {
+		for {
+			fn := isr.q.Get(p)
+			k.interrupts.Inc()
+			k.cpus.Use(p, hw.CatOSKernel, k.params.InterruptCost)
+			fn(p)
+		}
+	})
+	return isr
+}
+
+// Raise queues fn to run in interrupt context (after the modeled
+// interrupt dispatch cost). Callable from event or process context.
+func (i *ISRQueue) Raise(fn func(p *sim.Proc)) { i.q.Put(i.k.e, fn) }
+
+// AWERegion models an Address Windowing Extensions allocation: memory
+// that is physically resident and pinned for its lifetime, so NIC
+// registration of buffers inside it skips the pin/unpin work
+// (Section 3.1: cDSA allocates the database cache with AWE).
+type AWERegion struct {
+	Bytes int64
+}
+
+// AllocateAWE charges the one-time mapping cost and returns the pinned
+// region. The paper's point is precisely that this cost is paid once at
+// startup instead of per I/O.
+func (k *Kernel) AllocateAWE(p *sim.Proc, bytes int64) *AWERegion {
+	pages := (bytes + 4095) / 4096
+	// ~0.2 µs per page of low-overhead mapping calls, charged once.
+	k.Syscall(p, time.Duration(pages)*200*time.Nanosecond)
+	return &AWERegion{Bytes: bytes}
+}

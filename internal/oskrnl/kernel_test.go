@@ -1,0 +1,136 @@
+package oskrnl
+
+import (
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/sim"
+)
+
+func kern(ncpu int) (*sim.Engine, *hw.CPUPool, *Kernel) {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, ncpu)
+	return e, cpus, New(e, cpus, DefaultParams())
+}
+
+func TestSyscallChargesKernelTime(t *testing.T) {
+	e, cpus, k := kern(1)
+	e.Go("w", func(p *sim.Proc) {
+		k.Syscall(p, 2*time.Microsecond)
+	})
+	e.Run()
+	want := DefaultParams().SyscallCost + 2*time.Microsecond
+	if got := cpus.Busy(hw.CatOSKernel); got != want {
+		t.Fatalf("kernel busy = %v, want %v", got, want)
+	}
+	if k.Syscalls() != 1 {
+		t.Fatalf("syscalls = %d", k.Syscalls())
+	}
+}
+
+func TestIOManagerChargesKernelAndLock(t *testing.T) {
+	e, cpus, k := kern(2)
+	e.Go("w", func(p *sim.Proc) {
+		k.IOManagerSubmit(p)
+		k.IOManagerComplete(p)
+	})
+	e.Run()
+	if cpus.Busy(hw.CatOSKernel) <= 2*DefaultParams().IOManagerCost {
+		t.Fatal("I/O manager hold time missing from kernel busy")
+	}
+	wantLock := time.Duration(2*DefaultParams().IOMgrPairsPerOp) * hw.DefaultPairCost
+	if got := cpus.Busy(hw.CatLock); got != wantLock {
+		t.Fatalf("lock busy = %v, want %v", got, wantLock)
+	}
+}
+
+func TestIOManagerLocksContendAcrossThreads(t *testing.T) {
+	e, cpus, k := kern(16)
+	for i := 0; i < 16; i++ {
+		e.Go("w", func(p *sim.Proc) {
+			for j := 0; j < 50; j++ {
+				k.IOManagerSubmit(p)
+			}
+		})
+	}
+	e.Run()
+	base := time.Duration(16*50*DefaultParams().IOMgrPairsPerOp) * hw.DefaultPairCost
+	if got := cpus.Busy(hw.CatLock); got <= base {
+		t.Fatalf("16 CPUs on %d global locks should spin: lock busy %v <= base %v",
+			DefaultParams().IOMgrLocks, got, base)
+	}
+}
+
+func TestWakeThread(t *testing.T) {
+	e, cpus, k := kern(1)
+	e.Go("w", func(p *sim.Proc) { k.WakeThread(p) })
+	e.Run()
+	want := DefaultParams().EventCost + DefaultParams().ContextSwitchCost
+	if got := cpus.Busy(hw.CatOSKernel); got != want {
+		t.Fatalf("busy = %v, want %v", got, want)
+	}
+	if k.ContextSwitches() != 1 {
+		t.Fatal("ctxsw not counted")
+	}
+}
+
+func TestISRQueueChargesInterruptCostAndRunsFn(t *testing.T) {
+	e, cpus, k := kern(1)
+	isr := k.NewISRQueue("nic0")
+	ran := false
+	isr.Raise(func(p *sim.Proc) { ran = true })
+	e.RunFor(time.Millisecond)
+	if !ran {
+		t.Fatal("ISR did not run")
+	}
+	if got := cpus.Busy(hw.CatOSKernel); got != DefaultParams().InterruptCost {
+		t.Fatalf("busy = %v, want interrupt cost", got)
+	}
+	if k.Interrupts() != 1 {
+		t.Fatalf("interrupts = %d", k.Interrupts())
+	}
+}
+
+func TestISRQueueSerializesInterrupts(t *testing.T) {
+	e, _, k := kern(4)
+	isr := k.NewISRQueue("nic0")
+	var done int
+	var last sim.Time
+	for i := 0; i < 5; i++ {
+		isr.Raise(func(p *sim.Proc) { done++; last = p.Now() })
+	}
+	e.RunFor(time.Millisecond)
+	if done != 5 {
+		t.Fatalf("done = %d", done)
+	}
+	if last < 5*DefaultParams().InterruptCost {
+		t.Fatalf("interrupts overlapped: last at %v", last)
+	}
+}
+
+func TestAWEAllocationOneTimeCost(t *testing.T) {
+	e, cpus, k := kern(1)
+	var region *AWERegion
+	e.Go("w", func(p *sim.Proc) {
+		region = k.AllocateAWE(p, 1<<20) // 256 pages
+	})
+	e.Run()
+	if region == nil || region.Bytes != 1<<20 {
+		t.Fatal("region wrong")
+	}
+	if cpus.Busy(hw.CatOSKernel) <= DefaultParams().SyscallCost {
+		t.Fatal("AWE mapping cost missing")
+	}
+}
+
+func TestZeroLocksClamped(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, 1)
+	p := DefaultParams()
+	p.IOMgrLocks = 0
+	k := New(e, cpus, p)
+	if k.Params().IOMgrLocks != 1 {
+		t.Fatal("zero lock count should clamp to 1")
+	}
+}

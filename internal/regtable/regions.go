@@ -1,0 +1,185 @@
+// Package regtable implements DSA's batched deregistration of NIC
+// translation-table entries (Section 3.1 of the paper).
+//
+// VI-enabled NICs register consecutive I/O buffers into successive
+// entries of an on-NIC translation table with bounded capacity (1 GB of
+// host memory on the Giganet cLan). Deregistering each buffer when its
+// I/O completes costs ~5-10 µs per operation. DSA instead divides the
+// table into regions of one thousand consecutive entries (4 MB of host
+// memory) and deregisters a whole region with a single operation once
+// every buffer in it has completed — one deregistration per thousand
+// I/Os. The cost is that one straggling buffer pins its entire region.
+//
+// The package is pure bookkeeping: callers charge themselves the modeled
+// (or real) cost of each returned deregistration operation.
+package regtable
+
+import "fmt"
+
+// DefaultRegionEntries is the paper's region size: 1000 consecutive NIC
+// table entries (4 MB of host memory at one 4 KB page per entry).
+const DefaultRegionEntries = 1000
+
+type region struct {
+	id        uint64
+	allocated int
+	completed int
+	sealed    bool // no further allocations; eligible for batch dereg
+}
+
+// Handle identifies one registered buffer's entries.
+type Handle struct {
+	region  uint64
+	entries int
+}
+
+// Entries returns the number of NIC table entries the handle covers.
+func (h Handle) Entries() int { return h.entries }
+
+// Manager tracks NIC translation-table occupancy and decides when
+// deregistration operations happen.
+type Manager struct {
+	capacity      int // total NIC table entries
+	regionEntries int
+	batched       bool // false = deregister every buffer individually (ablation / unoptimized)
+
+	regions  map[uint64]*region
+	cur      *region
+	nextID   uint64
+	used     int // entries in live (not yet deregistered) regions
+	regOps   int64
+	deregOps int64
+}
+
+// New returns a manager for a table of capacity entries using batched
+// regions of regionEntries. batched=false models the unoptimized system:
+// one deregistration per buffer.
+func New(capacity, regionEntries int, batched bool) *Manager {
+	if capacity <= 0 || regionEntries <= 0 {
+		panic("regtable: capacity and regionEntries must be positive")
+	}
+	return &Manager{
+		capacity:      capacity,
+		regionEntries: regionEntries,
+		batched:       batched,
+		regions:       make(map[uint64]*region),
+	}
+}
+
+// Batched reports whether batched deregistration is enabled.
+func (m *Manager) Batched() bool { return m.batched }
+
+// Used returns the number of table entries currently pinned.
+func (m *Manager) Used() int { return m.used }
+
+// Capacity returns the table size in entries.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// RegOps returns the number of registration operations performed.
+func (m *Manager) RegOps() int64 { return m.regOps }
+
+// DeregOps returns the number of deregistration operations performed.
+func (m *Manager) DeregOps() int64 { return m.deregOps }
+
+func (m *Manager) newRegion() *region {
+	r := &region{id: m.nextID}
+	m.nextID++
+	m.regions[r.id] = r
+	return r
+}
+
+// Register pins entries consecutive table entries for one buffer. It
+// reports ok=false when the table cannot hold them (callers block and
+// retry after completions free regions, mirroring the real system's
+// behaviour when the 1 GB limit is hit).
+func (m *Manager) Register(entries int) (Handle, bool) {
+	if entries <= 0 {
+		panic(fmt.Sprintf("regtable: Register(%d)", entries))
+	}
+	if m.used+entries > m.capacity {
+		return Handle{}, false
+	}
+	m.regOps++
+	m.used += entries
+	if !m.batched {
+		r := m.newRegion()
+		r.sealed = true
+		r.allocated = entries
+		return Handle{region: r.id, entries: entries}, true
+	}
+	if m.cur == nil {
+		m.cur = m.newRegion()
+	}
+	// A buffer's entries must be consecutive: if it does not fit in the
+	// current region, seal the region and open a new one.
+	if m.cur.allocated+entries > m.regionEntries {
+		m.sealCurrent()
+		m.cur = m.newRegion()
+	}
+	m.cur.allocated += entries
+	h := Handle{region: m.cur.id, entries: entries}
+	if m.cur.allocated == m.regionEntries {
+		m.sealCurrent()
+	}
+	return h, true
+}
+
+// sealCurrent closes the fill region. If its buffers have all already
+// completed, it is deregistered on the spot (observable via DeregOps);
+// without this check a region whose completions all arrive before it is
+// sealed would pin its entries forever.
+func (m *Manager) sealCurrent() {
+	r := m.cur
+	if r == nil {
+		return
+	}
+	r.sealed = true
+	m.cur = nil
+	if r.allocated == 0 {
+		// Never used; drop without spending a deregistration operation.
+		delete(m.regions, r.id)
+		return
+	}
+	if r.completed == r.allocated {
+		m.deregOps++
+		m.used -= r.allocated
+		delete(m.regions, r.id)
+	}
+}
+
+// Complete records that the I/O using h finished. It returns the number
+// of deregistration operations triggered (0 or 1) and the number of table
+// entries those operations freed.
+func (m *Manager) Complete(h Handle) (ops int, freed int) {
+	r, ok := m.regions[h.region]
+	if !ok {
+		panic(fmt.Sprintf("regtable: Complete on unknown region %d", h.region))
+	}
+	r.completed += h.entries
+	if r.completed > r.allocated {
+		panic("regtable: more completions than allocations in region")
+	}
+	if r.sealed && r.completed == r.allocated {
+		m.deregOps++
+		m.used -= r.allocated
+		delete(m.regions, r.id)
+		return 1, r.allocated
+	}
+	return 0, 0
+}
+
+// Flush seals the current fill region so it can deregister as soon as its
+// buffers complete, and immediately deregisters it if they already have.
+// DSA calls this on a short timer so idle periods do not pin a region
+// forever. It returns the ops/entries deregistered now.
+func (m *Manager) Flush() (ops int, freed int) {
+	if m.cur == nil {
+		return 0, 0
+	}
+	opsBefore, usedBefore := m.deregOps, m.used
+	m.sealCurrent()
+	return int(m.deregOps - opsBefore), usedBefore - m.used
+}
+
+// LiveRegions returns the number of regions still pinning entries.
+func (m *Manager) LiveRegions() int { return len(m.regions) }

@@ -1,0 +1,225 @@
+package regtable
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImmediateModeDeregistersEveryBuffer(t *testing.T) {
+	m := New(10000, DefaultRegionEntries, false)
+	for i := 0; i < 50; i++ {
+		h, ok := m.Register(2)
+		if !ok {
+			t.Fatal("register failed")
+		}
+		ops, freed := m.Complete(h)
+		if ops != 1 || freed != 2 {
+			t.Fatalf("immediate mode: ops=%d freed=%d", ops, freed)
+		}
+	}
+	if m.DeregOps() != 50 {
+		t.Fatalf("deregOps = %d, want 50", m.DeregOps())
+	}
+	if m.Used() != 0 {
+		t.Fatalf("used = %d, want 0", m.Used())
+	}
+}
+
+func TestBatchedModeOneDeregPerRegion(t *testing.T) {
+	m := New(100000, 1000, true)
+	// 1000 single-entry buffers exactly fill one region.
+	var handles []Handle
+	for i := 0; i < 1000; i++ {
+		h, ok := m.Register(1)
+		if !ok {
+			t.Fatal("register failed")
+		}
+		handles = append(handles, h)
+	}
+	var ops int
+	for _, h := range handles {
+		o, _ := m.Complete(h)
+		ops += o
+	}
+	if ops != 1 {
+		t.Fatalf("dereg ops = %d, want 1 per thousand I/Os", ops)
+	}
+	if m.Used() != 0 {
+		t.Fatalf("used = %d", m.Used())
+	}
+}
+
+func TestBatchedDeregWaitsForLastBuffer(t *testing.T) {
+	m := New(100000, 4, true)
+	h1, _ := m.Register(2)
+	h2, _ := m.Register(2) // seals the region (full)
+	if ops, _ := m.Complete(h1); ops != 0 {
+		t.Fatal("region deregistered before all buffers completed")
+	}
+	ops, freed := m.Complete(h2)
+	if ops != 1 || freed != 4 {
+		t.Fatalf("ops=%d freed=%d, want 1,4", ops, freed)
+	}
+}
+
+func TestStragglerPinsRegion(t *testing.T) {
+	m := New(100000, 4, true)
+	straggler, _ := m.Register(1)
+	h2, _ := m.Register(3) // fills and seals the region
+	m.Complete(h2)
+	if m.Used() != 4 {
+		t.Fatalf("straggler should pin whole region: used=%d", m.Used())
+	}
+	ops, freed := m.Complete(straggler)
+	if ops != 1 || freed != 4 {
+		t.Fatalf("ops=%d freed=%d", ops, freed)
+	}
+}
+
+func TestBufferTooBigForRemainderOpensNewRegion(t *testing.T) {
+	m := New(100000, 10, true)
+	h1, _ := m.Register(6)
+	h2, _ := m.Register(6) // doesn't fit in remaining 4: region 0 sealed at 6
+	if h1.region == h2.region {
+		t.Fatal("buffers should be in different regions")
+	}
+	// Completing h1 alone should now free region 0 (sealed with 6 allocated).
+	ops, freed := m.Complete(h1)
+	if ops != 1 || freed != 6 {
+		t.Fatalf("ops=%d freed=%d", ops, freed)
+	}
+	ops, freed = m.Complete(h2)
+	if ops != 0 || freed != 0 {
+		t.Fatal("unsealed region should not deregister")
+	}
+	ops, freed = m.Flush()
+	if ops != 1 || freed != 6 {
+		t.Fatalf("flush: ops=%d freed=%d", ops, freed)
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	m := New(10, 4, true)
+	if _, ok := m.Register(8); !ok {
+		t.Fatal("first register should fit")
+	}
+	if _, ok := m.Register(8); ok {
+		t.Fatal("register beyond capacity should fail")
+	}
+	if m.Used() != 8 {
+		t.Fatalf("used=%d", m.Used())
+	}
+}
+
+func TestFlushEmptyAndIdle(t *testing.T) {
+	m := New(100, 10, true)
+	if ops, freed := m.Flush(); ops != 0 || freed != 0 {
+		t.Fatal("flush with no region should be a no-op")
+	}
+	h, _ := m.Register(2)
+	m.Complete(h)
+	// Region is current (unsealed) but fully complete: flush deregisters it.
+	ops, freed := m.Flush()
+	if ops != 1 || freed != 2 {
+		t.Fatalf("flush: ops=%d freed=%d", ops, freed)
+	}
+	if m.LiveRegions() != 0 {
+		t.Fatalf("live regions = %d", m.LiveRegions())
+	}
+}
+
+func TestFlushPendingRegionDeregistersOnLastComplete(t *testing.T) {
+	m := New(100, 10, true)
+	h, _ := m.Register(3)
+	if ops, _ := m.Flush(); ops != 0 {
+		t.Fatal("flush should not free region with pending buffer")
+	}
+	ops, freed := m.Complete(h)
+	if ops != 1 || freed != 3 {
+		t.Fatalf("sealed region should free at last completion: ops=%d freed=%d", ops, freed)
+	}
+}
+
+func TestRegOpsCounted(t *testing.T) {
+	m := New(1000, 10, true)
+	for i := 0; i < 7; i++ {
+		if _, ok := m.Register(1); !ok {
+			t.Fatal("register failed")
+		}
+	}
+	if m.RegOps() != 7 {
+		t.Fatalf("regOps=%d", m.RegOps())
+	}
+}
+
+// Property: entries are conserved — used always equals registered minus
+// deregistered, never negative, and never exceeds capacity.
+func TestConservationProperty(t *testing.T) {
+	f := func(sizes []uint8, regionSize uint8, batched bool) bool {
+		rs := int(regionSize%32) + 1
+		m := New(4096, rs, batched)
+		var live []Handle
+		registered, deregistered := 0, 0
+		for i, s := range sizes {
+			n := int(s%8) + 1
+			usedBefore := m.Used()
+			if h, ok := m.Register(n); ok {
+				registered += n
+				live = append(live, h)
+				// Register may seal a fully-completed region and
+				// deregister it as a side effect.
+				deregistered += usedBefore + n - m.Used()
+			}
+			// Complete roughly half as we go, oldest first.
+			if i%2 == 0 && len(live) > 0 {
+				h := live[0]
+				live = live[1:]
+				_, freed := m.Complete(h)
+				deregistered += freed
+			}
+			if m.Used() != registered-deregistered {
+				return false
+			}
+			if m.Used() < 0 || m.Used() > m.Capacity() {
+				return false
+			}
+		}
+		// Drain.
+		for _, h := range live {
+			_, freed := m.Complete(h)
+			deregistered += freed
+		}
+		_, freed := m.Flush()
+		deregistered += freed
+		return m.Used() == registered-deregistered && m.Used() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in batched mode dereg ops are at most ceil(buffers*maxsize/regionSize)+1
+// and strictly fewer than buffer count for region sizes > max buffer size.
+func TestBatchingReducesOpsProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		count := int(n%2000) + 100
+		m := New(1<<20, 1000, true)
+		var hs []Handle
+		for i := 0; i < count; i++ {
+			h, ok := m.Register(1)
+			if !ok {
+				return false
+			}
+			hs = append(hs, h)
+		}
+		for _, h := range hs {
+			m.Complete(h)
+		}
+		m.Flush()
+		// ~1 op per 1000 buffers.
+		return m.DeregOps() <= int64(count/1000)+1 && m.Used() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package reliable
+
+import (
+	"fmt"
+	"time"
+)
+
+// ConnState is the connection lifecycle state.
+type ConnState int
+
+// Connection states.
+const (
+	StateConnected ConnState = iota
+	StateReconnecting
+	StateFailed
+)
+
+// String returns the state name.
+func (s ConnState) String() string {
+	switch s {
+	case StateConnected:
+		return "connected"
+	case StateReconnecting:
+		return "reconnecting"
+	case StateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("ConnState(%d)", int(s))
+}
+
+// Default reconnection policy.
+const (
+	DefaultReconnectBackoff = 100 * time.Millisecond
+	DefaultMaxAttempts      = 8
+)
+
+// Reconnector drives reconnection after a connection break: bounded
+// attempts with exponential backoff, then permanent failure. Like
+// Tracker it is pure; the caller performs the actual connect and reports
+// the outcome.
+type Reconnector struct {
+	backoff     time.Duration
+	maxAttempts int
+	state       ConnState
+	attempts    int
+	nextTry     time.Duration
+	reconnects  int64 // successful reconnections over the lifetime
+}
+
+// NewReconnector returns a reconnector in the Connected state. Zero
+// arguments select the defaults.
+func NewReconnector(backoff time.Duration, maxAttempts int) *Reconnector {
+	if backoff <= 0 {
+		backoff = DefaultReconnectBackoff
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	return &Reconnector{backoff: backoff, maxAttempts: maxAttempts, state: StateConnected}
+}
+
+// State returns the current state.
+func (r *Reconnector) State() ConnState { return r.state }
+
+// Reconnections returns how many times the connection has been
+// re-established.
+func (r *Reconnector) Reconnections() int64 { return r.reconnects }
+
+// ConnectionBroken transitions Connected -> Reconnecting at time now.
+// The first attempt may run immediately. Breaking an already-broken or
+// failed connection is a no-op.
+func (r *Reconnector) ConnectionBroken(now time.Duration) {
+	if r.state != StateConnected {
+		return
+	}
+	r.state = StateReconnecting
+	r.attempts = 0
+	r.nextTry = now
+}
+
+// ShouldAttempt reports whether a reconnect attempt should run at now,
+// i.e. the state is Reconnecting and the backoff has elapsed.
+func (r *Reconnector) ShouldAttempt(now time.Duration) bool {
+	return r.state == StateReconnecting && now >= r.nextTry
+}
+
+// NextAttemptAt returns the time of the next allowed attempt while
+// reconnecting.
+func (r *Reconnector) NextAttemptAt() (time.Duration, bool) {
+	if r.state != StateReconnecting {
+		return 0, false
+	}
+	return r.nextTry, true
+}
+
+// AttemptFailed records a failed attempt at now; after maxAttempts the
+// state becomes Failed, otherwise the next attempt is scheduled with
+// exponential backoff.
+func (r *Reconnector) AttemptFailed(now time.Duration) {
+	if r.state != StateReconnecting {
+		return
+	}
+	r.attempts++
+	if r.attempts >= r.maxAttempts {
+		r.state = StateFailed
+		return
+	}
+	delay := r.backoff
+	for i := 1; i < r.attempts; i++ {
+		delay *= 2
+	}
+	r.nextTry = now + delay
+}
+
+// AttemptSucceeded transitions back to Connected. The caller then replays
+// Tracker.Unacked() and calls Tracker.Reset.
+func (r *Reconnector) AttemptSucceeded() {
+	if r.state != StateReconnecting {
+		return
+	}
+	r.state = StateConnected
+	r.attempts = 0
+	r.reconnects++
+}

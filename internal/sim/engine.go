@@ -1,0 +1,129 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock and an event queue ordered by
+// (time, insertion sequence). Simulated activities are expressed either as
+// plain callbacks (Engine.After / Engine.At) or as processes: goroutines
+// that block on simulated time and on the synchronization primitives in
+// this package (Event, Semaphore, Queue). The engine guarantees that at
+// most one goroutine — the engine itself or exactly one process — runs at
+// any instant, so simulations are data-race free and fully deterministic
+// without any locking in model code.
+//
+// All timestamps are time.Duration offsets from the simulation epoch.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp: the offset from the simulation epoch.
+type Time = time.Duration
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same timestamp run first (FIFO within a timestamp).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation kernel.
+//
+// An Engine must be driven from a single goroutine (typically the test or
+// main goroutine) via Run, RunFor, or RunUntil. Model code running inside
+// events and processes may freely call Engine methods; it must not retain
+// the Engine across real OS threads.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	park   chan struct{} // processes signal the engine here when they yield
+	nprocs int           // live (started, unfinished) processes
+	label  string
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{park: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) is a programming error and panics.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. Negative d
+// panics; zero d runs fn after all callbacks already queued for Now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// step executes the earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain. If processes are still blocked
+// when the queue drains, they are abandoned (their goroutines stay parked
+// and are reclaimed only at process exit); simulations that need a clean
+// shutdown should arrange for their processes to terminate.
+func (e *Engine) Run() {
+	for e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then sets the clock
+// to t. Events scheduled after t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor advances the clock by d, executing all events in the window.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// LiveProcs returns the number of started processes that have not yet
+// returned. A nonzero value after Run means processes are blocked forever.
+func (e *Engine) LiveProcs() int { return e.nprocs }

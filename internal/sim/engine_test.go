@@ -1,0 +1,418 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(30*time.Microsecond, func() { order = append(order, 3) })
+	e.After(10*time.Microsecond, func() { order = append(order, 1) })
+	e.After(20*time.Microsecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 30*time.Microsecond {
+		t.Fatalf("clock = %v, want 30µs", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinTimestamp(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5*time.Microsecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("event %d ran out of order: %v", i, order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	e.After(time.Microsecond, func() {
+		e.After(time.Microsecond, func() { hits++ })
+	})
+	e.Run()
+	if hits != 1 {
+		t.Fatalf("nested event did not run")
+	}
+	if e.Now() != 2*time.Microsecond {
+		t.Fatalf("clock = %v, want 2µs", e.Now())
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10*time.Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("scheduling into the past did not panic")
+			}
+		}()
+		e.At(5*time.Microsecond, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	var a, b bool
+	e.After(10*time.Microsecond, func() { a = true })
+	e.After(20*time.Microsecond, func() { b = true })
+	e.RunUntil(15 * time.Microsecond)
+	if !a || b {
+		t.Fatalf("a=%v b=%v, want a fired and b pending", a, b)
+	}
+	if e.Now() != 15*time.Microsecond {
+		t.Fatalf("clock = %v, want 15µs", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(time.Millisecond)
+	e.RunFor(time.Millisecond)
+	if e.Now() != 2*time.Millisecond {
+		t.Fatalf("clock = %v, want 2ms", e.Now())
+	}
+}
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Microsecond)
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 42*time.Microsecond {
+		t.Fatalf("woke at %v, want 42µs", woke)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(10 * time.Microsecond)
+					log = append(log, name)
+				}
+			})
+		}
+		e.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatalf("nondeterministic length")
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("nondeterministic at %d: %v vs %v", i, got, first)
+				}
+			}
+		}
+	}
+	if len(first) != 9 {
+		t.Fatalf("len = %d, want 9", len(first))
+	}
+}
+
+func TestEventWaitBeforeFire(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent()
+	var woke Time
+	e.Go("waiter", func(p *Proc) {
+		ev.Wait(p)
+		woke = p.Now()
+	})
+	e.After(100*time.Microsecond, func() { ev.Fire(e) })
+	e.Run()
+	if woke != 100*time.Microsecond {
+		t.Fatalf("woke at %v, want 100µs", woke)
+	}
+}
+
+func TestEventWaitAfterFireReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent()
+	ev.Fire(e)
+	var woke Time = -1
+	e.Go("waiter", func(p *Proc) {
+		p.Sleep(5 * time.Microsecond)
+		ev.Wait(p)
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 5*time.Microsecond {
+		t.Fatalf("woke at %v, want 5µs", woke)
+	}
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent()
+	var n int
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *Proc) { ev.Wait(p); n++ })
+	}
+	e.After(time.Microsecond, func() { ev.Fire(e) })
+	e.Run()
+	if n != 4 {
+		t.Fatalf("woke %d waiters, want 4", n)
+	}
+}
+
+func TestEventResetReuse(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent()
+	ev.Fire(e)
+	if !ev.Fired() {
+		t.Fatal("not fired")
+	}
+	ev.Reset()
+	if ev.Fired() {
+		t.Fatal("still fired after Reset")
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(2)
+	var active, peak int
+	for i := 0; i < 6; i++ {
+		e.Go("worker", func(p *Proc) {
+			sem.Acquire(p)
+			active++
+			if active > peak {
+				peak = active
+			}
+			p.Sleep(10 * time.Microsecond)
+			active--
+			sem.Release(e)
+		})
+	}
+	e.Run()
+	if peak != 2 {
+		t.Fatalf("peak concurrency = %d, want 2", peak)
+	}
+	if e.Now() != 30*time.Microsecond {
+		t.Fatalf("makespan = %v, want 30µs (3 waves)", e.Now())
+	}
+}
+
+func TestSemaphoreFIFO(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(1)
+	var order []int
+	e.Go("holder", func(p *Proc) {
+		sem.Acquire(p)
+		p.Sleep(100 * time.Microsecond)
+		sem.Release(e)
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(Time(i) * time.Microsecond) // stagger arrival order
+			sem.Acquire(p)
+			order = append(order, i)
+			sem.Release(e)
+		})
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wakeup order %v, want [1 2 3]", order)
+	}
+}
+
+func TestSemaphoreTryAcquireRespectsQueue(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(1)
+	e.Go("a", func(p *Proc) {
+		sem.Acquire(p)
+		p.Sleep(10 * time.Microsecond)
+		sem.Release(e)
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		sem.Acquire(p) // blocks behind a
+		sem.Release(e)
+	})
+	e.Go("c", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond) // arrives exactly at release time
+		if sem.TryAcquire() && sem.Waiting() > 0 {
+			t.Errorf("TryAcquire jumped the wait queue")
+		}
+	})
+	e.Run()
+}
+
+func TestMutexExcludes(t *testing.T) {
+	e := NewEngine()
+	mu := NewMutex()
+	inside := 0
+	for i := 0; i < 5; i++ {
+		e.Go("locker", func(p *Proc) {
+			mu.Lock(p)
+			inside++
+			if inside != 1 {
+				t.Errorf("mutual exclusion violated: %d inside", inside)
+			}
+			p.Sleep(3 * time.Microsecond)
+			inside--
+			mu.Unlock(e)
+		})
+	}
+	e.Run()
+	if mu.Locked() {
+		t.Fatal("mutex still locked at end")
+	}
+}
+
+func TestQueuePutThenGet(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int]()
+	q.Put(e, 7)
+	q.Put(e, 8)
+	var got []int
+	e.Go("consumer", func(p *Proc) {
+		got = append(got, q.Get(p), q.Get(p))
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("got %v, want [7 8]", got)
+	}
+}
+
+func TestQueueGetBlocksUntilPut(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[string]()
+	var got string
+	var at Time
+	e.Go("consumer", func(p *Proc) {
+		got = q.Get(p)
+		at = p.Now()
+	})
+	e.After(25*time.Microsecond, func() { q.Put(e, "x") })
+	e.Run()
+	if got != "x" || at != 25*time.Microsecond {
+		t.Fatalf("got %q at %v, want \"x\" at 25µs", got, at)
+	}
+}
+
+func TestQueueMultipleBlockedGetters(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int]()
+	var got []int
+	for i := 0; i < 3; i++ {
+		e.Go("c", func(p *Proc) { got = append(got, q.Get(p)) })
+	}
+	e.After(time.Microsecond, func() {
+		q.Put(e, 1)
+		q.Put(e, 2)
+		q.Put(e, 3)
+	})
+	e.Run()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d items, want 3", len(got))
+	}
+	// FIFO getters receive items in put order.
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got %v, want [1 2 3]", got)
+		}
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int]()
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+	q.Put(e, 9)
+	if v, ok := q.TryGet(); !ok || v != 9 {
+		t.Fatalf("TryGet = %v,%v; want 9,true", v, ok)
+	}
+}
+
+func TestWaitTimeoutFires(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent()
+	var ok bool
+	var at Time
+	e.Go("w", func(p *Proc) {
+		ok = ev.WaitTimeout(p, 100*time.Microsecond)
+		at = p.Now()
+	})
+	e.After(40*time.Microsecond, func() { ev.Fire(e) })
+	e.Run()
+	if !ok || at != 40*time.Microsecond {
+		t.Fatalf("ok=%v at=%v, want fired at 40µs", ok, at)
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent()
+	var ok bool
+	var at Time
+	e.Go("w", func(p *Proc) {
+		ok = ev.WaitTimeout(p, 100*time.Microsecond)
+		at = p.Now()
+	})
+	e.After(500*time.Microsecond, func() { ev.Fire(e) })
+	e.Run()
+	if ok || at != 100*time.Microsecond {
+		t.Fatalf("ok=%v at=%v, want timeout at 100µs", ok, at)
+	}
+}
+
+func TestWaitTimeoutAlreadyFired(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent()
+	ev.Fire(e)
+	var ok bool
+	e.Go("w", func(p *Proc) { ok = ev.WaitTimeout(p, time.Microsecond) })
+	e.Run()
+	if !ok {
+		t.Fatal("should report fired immediately")
+	}
+}
+
+func TestWaitTimeoutDoesNotDoubleResume(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent()
+	var wakes int
+	e.Go("w", func(p *Proc) {
+		ev.WaitTimeout(p, 50*time.Microsecond)
+		wakes++
+		p.Sleep(200 * time.Microsecond) // survive past the stale timer
+		wakes++
+	})
+	e.After(50*time.Microsecond, func() { ev.Fire(e) }) // fires exactly at the deadline
+	e.Run()
+	if wakes != 2 {
+		t.Fatalf("wakes=%d, want 2", wakes)
+	}
+}

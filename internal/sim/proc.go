@@ -1,0 +1,59 @@
+package sim
+
+// Proc is the handle a simulated process uses to interact with virtual
+// time. A process is a goroutine started with Engine.Go; it runs only
+// while the engine has transferred control to it, and it returns control
+// by blocking on Sleep or on one of the synchronization primitives.
+//
+// Proc methods must only be called from the process's own goroutine.
+type Proc struct {
+	E      *Engine
+	Name   string
+	resume chan struct{}
+}
+
+// Go starts fn as a simulated process at the current virtual time.
+// The process begins running when the engine reaches the scheduling
+// event; Go itself returns immediately.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{E: e, Name: name, resume: make(chan struct{})}
+	e.nprocs++
+	go func() {
+		<-p.resume // wait for the engine to transfer control the first time
+		fn(p)
+		e.nprocs--
+		e.park <- struct{}{} // hand control back for good
+	}()
+	e.After(0, p.transfer)
+	return p
+}
+
+// transfer hands control from the engine to the process and blocks the
+// engine until the process parks again. It is used as an event callback.
+func (p *Proc) transfer() {
+	p.resume <- struct{}{}
+	<-p.E.park
+}
+
+// yield returns control to the engine and blocks until the engine
+// transfers control back via p.transfer.
+func (p *Proc) yield() {
+	p.E.park <- struct{}{}
+	<-p.resume
+}
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.E.After(d, p.transfer)
+	p.yield()
+}
+
+// Yield reschedules the process after all events already queued at the
+// current timestamp. It is equivalent to Sleep(0).
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.E.Now() }

@@ -1,0 +1,61 @@
+package sim
+
+// Queue is an unbounded FIFO channel between simulated activities.
+// Put never blocks; Get blocks the calling process until an item arrives.
+// It is the simulated analogue of a work queue fed by events or other
+// processes.
+type Queue[T any] struct {
+	items   []T
+	waiters []*getWaiter[T]
+}
+
+type getWaiter[T any] struct {
+	p    *Proc
+	item T
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Len returns the number of buffered items (not counting items already
+// handed to blocked getters).
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v. If a getter is blocked, v is handed to the oldest one
+// and that process is scheduled at the current virtual time.
+func (q *Queue[T]) Put(e *Engine, v T) {
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters[len(q.waiters)-1] = nil
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		w.item = v
+		e.After(0, w.p.transfer)
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Get removes and returns the oldest item, blocking the process until one
+// is available.
+func (q *Queue[T]) Get(p *Proc) T {
+	if v, ok := q.TryGet(); ok {
+		return v
+	}
+	w := &getWaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	p.yield()
+	return w.item
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Tally accumulates scalar observations (durations, sizes, counts) and
+// reports summary statistics. The zero value is ready to use.
+type Tally struct {
+	n        int64
+	sum, sq  float64
+	min, max float64
+}
+
+// Add records one observation.
+func (t *Tally) Add(v float64) {
+	if t.n == 0 || v < t.min {
+		t.min = v
+	}
+	if t.n == 0 || v > t.max {
+		t.max = v
+	}
+	t.n++
+	t.sum += v
+	t.sq += v * v
+}
+
+// AddDuration records a duration observation in seconds.
+func (t *Tally) AddDuration(d time.Duration) { t.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (t *Tally) N() int64 { return t.n }
+
+// Sum returns the sum of observations.
+func (t *Tally) Sum() float64 { return t.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (t *Tally) Mean() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.sum / float64(t.n)
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (t *Tally) Min() float64 { return t.min }
+
+// Max returns the largest observation, or 0 with none.
+func (t *Tally) Max() float64 { return t.max }
+
+// Stddev returns the population standard deviation.
+func (t *Tally) Stddev() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	m := t.Mean()
+	v := t.sq/float64(t.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// MeanDuration returns the mean as a time.Duration (observations recorded
+// via AddDuration).
+func (t *Tally) MeanDuration() time.Duration {
+	return time.Duration(t.Mean() * float64(time.Second))
+}
+
+// Series is an ordered collection of observations that supports
+// percentiles. Use for latency distributions.
+type Series struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Series) Add(v float64) { s.vals = append(s.vals, v); s.sorted = false }
+
+// AddDuration records a duration in seconds.
+func (s *Series) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Series) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by
+// nearest-rank, or 0 with no observations.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.vals[rank-1]
+}
+
+// Counter is a labeled monotonically increasing count.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds n.
+func (c *Counter) Addn(n int64) { c.n += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// String implements fmt.Stringer.
+func (c *Counter) String() string { return fmt.Sprintf("%d", c.n) }

@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTallyBasics(t *testing.T) {
+	var ta Tally
+	for _, v := range []float64{2, 4, 6} {
+		ta.Add(v)
+	}
+	if ta.N() != 3 {
+		t.Fatalf("N = %d", ta.N())
+	}
+	if ta.Mean() != 4 {
+		t.Fatalf("Mean = %v", ta.Mean())
+	}
+	if ta.Min() != 2 || ta.Max() != 6 {
+		t.Fatalf("Min/Max = %v/%v", ta.Min(), ta.Max())
+	}
+	want := math.Sqrt(8.0 / 3.0)
+	if math.Abs(ta.Stddev()-want) > 1e-9 {
+		t.Fatalf("Stddev = %v, want %v", ta.Stddev(), want)
+	}
+}
+
+func TestTallyEmpty(t *testing.T) {
+	var ta Tally
+	if ta.Mean() != 0 || ta.Stddev() != 0 || ta.Min() != 0 || ta.Max() != 0 {
+		t.Fatal("empty tally should report zeros")
+	}
+}
+
+func TestTallyDuration(t *testing.T) {
+	var ta Tally
+	ta.AddDuration(10 * time.Millisecond)
+	ta.AddDuration(30 * time.Millisecond)
+	if ta.MeanDuration() != 20*time.Millisecond {
+		t.Fatalf("MeanDuration = %v", ta.MeanDuration())
+	}
+}
+
+func TestTallyMinMaxProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var ta Tally
+		for _, v := range vals {
+			if math.IsNaN(v) || math.Abs(v) > 1e15 {
+				return true // avoid float summation overflow; not the property under test
+			}
+			ta.Add(v)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		return ta.Min() <= ta.Mean() && ta.Mean() <= ta.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesPercentiles(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(99); got != 99 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestSeriesPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		var s Series
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return true
+			}
+			s.Add(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Percentile(pa) <= s.Percentile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesAddAfterPercentile(t *testing.T) {
+	var s Series
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1) // must re-sort on next query
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 after late add = %v, want 1", got)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a2 := NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical stream")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRandRangeInclusive(t *testing.T) {
+	r := NewRand(9)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.Range(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+		seen[v] = true
+	}
+	if !seen[3] || !seen[4] || !seen[5] {
+		t.Fatalf("Range did not cover all values: %v", seen)
+	}
+}
+
+func TestRandFloat64Bounds(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(13)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(17)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandSplitIndependent(t *testing.T) {
+	r := NewRand(21)
+	s := r.Split()
+	// Parent continues deterministically after split.
+	r2 := NewRand(21)
+	_ = r2.Uint64() // the split consumed one value
+	if r.Uint64() != r2.Uint64() {
+		t.Fatal("split disturbed parent stream beyond one draw")
+	}
+	_ = s.Uint64()
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	if c.String() != "5" {
+		t.Fatalf("String = %q", c.String())
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+// Event is a one-shot completion flag. Processes block on Wait until some
+// other activity calls Fire; Wait returns immediately once fired. Event is
+// the simulated analogue of a completion notification.
+type Event struct {
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent returns an unfired event bound to no particular engine; the
+// engine is taken from the waiting/firing context.
+func NewEvent() *Event { return &Event{} }
+
+// Fired reports whether Fire has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire marks the event complete and wakes all waiters (in wait order) at
+// the current virtual time. Firing twice is a no-op.
+func (ev *Event) Fire(e *Engine) {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		e.After(0, w.transfer)
+	}
+	ev.waiters = nil
+}
+
+// Reset returns a fired event to the unfired state so it can be reused.
+// Resetting with waiters pending is a programming error and panics.
+func (ev *Event) Reset() {
+	if len(ev.waiters) != 0 {
+		panic("sim: Reset with pending waiters")
+	}
+	ev.fired = false
+}
+
+// Wait blocks the process until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.yield()
+}
+
+// WaitTimeout blocks the process until the event fires or d elapses,
+// whichever comes first, and reports whether the event had fired by the
+// time the process resumed.
+func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
+	if ev.fired {
+		return true
+	}
+	ev.waiters = append(ev.waiters, p)
+	resumed := false
+	p.E.After(d, func() {
+		if resumed || ev.fired {
+			return
+		}
+		// Remove ourselves from the waiter list and resume.
+		for i, w := range ev.waiters {
+			if w == p {
+				ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+				break
+			}
+		}
+		p.transfer()
+	})
+	p.yield()
+	resumed = true
+	return ev.fired
+}
+
+// Semaphore is a counting semaphore with FIFO wakeup. It models any
+// bounded resource: CPU slots, NIC descriptor queue entries, credits.
+type Semaphore struct {
+	avail   int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore capacity")
+	}
+	return &Semaphore{avail: n}
+}
+
+// Available returns the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Waiting returns the number of blocked acquirers.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// TryAcquire takes a permit without blocking and reports success.
+func (s *Semaphore) TryAcquire() bool {
+	// Queued waiters have priority; a late TryAcquire must not jump them.
+	if s.avail > 0 && len(s.waiters) == 0 {
+		s.avail--
+		return true
+	}
+	return false
+}
+
+// Acquire takes one permit, blocking the process until one is available.
+// Wakeup order is FIFO.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.TryAcquire() {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.yield()
+	// The releaser passed its permit directly to us; nothing to decrement.
+}
+
+// Release returns one permit. If acquirers are blocked, the permit is
+// handed directly to the oldest one.
+func (s *Semaphore) Release(e *Engine) {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		copy(s.waiters, s.waiters[1:])
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		e.After(0, w.transfer)
+		return
+	}
+	s.avail++
+}
+
+// Mutex is a binary semaphore with Lock/Unlock naming for readability in
+// model code that mirrors real locking.
+type Mutex struct{ s Semaphore }
+
+// NewMutex returns an unlocked mutex.
+func NewMutex() *Mutex { return &Mutex{s: Semaphore{avail: 1}} }
+
+// Lock acquires the mutex, blocking the process while it is held.
+func (m *Mutex) Lock(p *Proc) { m.s.Acquire(p) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock(e *Engine) { m.s.Release(e) }
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.s.avail == 0 }
+
+// Waiting returns the number of processes blocked in Lock.
+func (m *Mutex) Waiting() int { return m.s.Waiting() }

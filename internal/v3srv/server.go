@@ -1,0 +1,356 @@
+// Package v3srv implements the V3 storage server of Section 2.1: a
+// user-level storage node with a request manager, a cache manager, a
+// volume manager, and a disk manager, organized as a lightweight pipeline
+// that services many I/O requests concurrently and communicates with
+// clients through user-level VI primitives.
+//
+// A server presents one virtualized volume built over its locally
+// attached disks. Reads are served from a large main-memory block cache
+// (Multi-Queue replacement, the paper's [31]); writes are committed to
+// disk before the response ("since in database systems writes have to
+// commit to disk").
+package v3srv
+
+import (
+	"time"
+
+	"github.com/v3storage/v3/internal/diskmodel"
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/mqcache"
+	"github.com/v3storage/v3/internal/sim"
+	"github.com/v3storage/v3/internal/vi"
+	"github.com/v3storage/v3/internal/vinic"
+	"github.com/v3storage/v3/internal/volume"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind int
+
+// I/O operations.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// WireReq is the simulated 64-byte request control message a DSA client
+// sends to a V3 server (the simulation analogue of wire.Read/wire.Write).
+type WireReq struct {
+	Op       OpKind
+	Offset   int64
+	Length   int
+	PollMode bool // respond with a silent RDMA completion flag (cDSA polling)
+	Tag      any  // client request state, echoed back opaquely
+}
+
+// WireResp is the response control message (or the payload of the
+// RDMA-written completion flag in poll mode).
+type WireResp struct {
+	Tag        any
+	ServerTime time.Duration // measured request-manager residence time
+}
+
+// WireData tags a bulk RDMA payload (read data to the client, write data
+// staged to the server). Data transfers are silent; the response carries
+// the completion.
+type WireData struct {
+	Tag any
+}
+
+// WireHint is a fire-and-forget caching/prefetching hint (the cDSA API's
+// advanced feature, Section 2.2): the server stages the range into its
+// cache; no response is sent.
+type WireHint struct {
+	Offset int64
+	Length int
+}
+
+// Config sizes a V3 server node.
+type Config struct {
+	Name         string
+	CPUs         int // server processors (Table 2: two 700 MHz PIIs)
+	Workers      int // pipeline concurrency (outstanding requests in service)
+	BlockSize    int // cache block size (the experiments fix 8 KB)
+	CacheBlocks  int // block cache capacity; 0 disables caching
+	UseMQ        bool
+	NumDisks     int
+	DiskParams   diskmodel.Params
+	DiskBytes    int64         // usable bytes per disk
+	StripeSize   int64         // volume manager stripe unit
+	ReqCost      time.Duration // request-manager work per request
+	PerBlockCost time.Duration // cache-manager work per block touched
+	RespCost     time.Duration // response construction
+}
+
+// DefaultConfig returns a single mid-size V3 node (Table 2).
+func DefaultConfig() Config {
+	return Config{
+		Name:         "v3-0",
+		CPUs:         2,
+		Workers:      64,
+		BlockSize:    8192,
+		CacheBlocks:  200000, // 1.6 GB at 8 KB
+		UseMQ:        true,
+		NumDisks:     15,
+		DiskParams:   diskmodel.SCSI10K(),
+		DiskBytes:    17 << 30,
+		StripeSize:   64 * 1024,
+		ReqCost:      8 * time.Microsecond,
+		PerBlockCost: 5 * time.Microsecond,
+		RespCost:     4 * time.Microsecond,
+	}
+}
+
+// Server is one V3 storage node.
+type Server struct {
+	e      *sim.Engine
+	cfg    Config
+	cpus   *hw.CPUPool
+	prov   *vi.Provider
+	conn   *vi.Conn
+	layout volume.Layout
+	disks  *diskmodel.Array
+	cache  mqcache.Cache
+	queue  *sim.Queue[*serverReq]
+	hints  *sim.Queue[*WireHint]
+
+	served     sim.Counter
+	cacheHits  sim.Counter
+	cacheMiss  sim.Counter
+	svcTime    sim.Tally
+	queueDepth int
+}
+
+type serverReq struct {
+	req     *WireReq
+	arrived sim.Time
+}
+
+// New creates a server node, its CPU pool, VI provider, disks, and
+// pipeline workers. nic is the server side of the link to its client.
+func New(e *sim.Engine, cfg Config, nic *vinic.NIC, viParams vi.Params) *Server {
+	if cfg.BlockSize <= 0 {
+		panic("v3srv: block size must be positive")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4 * cfg.NumDisks
+	}
+	cpus := hw.NewCPUPool(e, cfg.CPUs)
+	s := &Server{
+		e:     e,
+		cfg:   cfg,
+		cpus:  cpus,
+		disks: diskmodel.NewArray(e, cfg.NumDisks, cfg.DiskParams, sim.NewRand(0x5eed+uint64(len(cfg.Name)))),
+		queue: sim.NewQueue[*serverReq](),
+		hints: sim.NewQueue[*WireHint](),
+	}
+	s.prov = vi.NewProvider(e, cpus, nic, viParams)
+	// The server's staging buffers are allocated and registered at startup
+	// (it controls its own memory), so per-I/O registration happens only
+	// on the client.
+	s.prov.SetPinnedBuffers(true)
+	lay, err := volume.NewStripe(cfg.NumDisks, cfg.StripeSize, cfg.DiskBytes-(cfg.DiskBytes%cfg.StripeSize))
+	if err != nil {
+		panic("v3srv: " + err.Error())
+	}
+	s.layout = lay
+	if cfg.CacheBlocks > 0 {
+		if cfg.UseMQ {
+			s.cache = mqcache.NewMQ(cfg.CacheBlocks, 0, 0)
+		} else {
+			s.cache = mqcache.NewLRU(cfg.CacheBlocks)
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.Go(cfg.Name+"-worker", s.worker)
+	}
+	for i := 0; i < 2; i++ {
+		e.Go(cfg.Name+"-prefetch", s.prefetcher)
+	}
+	return s
+}
+
+// AttachClient wires the server end of a VI connection: call with the
+// server-side Conn created by vi.Connect.
+func (s *Server) AttachClient(conn *vi.Conn) {
+	s.conn = conn
+	conn.SetHandler(s.onMessage)
+}
+
+// Provider returns the server's VI provider.
+func (s *Server) Provider() *vi.Provider { return s.prov }
+
+// VolumeSize returns the usable volume size in bytes.
+func (s *Server) VolumeSize() int64 { return s.layout.Size() }
+
+// onMessage runs in event context: requests enter the pipeline queue;
+// silent write-data RDMAs need no server action (the NIC placed them in
+// the staging buffer).
+func (s *Server) onMessage(m *vinic.Message) {
+	switch payload := m.Payload.(type) {
+	case *WireReq:
+		s.queueDepth++
+		s.queue.Put(s.e, &serverReq{req: payload, arrived: s.e.Now()})
+	case *WireData:
+		// staged payload; nothing to do
+	case *WireHint:
+		s.hints.Put(s.e, payload)
+	default:
+		panic("v3srv: unexpected message payload")
+	}
+}
+
+// worker is one stage-pipeline context: it pulls requests, runs the
+// request manager / cache manager / disk manager work, and responds.
+func (s *Server) worker(p *sim.Proc) {
+	for {
+		sr := s.queue.Get(p)
+		s.queueDepth--
+		req := sr.req
+		s.cpus.Use(p, hw.CatOther, s.cfg.ReqCost)
+		switch req.Op {
+		case OpRead:
+			s.serveRead(p, req)
+		case OpWrite:
+			s.serveWrite(p, req)
+		}
+		s.cpus.Use(p, hw.CatOther, s.cfg.RespCost)
+		elapsed := p.Now() - sr.arrived
+		s.svcTime.AddDuration(elapsed)
+		s.served.Inc()
+		resp := &WireResp{Tag: req.Tag, ServerTime: elapsed}
+		if req.Op == OpRead {
+			// RDMA the data into the client's buffer, then complete.
+			s.conn.RDMAWrite(p, req.Length, &WireData{Tag: req.Tag}, false)
+		}
+		if req.PollMode {
+			// Set the client's completion flag with a silent 64-byte RDMA.
+			s.conn.RDMAWrite(p, 64, resp, false)
+		} else {
+			s.conn.Send(p, 64, resp)
+		}
+	}
+}
+
+// prefetcher services caching/prefetch hints in the background: it pulls
+// the hinted range through the cache-fill path without responding, at
+// lower priority than demand requests (hints are advisory).
+func (s *Server) prefetcher(p *sim.Proc) {
+	for {
+		h := s.hints.Get(p)
+		if s.cache == nil || h.Length <= 0 {
+			continue
+		}
+		s.serveRead(p, &WireReq{Op: OpRead, Offset: h.Offset, Length: h.Length})
+	}
+}
+
+// serveRead brings every block of the request into the cache (cache
+// manager) or reads it from disk (volume + disk managers).
+func (s *Server) serveRead(p *sim.Proc, req *WireReq) {
+	if s.cache == nil {
+		s.diskIO(p, req.Offset, req.Length, false)
+		return
+	}
+	bs := int64(s.cfg.BlockSize)
+	first := req.Offset / bs
+	last := (req.Offset + int64(req.Length) - 1) / bs
+	// Collect the missing block runs, then fetch them.
+	runStart := int64(-1)
+	var runLen int64
+	for b := first; b <= last; b++ {
+		s.cpus.Use(p, hw.CatOther, s.cfg.PerBlockCost)
+		if s.cache.Ref(uint64(b)) {
+			s.cacheHits.Inc()
+			if runStart >= 0 {
+				s.diskIO(p, runStart*bs, int(runLen*bs), false)
+				s.insertRun(runStart, runLen)
+				runStart = -1
+			}
+			continue
+		}
+		s.cacheMiss.Inc()
+		if runStart < 0 {
+			runStart, runLen = b, 1
+		} else {
+			runLen++
+		}
+	}
+	if runStart >= 0 {
+		s.diskIO(p, runStart*bs, int(runLen*bs), false)
+		s.insertRun(runStart, runLen)
+	}
+}
+
+func (s *Server) insertRun(start, n int64) {
+	for b := start; b < start+n; b++ {
+		s.cache.Insert(uint64(b))
+	}
+}
+
+// serveWrite commits the staged payload to disk (write-through) and
+// updates the cache so subsequent reads hit.
+func (s *Server) serveWrite(p *sim.Proc, req *WireReq) {
+	if s.cache != nil {
+		bs := int64(s.cfg.BlockSize)
+		first := req.Offset / bs
+		last := (req.Offset + int64(req.Length) - 1) / bs
+		for b := first; b <= last; b++ {
+			s.cpus.Use(p, hw.CatOther, s.cfg.PerBlockCost)
+			if !s.cache.Ref(uint64(b)) {
+				s.cache.Insert(uint64(b))
+			}
+		}
+	}
+	s.diskIO(p, req.Offset, req.Length, true)
+}
+
+// diskIO maps [off, off+length) through the volume manager and performs
+// the member-disk I/Os in parallel, blocking until all complete.
+func (s *Server) diskIO(p *sim.Proc, off int64, length int, write bool) {
+	if length <= 0 {
+		return
+	}
+	var ext []volume.Extent
+	var err error
+	if write {
+		ext, err = s.layout.MapWrite(off, length)
+	} else {
+		ext, err = s.layout.MapRead(off, length)
+	}
+	if err != nil {
+		panic("v3srv: " + err.Error())
+	}
+	events := make([]*sim.Event, len(ext))
+	for i, x := range ext {
+		done := sim.NewEvent()
+		events[i] = done
+		s.disks.Disks[x.Disk].Submit(&diskmodel.Request{
+			Offset: x.Offset, Length: x.Length, Write: write, Done: done,
+		})
+	}
+	for _, ev := range events {
+		ev.Wait(p)
+	}
+}
+
+// Served returns the number of completed requests.
+func (s *Server) Served() int64 { return s.served.Value() }
+
+// MeanServiceTime returns the average request residence time.
+func (s *Server) MeanServiceTime() time.Duration { return s.svcTime.MeanDuration() }
+
+// CacheHitRatio returns block-level hits/(hits+misses), or 0 without a
+// cache.
+func (s *Server) CacheHitRatio() float64 {
+	h, m := s.cacheHits.Value(), s.cacheMiss.Value()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Disks exposes the disk array (for stats).
+func (s *Server) Disks() *diskmodel.Array { return s.disks }
+
+// CPUs exposes the server CPU pool (for stats).
+func (s *Server) CPUs() *hw.CPUPool { return s.cpus }

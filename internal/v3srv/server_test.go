@@ -1,0 +1,229 @@
+package v3srv
+
+import (
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/sim"
+	"github.com/v3storage/v3/internal/vi"
+	"github.com/v3storage/v3/internal/vinic"
+)
+
+// testRig wires a bare client-side VI connection to a server so tests can
+// speak the wire protocol directly, without DSA.
+type testRig struct {
+	e    *sim.Engine
+	srv  *Server
+	conn *vi.Conn // client end
+	got  []*WireResp
+	data []*WireData
+}
+
+func newTestRig(cfg Config) *testRig {
+	e := sim.NewEngine()
+	clientCPUs := hw.NewCPUPool(e, 2)
+	nicC, nicS := vinic.NewPair(e, vinic.DefaultParams(), "c", "s")
+	provC := vi.NewProvider(e, clientCPUs, nicC, vi.DefaultParams())
+	srv := New(e, cfg, nicS, vi.DefaultParams())
+	connC, connS := vi.Connect(provC, srv.Provider())
+	srv.AttachClient(connS)
+	r := &testRig{e: e, srv: srv, conn: connC}
+	connC.SetHandler(func(m *vinic.Message) {
+		switch v := m.Payload.(type) {
+		case *WireResp:
+			r.got = append(r.got, v)
+		case *WireData:
+			r.data = append(r.data, v)
+		}
+	})
+	return r
+}
+
+func (r *testRig) send(req *WireReq) {
+	r.e.Go("client", func(p *sim.Proc) {
+		r.conn.Send(p, 64, req)
+	})
+}
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.NumDisks = 4
+	cfg.Workers = 8
+	cfg.CacheBlocks = 64
+	return cfg
+}
+
+func TestReadReturnsDataThenResponse(t *testing.T) {
+	r := newTestRig(smallCfg())
+	r.send(&WireReq{Op: OpRead, Offset: 8192, Length: 8192, Tag: "t1"})
+	r.e.RunFor(time.Second)
+	if len(r.data) != 1 || len(r.got) != 1 {
+		t.Fatalf("data=%d resp=%d", len(r.data), len(r.got))
+	}
+	if r.got[0].Tag != "t1" || r.data[0].Tag != "t1" {
+		t.Fatal("tags lost")
+	}
+	if r.got[0].ServerTime <= 0 {
+		t.Fatal("no server time")
+	}
+	if r.srv.Served() != 1 {
+		t.Fatalf("served=%d", r.srv.Served())
+	}
+}
+
+func TestPollModeRespondsWithSilentRDMA(t *testing.T) {
+	r := newTestRig(smallCfg())
+	var silent bool
+	r.conn.SetHandler(func(m *vinic.Message) {
+		if _, ok := m.Payload.(*WireResp); ok {
+			silent = m.RDMA && !m.Notify
+		}
+	})
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 8192, PollMode: true, Tag: "t"})
+	r.e.RunFor(time.Second)
+	if !silent {
+		t.Fatal("poll-mode response should be a silent RDMA flag write")
+	}
+}
+
+func TestCachedReadSkipsDisk(t *testing.T) {
+	r := newTestRig(smallCfg())
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 8192, Tag: 1})
+	r.e.RunFor(time.Second)
+	served1 := r.srv.Disks().Served()
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 8192, Tag: 2})
+	r.e.RunFor(time.Second)
+	if r.srv.Disks().Served() != served1 {
+		t.Fatal("second read should hit the cache")
+	}
+	if r.srv.CacheHitRatio() <= 0 {
+		t.Fatal("no hits recorded")
+	}
+	if r.got[1].ServerTime >= r.got[0].ServerTime/5 {
+		t.Fatalf("cached (%v) should be much faster than cold (%v)",
+			r.got[1].ServerTime, r.got[0].ServerTime)
+	}
+}
+
+func TestWriteCommitsToDisk(t *testing.T) {
+	r := newTestRig(smallCfg())
+	r.send(&WireReq{Op: OpWrite, Offset: 0, Length: 8192, Tag: "w"})
+	r.e.RunFor(time.Second)
+	if len(r.got) != 1 {
+		t.Fatalf("resp=%d", len(r.got))
+	}
+	if r.srv.Disks().Served() == 0 {
+		t.Fatal("write-through must reach the disk")
+	}
+	// Write must take disk time (write-through), not just cache time.
+	if r.got[0].ServerTime < time.Millisecond {
+		t.Fatalf("write server time %v too fast for write-through", r.got[0].ServerTime)
+	}
+	// And the written block is now cached for reads.
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 8192, Tag: "r"})
+	served := r.srv.Disks().Served()
+	r.e.RunFor(time.Second)
+	if r.srv.Disks().Served() != served {
+		t.Fatal("read after write should hit the cache")
+	}
+}
+
+func TestZeroCacheServesFromDisk(t *testing.T) {
+	cfg := smallCfg()
+	cfg.CacheBlocks = 0
+	r := newTestRig(cfg)
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 8192, Tag: 1})
+	r.e.RunFor(time.Second)
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 8192, Tag: 2})
+	r.e.RunFor(time.Second)
+	if r.srv.Disks().Served() != 2 {
+		t.Fatalf("disk IOs = %d, want 2 (no cache)", r.srv.Disks().Served())
+	}
+	if r.srv.CacheHitRatio() != 0 {
+		t.Fatal("hit ratio should be zero without a cache")
+	}
+}
+
+func TestMultiBlockReadFetchesRuns(t *testing.T) {
+	r := newTestRig(smallCfg())
+	// 64 KB read = 8 cache blocks, all cold.
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 64 * 1024, Tag: "big"})
+	r.e.RunFor(time.Second)
+	if len(r.got) != 1 {
+		t.Fatalf("resp=%d", len(r.got))
+	}
+	// Second read fully cached.
+	before := r.srv.Disks().Served()
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 64 * 1024, Tag: "big2"})
+	r.e.RunFor(time.Second)
+	if r.srv.Disks().Served() != before {
+		t.Fatal("second 64K read should be fully cached")
+	}
+}
+
+func TestPipelineServicesConcurrently(t *testing.T) {
+	cfg := smallCfg()
+	cfg.CacheBlocks = 0
+	r := newTestRig(cfg)
+	var last sim.Time
+	n := 0
+	r.conn.SetHandler(func(m *vinic.Message) {
+		if _, ok := m.Payload.(*WireResp); ok {
+			n++
+			last = r.e.Now()
+		}
+	})
+	r.e.Go("client", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			// Different stripes -> different disks.
+			r.conn.Send(p, 64, &WireReq{Op: OpRead, Offset: int64(i) * 64 * 1024, Length: 8192, Tag: i})
+		}
+	})
+	r.e.RunFor(time.Second)
+	if n != 8 {
+		t.Fatalf("completed %d", n)
+	}
+	// 8 requests over 4 disks should take ~2 disk times, not 8.
+	if last > 60*time.Millisecond {
+		t.Fatalf("pipeline too slow: %v", last)
+	}
+}
+
+func TestServerStatsAndConfig(t *testing.T) {
+	r := newTestRig(smallCfg())
+	if r.srv.VolumeSize() <= 0 {
+		t.Fatal("volume size")
+	}
+	if r.srv.CPUs().N() != 2 {
+		t.Fatal("server CPUs")
+	}
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 512, Tag: "x"})
+	r.e.RunFor(time.Second)
+	if r.srv.MeanServiceTime() <= 0 {
+		t.Fatal("no mean service time")
+	}
+}
+
+func TestAutoWorkerScaling(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Workers = 0
+	cfg.NumDisks = 6
+	r := newTestRig(cfg)
+	if r.srv.cfg.Workers != 24 {
+		t.Fatalf("auto workers = %d, want 4x disks", r.srv.cfg.Workers)
+	}
+}
+
+func TestLRUCacheOption(t *testing.T) {
+	cfg := smallCfg()
+	cfg.UseMQ = false
+	r := newTestRig(cfg)
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 8192, Tag: 1})
+	r.e.RunFor(time.Second)
+	r.send(&WireReq{Op: OpRead, Offset: 0, Length: 8192, Tag: 2})
+	r.e.RunFor(time.Second)
+	if r.srv.CacheHitRatio() <= 0 {
+		t.Fatal("LRU cache should record hits")
+	}
+}

@@ -1,0 +1,283 @@
+// Package vi models a Virtual Interface Architecture provider (the
+// Giganet VIPL implementation of the VI Specification 1.0) on top of the
+// NIC model in internal/vinic. It exposes what DSA consumes:
+//
+//   - memory registration and deregistration against the NIC's bounded
+//     translation table, with per-page pin cost that disappears when
+//     buffers arrive pre-pinned (AWE memory or I/O-manager-pinned MDLs),
+//     and DSA's batched region deregistration (internal/regtable);
+//   - connections (VIs) with descriptor posting and RDMA write;
+//   - the VI layer's own lock pairs — one for registration/deregistration
+//     and one per connection for queuing/dequeuing (Section 3.3) — which
+//     are private to a VI, so multiple connections spread contention.
+//
+// Host CPU costs are charged to hw.CatVI; the NIC/link time is modeled by
+// vinic.
+package vi
+
+import (
+	"time"
+
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/regtable"
+	"github.com/v3storage/v3/internal/sim"
+	"github.com/v3storage/v3/internal/vinic"
+)
+
+// Params are the VI provider cost constants. Defaults put registering an
+// 8 KB buffer (2 pages, with pinning) at ~7 µs and a deregistration
+// operation at ~5 µs, matching the paper's "5-10 microseconds each".
+type Params struct {
+	PageSize      int
+	TableEntries  int  // NIC translation table capacity in pages (1 GB on the cLan)
+	RegionEntries int  // batched-dereg region size (paper: 1000)
+	BatchedDereg  bool // DSA's batched deregistration optimization
+	RegBaseCost   time.Duration
+	RegPerPage    time.Duration
+	PinPerPage    time.Duration // zeroed when buffers arrive pinned
+	DeregOpCost   time.Duration // per deregistration operation (base)
+	// DeregShootdownPerCPU models the TLB-shootdown IPIs a page unmapping
+	// broadcasts to every processor: the reason "deregistration requires
+	// locking pages, which becomes more expensive at larger processor
+	// counts" (Section 6.1). Batched deregistration pays it once per
+	// thousand-entry region instead of once per I/O.
+	DeregShootdownPerCPU time.Duration
+	PostCost             time.Duration // descriptor build + doorbell
+	CompletionCost       time.Duration // completion-queue pop
+	LockHold             time.Duration // critical section under VI locks
+}
+
+// DefaultParams returns the Giganet cLan model with batched
+// deregistration enabled.
+func DefaultParams() Params {
+	return Params{
+		PageSize:             4096,
+		TableEntries:         1 << 18, // 1 GB / 4 KB
+		RegionEntries:        regtable.DefaultRegionEntries,
+		BatchedDereg:         true,
+		RegBaseCost:          2 * time.Microsecond,
+		RegPerPage:           time.Microsecond,
+		PinPerPage:           1500 * time.Nanosecond,
+		DeregOpCost:          5 * time.Microsecond,
+		DeregShootdownPerCPU: time.Microsecond,
+		PostCost:             800 * time.Nanosecond,
+		CompletionCost:       600 * time.Nanosecond,
+		LockHold:             300 * time.Nanosecond,
+	}
+}
+
+// MemHandle names one registered buffer.
+type MemHandle struct {
+	rt    regtable.Handle
+	bytes int
+}
+
+// Bytes returns the registered length.
+func (h MemHandle) Bytes() int { return h.bytes }
+
+// Provider is one VI NIC's software interface on a host.
+type Provider struct {
+	E      *sim.Engine
+	cpus   *hw.CPUPool
+	nic    *vinic.NIC
+	params Params
+
+	table    *regtable.Manager
+	regLock  *hw.SyncLock
+	pageLock *hw.SyncLock // host-global page-table lock (shared across providers)
+	conns    map[uint32]*Conn
+	nextConn uint32
+	pinned   bool
+
+	regOps, deregOps sim.Counter
+	regCPU           time.Duration
+}
+
+// NewProvider wraps nic with a VI software layer charging CPU time to
+// cpus.
+func NewProvider(e *sim.Engine, cpus *hw.CPUPool, nic *vinic.NIC, params Params) *Provider {
+	pr := &Provider{
+		E: e, cpus: cpus, nic: nic, params: params,
+		table:   regtable.New(params.TableEntries, params.RegionEntries, params.BatchedDereg),
+		regLock: hw.NewSyncLock(e, cpus),
+		conns:   make(map[uint32]*Conn),
+	}
+	nic.SetHandler(pr.dispatch)
+	return pr
+}
+
+// Params returns the provider's cost constants.
+func (pr *Provider) Params() Params { return pr.params }
+
+// NIC returns the underlying NIC model.
+func (pr *Provider) NIC() *vinic.NIC { return pr.nic }
+
+// SetPageLock installs the host-global page-table lock shared by every
+// provider on the host. Unbatched deregistration must lock pages under
+// it — "deregistration requires locking pages, which becomes more
+// expensive at larger processor counts" (Section 6.1). Batched mode
+// takes it once per region instead of once per I/O.
+func (pr *Provider) SetPageLock(l *hw.SyncLock) { pr.pageLock = l }
+
+// SetPinnedBuffers declares that buffers handed to Register are already
+// pinned (AWE memory, or MDLs pinned by the I/O manager in kernel mode),
+// eliminating the per-page pin cost (Section 3.1).
+func (pr *Provider) SetPinnedBuffers(pinned bool) { pr.pinned = pinned }
+
+func (pr *Provider) pages(bytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + pr.params.PageSize - 1) / pr.params.PageSize
+}
+
+// Register pins and registers a buffer of the given size, blocking while
+// the NIC table is full. Cost: the VI registration lock pair plus base +
+// per-page work (+ per-page pinning unless buffers are pre-pinned).
+func (pr *Provider) Register(p *sim.Proc, bytes int) MemHandle {
+	pages := pr.pages(bytes)
+	perPage := pr.params.RegPerPage
+	if !pr.pinned {
+		perPage += pr.params.PinPerPage
+	}
+	pr.regLock.Acquire(p)
+	cost := pr.params.RegBaseCost + time.Duration(pages)*perPage
+	pr.cpus.Use(p, hw.CatVI, cost)
+	pr.regCPU += cost
+	h, ok := pr.table.Register(pages)
+	pr.regLock.Release(p)
+	for !ok {
+		// Table full: wait for completions to free regions, then retry.
+		p.Sleep(20 * time.Microsecond)
+		pr.regLock.Acquire(p)
+		h, ok = pr.table.Register(pages)
+		pr.regLock.Release(p)
+	}
+	pr.regOps.Inc()
+	return MemHandle{rt: h, bytes: bytes}
+}
+
+// Deregister releases a buffer's entries. In batched mode the actual NIC
+// deregistration (and its ~5 µs cost) happens once per region; in
+// immediate mode every call pays it.
+func (pr *Provider) Deregister(p *sim.Proc, h MemHandle) {
+	pr.regLock.Acquire(p)
+	ops, _ := pr.table.Complete(h.rt)
+	pr.regLock.Release(p)
+	if ops > 0 {
+		pr.deregWork(p, ops)
+	}
+}
+
+// deregWork performs the actual NIC deregistration operations: unpinning
+// pages under the host-global page lock (when one is installed), which
+// is what makes per-I/O deregistration so expensive on large SMPs.
+func (pr *Provider) deregWork(p *sim.Proc, ops int) {
+	base := time.Duration(ops) * pr.params.DeregOpCost
+	// The page-table update itself serializes under the host page lock;
+	// the TLB-shootdown IPIs burn cycles on the issuing CPU (and, in
+	// reality, on every other CPU) without holding it.
+	if pr.pageLock != nil {
+		pr.pageLock.Acquire(p)
+		pr.cpus.Use(p, hw.CatVI, base)
+		pr.pageLock.Release(p)
+	} else {
+		pr.cpus.Use(p, hw.CatVI, base)
+	}
+	shoot := time.Duration(ops) * time.Duration(pr.cpus.N()) * pr.params.DeregShootdownPerCPU
+	pr.cpus.Use(p, hw.CatVI, shoot)
+	pr.deregOps.Addn(int64(ops))
+}
+
+// FlushDereg seals the current dereg region (called by DSA on a short
+// timer so idle periods do not pin a region).
+func (pr *Provider) FlushDereg(p *sim.Proc) {
+	pr.regLock.Acquire(p)
+	ops, _ := pr.table.Flush()
+	pr.regLock.Release(p)
+	if ops > 0 {
+		pr.deregWork(p, ops)
+	}
+}
+
+// TableUsed returns the pinned entry count (for tests and monitoring).
+func (pr *Provider) TableUsed() int { return pr.table.Used() }
+
+// DeregOps returns total NIC deregistration operations performed.
+func (pr *Provider) DeregOps() int64 { return pr.deregOps.Value() }
+
+// RegOps returns total registrations performed.
+func (pr *Provider) RegOps() int64 { return pr.regOps.Value() }
+
+// dispatch routes an arriving message to its connection's handler.
+func (pr *Provider) dispatch(m *vinic.Message) {
+	c, ok := pr.conns[m.ConnID]
+	if !ok {
+		panic("vi: message for unknown connection")
+	}
+	if c.onRecv == nil {
+		panic("vi: connection has no receive handler")
+	}
+	c.onRecv(m)
+}
+
+// Conn is one VI: a connected endpoint pair. Each side has its own
+// queuing lock, private to the VI.
+type Conn struct {
+	prov      *Provider
+	id        uint32 // our id (peer addresses messages to it)
+	peerID    uint32
+	queueLock *hw.SyncLock
+	onRecv    func(*vinic.Message)
+}
+
+// Connect creates a VI between two providers and returns both endpoints.
+func Connect(a, b *Provider) (*Conn, *Conn) {
+	ca := &Conn{prov: a, id: a.nextConn, queueLock: hw.NewSyncLock(a.E, a.cpus)}
+	a.nextConn++
+	a.conns[ca.id] = ca
+	cb := &Conn{prov: b, id: b.nextConn, queueLock: hw.NewSyncLock(b.E, b.cpus)}
+	b.nextConn++
+	b.conns[cb.id] = cb
+	ca.peerID = cb.id
+	cb.peerID = ca.id
+	return ca, cb
+}
+
+// SetHandler installs the receive callback (event context, must not
+// block).
+func (c *Conn) SetHandler(h func(*vinic.Message)) { c.onRecv = h }
+
+// post charges the send-path VI work: the queuing lock pair and the
+// descriptor/doorbell cost.
+func (c *Conn) post(p *sim.Proc) {
+	c.queueLock.Acquire(p)
+	c.prov.cpus.Use(p, hw.CatVI, c.prov.params.LockHold)
+	c.queueLock.Release(p)
+	c.prov.cpus.Use(p, hw.CatVI, c.prov.params.PostCost)
+}
+
+// Send posts a send descriptor of size bytes (a control message). The
+// peer's handler sees Notify=true.
+func (c *Conn) Send(p *sim.Proc, size int, payload any) {
+	c.post(p)
+	c.prov.nic.Send(&vinic.Message{Size: size, ConnID: c.peerID, Notify: true, Payload: payload})
+}
+
+// RDMAWrite posts an RDMA write of size bytes into the peer's memory.
+// With notify=false the write is silent at the target (no completion
+// entry, no interrupt) — how cDSA's completion flags and all data
+// payloads are delivered.
+func (c *Conn) RDMAWrite(p *sim.Proc, size int, payload any, notify bool) {
+	c.post(p)
+	c.prov.nic.Send(&vinic.Message{Size: size, ConnID: c.peerID, RDMA: true, Notify: notify, Payload: payload})
+}
+
+// PopCompletion charges the receive-path VI work for consuming one
+// completion: the dequeue lock pair plus the CQ pop.
+func (c *Conn) PopCompletion(p *sim.Proc) {
+	c.queueLock.Acquire(p)
+	c.prov.cpus.Use(p, hw.CatVI, c.prov.params.LockHold)
+	c.queueLock.Release(p)
+	c.prov.cpus.Use(p, hw.CatVI, c.prov.params.CompletionCost)
+}

@@ -1,0 +1,219 @@
+package vi
+
+import (
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/hw"
+	"github.com/v3storage/v3/internal/sim"
+	"github.com/v3storage/v3/internal/vinic"
+)
+
+type rig struct {
+	e     *sim.Engine
+	cpusA *hw.CPUPool
+	cpusB *hw.CPUPool
+	provA *Provider
+	provB *Provider
+	connA *Conn
+	connB *Conn
+}
+
+func newRig(params Params) *rig {
+	e := sim.NewEngine()
+	cpusA := hw.NewCPUPool(e, 4)
+	cpusB := hw.NewCPUPool(e, 2)
+	nicA, nicB := vinic.NewPair(e, vinic.DefaultParams(), "client", "server")
+	provA := NewProvider(e, cpusA, nicA, params)
+	provB := NewProvider(e, cpusB, nicB, params)
+	connA, connB := Connect(provA, provB)
+	return &rig{e: e, cpusA: cpusA, cpusB: cpusB, provA: provA, provB: provB, connA: connA, connB: connB}
+}
+
+func TestRegisterCostsMatchPaper(t *testing.T) {
+	// Registering an 8 KB buffer with pinning should cost 5-10 µs.
+	r := newRig(DefaultParams())
+	r.connB.SetHandler(func(m *vinic.Message) {})
+	r.e.Go("w", func(p *sim.Proc) {
+		r.provA.Register(p, 8192)
+	})
+	r.e.Run()
+	got := r.cpusA.Busy(hw.CatVI) + r.cpusA.Busy(hw.CatLock)
+	if got < 5*time.Microsecond || got > 10*time.Microsecond {
+		t.Fatalf("8K registration cost = %v, want 5-10µs", got)
+	}
+}
+
+func TestPinnedBuffersCheaper(t *testing.T) {
+	cost := func(pinned bool) time.Duration {
+		r := newRig(DefaultParams())
+		r.provA.SetPinnedBuffers(pinned)
+		r.e.Go("w", func(p *sim.Proc) { r.provA.Register(p, 64*1024) })
+		r.e.Run()
+		return r.cpusA.Busy(hw.CatVI)
+	}
+	if cost(true) >= cost(false) {
+		t.Fatal("pre-pinned registration should be cheaper")
+	}
+}
+
+func TestBatchedDeregAmortizesCost(t *testing.T) {
+	run := func(batched bool) (int64, time.Duration) {
+		params := DefaultParams()
+		params.BatchedDereg = batched
+		r := newRig(params)
+		r.e.Go("w", func(p *sim.Proc) {
+			for i := 0; i < 2000; i++ {
+				h := r.provA.Register(p, 8192)
+				r.provA.Deregister(p, h)
+			}
+		})
+		r.e.Run()
+		return r.provA.DeregOps(), r.cpusA.Busy(hw.CatVI)
+	}
+	opsB, cpuB := run(true)
+	opsI, cpuI := run(false)
+	if opsI != 2000 {
+		t.Fatalf("immediate dereg ops = %d, want 2000", opsI)
+	}
+	// 2000 buffers * 2 pages = 4000 entries = 4 regions of 1000.
+	if opsB > 5 {
+		t.Fatalf("batched dereg ops = %d, want <= 5", opsB)
+	}
+	if cpuB >= cpuI {
+		t.Fatalf("batched CPU %v should be below immediate %v", cpuB, cpuI)
+	}
+}
+
+func TestRegisterBlocksWhenTableFull(t *testing.T) {
+	params := DefaultParams()
+	params.TableEntries = 4
+	params.RegionEntries = 2
+	r := newRig(params)
+	var registered []MemHandle
+	var secondDone sim.Time
+	r.e.Go("w", func(p *sim.Proc) {
+		registered = append(registered, r.provA.Register(p, 2*4096))
+		registered = append(registered, r.provA.Register(p, 2*4096))
+		// Table now full (4 entries). Next register must block until we free.
+		r.e.After(500*time.Microsecond, func() {
+			r.e.Go("freer", func(p2 *sim.Proc) {
+				r.provA.Deregister(p2, registered[0])
+			})
+		})
+		r.provA.Register(p, 2*4096)
+		secondDone = p.Now()
+	})
+	r.e.Run()
+	if secondDone < 500*time.Microsecond {
+		t.Fatalf("register returned at %v despite full table", secondDone)
+	}
+}
+
+func TestSendDeliversToPeerHandler(t *testing.T) {
+	r := newRig(DefaultParams())
+	var got *vinic.Message
+	r.connB.SetHandler(func(m *vinic.Message) { got = m })
+	r.connA.SetHandler(func(m *vinic.Message) {})
+	r.e.Go("w", func(p *sim.Proc) {
+		r.connA.Send(p, 64, "req")
+	})
+	r.e.Run()
+	if got == nil || got.Payload.(string) != "req" || !got.Notify || got.RDMA {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRDMAWriteSilentAtTarget(t *testing.T) {
+	r := newRig(DefaultParams())
+	var got *vinic.Message
+	r.connB.SetHandler(func(m *vinic.Message) { got = m })
+	r.e.Go("w", func(p *sim.Proc) {
+		r.connA.RDMAWrite(p, 8192, "data", false)
+	})
+	r.e.Run()
+	if got == nil || !got.RDMA || got.Notify {
+		t.Fatalf("got %+v", got)
+	}
+	// Silent delivery burns no host CPU at the receiver.
+	if r.cpusB.TotalUtilization() != 0 {
+		t.Fatal("silent RDMA should not consume receiver CPU")
+	}
+}
+
+func TestBidirectionalConnections(t *testing.T) {
+	r := newRig(DefaultParams())
+	var aGot, bGot int
+	r.connA.SetHandler(func(m *vinic.Message) { aGot++ })
+	r.connB.SetHandler(func(m *vinic.Message) { bGot++ })
+	r.e.Go("a", func(p *sim.Proc) {
+		r.connA.Send(p, 64, nil)
+		r.connA.Send(p, 64, nil)
+	})
+	r.e.Go("b", func(p *sim.Proc) {
+		r.connB.Send(p, 64, nil)
+	})
+	r.e.Run()
+	if aGot != 1 || bGot != 2 {
+		t.Fatalf("aGot=%d bGot=%d", aGot, bGot)
+	}
+}
+
+func TestMultipleConnsRouteIndependently(t *testing.T) {
+	e := sim.NewEngine()
+	cpus := hw.NewCPUPool(e, 2)
+	nicA, nicB := vinic.NewPair(e, vinic.DefaultParams(), "a", "b")
+	pa := NewProvider(e, cpus, nicA, DefaultParams())
+	pb := NewProvider(e, cpus, nicB, DefaultParams())
+	a1, b1 := Connect(pa, pb)
+	a2, b2 := Connect(pa, pb)
+	var got1, got2 int
+	b1.SetHandler(func(m *vinic.Message) { got1++ })
+	b2.SetHandler(func(m *vinic.Message) { got2++ })
+	a1.SetHandler(func(m *vinic.Message) {})
+	a2.SetHandler(func(m *vinic.Message) {})
+	e.Go("w", func(p *sim.Proc) {
+		a1.Send(p, 64, nil)
+		a2.Send(p, 64, nil)
+		a2.Send(p, 64, nil)
+	})
+	e.Run()
+	if got1 != 1 || got2 != 2 {
+		t.Fatalf("got1=%d got2=%d", got1, got2)
+	}
+}
+
+func TestPostAndCompletionChargeVICPU(t *testing.T) {
+	r := newRig(DefaultParams())
+	r.connB.SetHandler(func(m *vinic.Message) {})
+	r.e.Go("w", func(p *sim.Proc) {
+		r.connA.Send(p, 64, nil)
+		r.connA.PopCompletion(p)
+	})
+	r.e.Run()
+	if r.cpusA.Busy(hw.CatVI) <= 0 {
+		t.Fatal("VI CPU not charged")
+	}
+	if r.cpusA.Busy(hw.CatLock) <= 0 {
+		t.Fatal("VI lock pairs not charged")
+	}
+}
+
+func TestFlushDeregReleasesIdleRegion(t *testing.T) {
+	r := newRig(DefaultParams())
+	r.e.Go("w", func(p *sim.Proc) {
+		h := r.provA.Register(p, 8192)
+		r.provA.Deregister(p, h) // region partial: entries linger
+		if r.provA.TableUsed() == 0 {
+			t.Error("entries should linger in unsealed region")
+		}
+		r.provA.FlushDereg(p)
+		if r.provA.TableUsed() != 0 {
+			t.Error("flush should release completed region")
+		}
+	})
+	r.e.Run()
+	if r.provA.DeregOps() != 1 {
+		t.Fatalf("deregOps=%d", r.provA.DeregOps())
+	}
+}

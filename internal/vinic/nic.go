@@ -1,0 +1,187 @@
+// Package vinic models a VI-enabled network interface pair connected by
+// a point-to-point system-area-network link, with the Giganet cLan's
+// characteristics (Section 4 of the paper): ~110 MB/s end-to-end
+// user-level bandwidth, ~7 µs one-way latency for a 64-byte message, and
+// a maximum packet size of 64K−64 bytes, so a 128 KB transfer takes three
+// RDMA packets.
+//
+// The NIC transmit engine serializes packets (that is the link
+// bandwidth); delivery happens at the peer after propagation plus the
+// receive engine's per-packet cost. Messages between a NIC pair are
+// delivered in order. Host-side costs (doorbells, registration,
+// interrupts) belong to the vi and oskrnl layers.
+package vinic
+
+import (
+	"time"
+
+	"github.com/v3storage/v3/internal/sim"
+)
+
+// Params characterizes the NIC and link.
+type Params struct {
+	BandwidthMBps float64       // link bandwidth per direction
+	PropDelay     time.Duration // wire + switch propagation
+	MTU           int           // maximum packet payload
+	SendPktCost   time.Duration // tx engine processing per packet
+	RecvPktCost   time.Duration // rx engine processing per packet
+	// DropProb injects message loss (per message, after transmission):
+	// most VI implementations do not guarantee delivery under all fault
+	// conditions, which is why DSA carries its own retransmission layer.
+	DropProb float64
+	DropSeed uint64
+}
+
+// DefaultParams returns the Giganet cLan model: 110 MB/s, 64K−64 MTU,
+// and per-packet costs that put the 64-byte one-way latency at ~7 µs.
+func DefaultParams() Params {
+	return Params{
+		BandwidthMBps: 110,
+		PropDelay:     2500 * time.Nanosecond,
+		MTU:           64*1024 - 64,
+		SendPktCost:   2 * time.Microsecond,
+		RecvPktCost:   2 * time.Microsecond,
+	}
+}
+
+// XferTime returns the pure serialization time of n bytes on the link.
+func (p Params) XferTime(n int) time.Duration {
+	if n <= 0 || p.BandwidthMBps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / (p.BandwidthMBps * 1e6) * float64(time.Second))
+}
+
+// Packets returns how many link packets a message of n bytes needs.
+func (p Params) Packets(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + p.MTU - 1) / p.MTU
+}
+
+// OneWay returns the unloaded one-way latency for an n-byte message.
+func (p Params) OneWay(n int) time.Duration {
+	pkts := p.Packets(n)
+	return time.Duration(pkts)*p.SendPktCost + p.XferTime(n) + p.PropDelay + p.RecvPktCost
+}
+
+// Message is one VI descriptor's worth of traffic. The NIC does not
+// interpret Payload; the VI layer above demultiplexes on ConnID and
+// decides completion semantics from RDMA/Notify.
+type Message struct {
+	Size    int
+	ConnID  uint32
+	RDMA    bool // RDMA write: consumes no receive descriptor at the target
+	Notify  bool // raise a completion at the receiver (CQ entry / interrupt)
+	Payload any
+
+	sent sim.Time
+}
+
+// Handler receives delivered messages. It runs in event context at the
+// receiving side: it must not block; it typically records state and
+// wakes a process.
+type Handler func(*Message)
+
+// NIC is one endpoint of a point-to-point VI link.
+type NIC struct {
+	e       *sim.Engine
+	params  Params
+	name    string
+	peer    *NIC
+	tx      *sim.Queue[*Message]
+	handler Handler
+
+	faults *sim.Rand // non-nil when loss injection is enabled
+
+	txBytes, rxBytes sim.Counter
+	txMsgs, rxMsgs   sim.Counter
+	txBusy           time.Duration
+	dropped          sim.Counter
+}
+
+// NewPair creates two cross-connected NICs and starts their transmit
+// engines.
+func NewPair(e *sim.Engine, params Params, nameA, nameB string) (*NIC, *NIC) {
+	a := &NIC{e: e, params: params, name: nameA, tx: sim.NewQueue[*Message]()}
+	b := &NIC{e: e, params: params, name: nameB, tx: sim.NewQueue[*Message]()}
+	if params.DropProb > 0 {
+		seed := params.DropSeed
+		if seed == 0 {
+			seed = 0xFA17
+		}
+		a.faults = sim.NewRand(seed)
+		b.faults = sim.NewRand(seed + 1)
+	}
+	a.peer, b.peer = b, a
+	e.Go("nic-tx:"+nameA, a.txEngine)
+	e.Go("nic-tx:"+nameB, b.txEngine)
+	return a, b
+}
+
+// Name returns the NIC's label.
+func (n *NIC) Name() string { return n.name }
+
+// Params returns the link parameters.
+func (n *NIC) Params() Params { return n.params }
+
+// SetHandler installs the delivery callback for messages arriving at
+// this NIC. Must be set before the peer sends.
+func (n *NIC) SetHandler(h Handler) { n.handler = h }
+
+// Send queues m for transmission to the peer. Callable from both event
+// and process context; it never blocks (VI send queues are long and DSA's
+// flow control bounds outstanding traffic well below them).
+func (n *NIC) Send(m *Message) {
+	m.sent = n.e.Now()
+	n.tx.Put(n.e, m)
+}
+
+// txEngine serializes packets onto the link. A message of k packets
+// occupies the transmitter for k*SendPktCost + size/bandwidth; the last
+// packet reaches the peer PropDelay+RecvPktCost later, where the message
+// is delivered whole (receive processing of earlier packets overlaps
+// transmission).
+func (n *NIC) txEngine(p *sim.Proc) {
+	for {
+		m := n.tx.Get(p)
+		pkts := n.params.Packets(m.Size)
+		busy := time.Duration(pkts)*n.params.SendPktCost + n.params.XferTime(m.Size)
+		p.Sleep(busy)
+		n.txBusy += busy
+		n.txBytes.Addn(int64(m.Size))
+		n.txMsgs.Inc()
+		if n.faults != nil && n.faults.Float64() < n.params.DropProb {
+			n.dropped.Inc()
+			continue // the message vanishes on the wire
+		}
+		peer := n.peer
+		n.e.After(n.params.PropDelay+n.params.RecvPktCost, func() {
+			peer.rxBytes.Addn(int64(m.Size))
+			peer.rxMsgs.Inc()
+			if peer.handler == nil {
+				panic("vinic: message delivered to NIC " + peer.name + " with no handler")
+			}
+			peer.handler(m)
+		})
+	}
+}
+
+// TxBytes returns total bytes transmitted.
+func (n *NIC) TxBytes() int64 { return n.txBytes.Value() }
+
+// RxBytes returns total bytes received.
+func (n *NIC) RxBytes() int64 { return n.rxBytes.Value() }
+
+// TxMessages returns the count of messages transmitted.
+func (n *NIC) TxMessages() int64 { return n.txMsgs.Value() }
+
+// RxMessages returns the count of messages received.
+func (n *NIC) RxMessages() int64 { return n.rxMsgs.Value() }
+
+// TxBusy returns cumulative transmitter-busy time (for utilization).
+func (n *NIC) TxBusy() time.Duration { return n.txBusy }
+
+// Dropped returns the number of messages lost to fault injection.
+func (n *NIC) Dropped() int64 { return n.dropped.Value() }

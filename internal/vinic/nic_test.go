@@ -1,0 +1,227 @@
+package vinic
+
+import (
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/sim"
+)
+
+func pair(e *sim.Engine) (*NIC, *NIC) {
+	return NewPair(e, DefaultParams(), "a", "b")
+}
+
+func TestOneWaySmallMessageAbout7us(t *testing.T) {
+	// The paper: one-way latency for a 64-byte message is about 7 µs.
+	p := DefaultParams()
+	lat := p.OneWay(64)
+	if lat < 6*time.Microsecond || lat > 8*time.Microsecond {
+		t.Fatalf("64B one-way = %v, want ~7µs", lat)
+	}
+}
+
+func TestXferTimeMatchesBandwidth(t *testing.T) {
+	p := DefaultParams()
+	// 110 MB/s: 8 KB should take ~74.5µs.
+	got := p.XferTime(8192)
+	bytes := 8192.0
+	want := time.Duration(bytes / 110e6 * 1e9)
+	if got < want-time.Microsecond || got > want+time.Microsecond {
+		t.Fatalf("xfer(8K) = %v, want ~%v", got, want)
+	}
+	if p.XferTime(0) != 0 || p.XferTime(-5) != 0 {
+		t.Fatal("degenerate sizes should cost nothing")
+	}
+}
+
+func TestPacketsSegmentation(t *testing.T) {
+	p := DefaultParams()
+	// Paper: transferring 128 KB requires three VI RDMAs (MTU 64K-64).
+	if got := p.Packets(128 * 1024); got != 3 {
+		t.Fatalf("packets(128K) = %d, want 3", got)
+	}
+	if got := p.Packets(64); got != 1 {
+		t.Fatalf("packets(64) = %d", got)
+	}
+	if got := p.Packets(p.MTU); got != 1 {
+		t.Fatalf("packets(MTU) = %d", got)
+	}
+	if got := p.Packets(p.MTU + 1); got != 2 {
+		t.Fatalf("packets(MTU+1) = %d", got)
+	}
+	if got := p.Packets(0); got != 1 {
+		t.Fatalf("packets(0) = %d (control messages still use one packet)", got)
+	}
+}
+
+func TestDeliveryLatencyAndPayload(t *testing.T) {
+	e := sim.NewEngine()
+	a, b := pair(e)
+	a.SetHandler(func(m *Message) {})
+	var deliveredAt sim.Time
+	var got *Message
+	b.SetHandler(func(m *Message) { got = m; deliveredAt = e.Now() })
+	a.Send(&Message{Size: 64, ConnID: 3, Payload: "hello"})
+	e.Run()
+	if got == nil || got.Payload.(string) != "hello" || got.ConnID != 3 {
+		t.Fatalf("payload lost: %+v", got)
+	}
+	want := DefaultParams().OneWay(64)
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	e := sim.NewEngine()
+	a, b := pair(e)
+	a.SetHandler(func(m *Message) {})
+	var order []int
+	b.SetHandler(func(m *Message) { order = append(order, m.Payload.(int)) })
+	for i := 0; i < 10; i++ {
+		a.Send(&Message{Size: 1000 * (i%3 + 1), Payload: i})
+	}
+	e.Run()
+	if len(order) != 10 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order: %v", order)
+		}
+	}
+}
+
+func TestLinkSerializationLimitsThroughput(t *testing.T) {
+	e := sim.NewEngine()
+	a, b := pair(e)
+	a.SetHandler(func(m *Message) {})
+	var lastAt sim.Time
+	b.SetHandler(func(m *Message) { lastAt = e.Now() })
+	const n = 100
+	const size = 8192
+	for i := 0; i < n; i++ {
+		a.Send(&Message{Size: size})
+	}
+	e.Run()
+	tput := float64(n*size) / lastAt.Seconds() / 1e6
+	// Saturated one-way stream should approach but not exceed 110 MB/s.
+	if tput > 110 {
+		t.Fatalf("throughput %.1f MB/s exceeds link bandwidth", tput)
+	}
+	if tput < 100 {
+		t.Fatalf("throughput %.1f MB/s, want near saturation (>100)", tput)
+	}
+}
+
+func TestLargeMessagePaysPerPacketCost(t *testing.T) {
+	e := sim.NewEngine()
+	a, b := pair(e)
+	a.SetHandler(func(m *Message) {})
+	var at sim.Time
+	b.SetHandler(func(m *Message) { at = e.Now() })
+	a.Send(&Message{Size: 128 * 1024})
+	e.Run()
+	p := DefaultParams()
+	want := 3*p.SendPktCost + p.XferTime(128*1024) + p.PropDelay + p.RecvPktCost
+	if at != want {
+		t.Fatalf("128K delivery = %v, want %v", at, want)
+	}
+}
+
+func TestBidirectionalIndependence(t *testing.T) {
+	// Traffic a->b must not consume b->a bandwidth (full duplex).
+	e := sim.NewEngine()
+	a, b := pair(e)
+	var aGot, bGot int
+	a.SetHandler(func(m *Message) { aGot++ })
+	b.SetHandler(func(m *Message) { bGot++ })
+	for i := 0; i < 50; i++ {
+		a.Send(&Message{Size: 32 * 1024})
+		b.Send(&Message{Size: 32 * 1024})
+	}
+	e.Run()
+	if aGot != 50 || bGot != 50 {
+		t.Fatalf("aGot=%d bGot=%d", aGot, bGot)
+	}
+	// Full duplex: both directions finish in the time one direction needs.
+	oneDir := 50 * (DefaultParams().SendPktCost + DefaultParams().XferTime(32*1024))
+	if e.Now() > oneDir+10*time.Microsecond {
+		t.Fatalf("duplex took %v, one direction alone needs %v", e.Now(), oneDir)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	e := sim.NewEngine()
+	a, b := pair(e)
+	a.SetHandler(func(m *Message) {})
+	b.SetHandler(func(m *Message) {})
+	a.Send(&Message{Size: 100})
+	a.Send(&Message{Size: 200})
+	e.Run()
+	if a.TxBytes() != 300 || a.TxMessages() != 2 {
+		t.Fatalf("tx stats: %d bytes %d msgs", a.TxBytes(), a.TxMessages())
+	}
+	if b.RxBytes() != 300 || b.RxMessages() != 2 {
+		t.Fatalf("rx stats: %d bytes %d msgs", b.RxBytes(), b.RxMessages())
+	}
+	if a.TxBusy() <= 0 {
+		t.Fatal("tx busy not accumulated")
+	}
+	if a.Name() != "a" || b.Name() != "b" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestMissingHandlerPanics(t *testing.T) {
+	e := sim.NewEngine()
+	a, _ := pair(e)
+	a.Send(&Message{Size: 64})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delivery without handler should panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestFaultInjectionDropsMessages(t *testing.T) {
+	e := sim.NewEngine()
+	params := DefaultParams()
+	params.DropProb = 0.5
+	params.DropSeed = 42
+	a, b := NewPair(e, params, "a", "b")
+	a.SetHandler(func(m *Message) {})
+	delivered := 0
+	b.SetHandler(func(m *Message) { delivered++ })
+	const n = 400
+	for i := 0; i < n; i++ {
+		a.Send(&Message{Size: 64})
+	}
+	e.Run()
+	if a.Dropped() == 0 {
+		t.Fatal("no drops at 50% loss")
+	}
+	if delivered+int(a.Dropped()) != n {
+		t.Fatalf("delivered %d + dropped %d != %d", delivered, a.Dropped(), n)
+	}
+	// Statistical sanity: between 30% and 70% delivered.
+	if delivered < n*30/100 || delivered > n*70/100 {
+		t.Fatalf("delivered %d of %d at 50%% loss", delivered, n)
+	}
+}
+
+func TestNoDropsByDefault(t *testing.T) {
+	e := sim.NewEngine()
+	a, b := pair(e)
+	a.SetHandler(func(m *Message) {})
+	got := 0
+	b.SetHandler(func(m *Message) { got++ })
+	for i := 0; i < 100; i++ {
+		a.Send(&Message{Size: 64})
+	}
+	e.Run()
+	if got != 100 || a.Dropped() != 0 {
+		t.Fatalf("got=%d dropped=%d", got, a.Dropped())
+	}
+}

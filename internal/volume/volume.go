@@ -1,0 +1,236 @@
+// Package volume implements the V3 volume manager's address mapping: a
+// V3 volume is a virtual disk built from one or more physical disks via
+// concatenation, striping (RAID-0), or mirroring (RAID-1), possibly
+// nested ("V3 volumes can span multiple V3 nodes using combinations of
+// RAID, such as concatenation and other disk organizations").
+//
+// The package is pure address arithmetic: a Layout maps a (offset,
+// length) volume extent to the member extents that serve it. I/O
+// execution belongs to the disk manager.
+package volume
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Extent is a contiguous byte range on a member device.
+type Extent struct {
+	Disk   int   // member index
+	Offset int64 // byte offset on that member
+	Length int   // bytes
+}
+
+// Layout maps volume addresses to member extents.
+type Layout interface {
+	// Size returns the volume's usable size in bytes.
+	Size() int64
+	// MapRead returns the extents to read for [off, off+length).
+	MapRead(off int64, length int) ([]Extent, error)
+	// MapWrite returns the extents to write for [off, off+length)
+	// (mirroring fans a write out to every replica).
+	MapWrite(off int64, length int) ([]Extent, error)
+	// Members returns the number of member devices.
+	Members() int
+}
+
+// ErrOutOfRange reports an access beyond the end of the volume.
+var ErrOutOfRange = errors.New("volume: access out of range")
+
+func checkRange(size, off int64, length int) error {
+	if off < 0 || length < 0 || off+int64(length) > size {
+		return fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, length, size)
+	}
+	return nil
+}
+
+// Concat appends member disks end to end.
+type Concat struct {
+	sizes  []int64
+	starts []int64 // prefix sums
+	total  int64
+}
+
+// NewConcat builds a concatenation of members with the given sizes.
+func NewConcat(sizes ...int64) (*Concat, error) {
+	if len(sizes) == 0 {
+		return nil, errors.New("volume: concat needs at least one member")
+	}
+	c := &Concat{sizes: sizes, starts: make([]int64, len(sizes))}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("volume: member %d has size %d", i, s)
+		}
+		c.starts[i] = c.total
+		c.total += s
+	}
+	return c, nil
+}
+
+// Size implements Layout.
+func (c *Concat) Size() int64 { return c.total }
+
+// Members implements Layout.
+func (c *Concat) Members() int { return len(c.sizes) }
+
+// MapRead implements Layout.
+func (c *Concat) MapRead(off int64, length int) ([]Extent, error) {
+	if err := checkRange(c.total, off, length); err != nil {
+		return nil, err
+	}
+	var out []Extent
+	for length > 0 {
+		// Find the member containing off (linear scan over prefix sums is
+		// fine: member counts are small).
+		i := 0
+		for i+1 < len(c.starts) && c.starts[i+1] <= off {
+			i++
+		}
+		within := off - c.starts[i]
+		chunk := c.sizes[i] - within
+		if int64(length) < chunk {
+			chunk = int64(length)
+		}
+		out = append(out, Extent{Disk: i, Offset: within, Length: int(chunk)})
+		off += chunk
+		length -= int(chunk)
+	}
+	return out, nil
+}
+
+// MapWrite implements Layout.
+func (c *Concat) MapWrite(off int64, length int) ([]Extent, error) {
+	return c.MapRead(off, length)
+}
+
+// Stripe interleaves data across members in stripeSize units (RAID-0).
+type Stripe struct {
+	members    int
+	stripeSize int64
+	memberSize int64
+}
+
+// NewStripe builds a RAID-0 layout over members disks of memberSize bytes
+// each, striped in stripeSize units. memberSize must be a multiple of
+// stripeSize.
+func NewStripe(members int, stripeSize, memberSize int64) (*Stripe, error) {
+	if members <= 0 {
+		return nil, errors.New("volume: stripe needs at least one member")
+	}
+	if stripeSize <= 0 || memberSize <= 0 || memberSize%stripeSize != 0 {
+		return nil, fmt.Errorf("volume: bad stripe geometry (stripe=%d member=%d)", stripeSize, memberSize)
+	}
+	return &Stripe{members: members, stripeSize: stripeSize, memberSize: memberSize}, nil
+}
+
+// Size implements Layout.
+func (s *Stripe) Size() int64 { return s.memberSize * int64(s.members) }
+
+// Members implements Layout.
+func (s *Stripe) Members() int { return s.members }
+
+// MapRead implements Layout.
+func (s *Stripe) MapRead(off int64, length int) ([]Extent, error) {
+	if err := checkRange(s.Size(), off, length); err != nil {
+		return nil, err
+	}
+	var out []Extent
+	for length > 0 {
+		stripeNo := off / s.stripeSize
+		within := off % s.stripeSize
+		disk := int(stripeNo % int64(s.members))
+		row := stripeNo / int64(s.members)
+		chunk := s.stripeSize - within
+		if int64(length) < chunk {
+			chunk = int64(length)
+		}
+		out = append(out, Extent{
+			Disk:   disk,
+			Offset: row*s.stripeSize + within,
+			Length: int(chunk),
+		})
+		off += chunk
+		length -= int(chunk)
+	}
+	return coalesce(out), nil
+}
+
+// MapWrite implements Layout.
+func (s *Stripe) MapWrite(off int64, length int) ([]Extent, error) {
+	return s.MapRead(off, length)
+}
+
+// Mirror replicates an inner layout n times (RAID-1). Reads rotate over
+// replicas; writes fan out to all of them. Member indices are
+// replica*inner.Members() + innerDisk.
+type Mirror struct {
+	inner    Layout
+	replicas int
+	next     int // read rotation
+}
+
+// NewMirror mirrors inner across replicas copies.
+func NewMirror(inner Layout, replicas int) (*Mirror, error) {
+	if inner == nil || replicas < 2 {
+		return nil, errors.New("volume: mirror needs an inner layout and >= 2 replicas")
+	}
+	return &Mirror{inner: inner, replicas: replicas}, nil
+}
+
+// Size implements Layout.
+func (m *Mirror) Size() int64 { return m.inner.Size() }
+
+// Members implements Layout.
+func (m *Mirror) Members() int { return m.inner.Members() * m.replicas }
+
+// MapRead implements Layout: one replica serves the read, chosen
+// round-robin to spread load.
+func (m *Mirror) MapRead(off int64, length int) ([]Extent, error) {
+	ext, err := m.inner.MapRead(off, length)
+	if err != nil {
+		return nil, err
+	}
+	r := m.next
+	m.next = (m.next + 1) % m.replicas
+	out := make([]Extent, len(ext))
+	for i, e := range ext {
+		e.Disk += r * m.inner.Members()
+		out[i] = e
+	}
+	return out, nil
+}
+
+// MapWrite implements Layout: every replica is written.
+func (m *Mirror) MapWrite(off int64, length int) ([]Extent, error) {
+	ext, err := m.inner.MapWrite(off, length)
+	if err != nil {
+		return nil, err
+	}
+	var out []Extent
+	for r := 0; r < m.replicas; r++ {
+		for _, e := range ext {
+			e2 := e
+			e2.Disk += r * m.inner.Members()
+			out = append(out, e2)
+		}
+	}
+	return out, nil
+}
+
+// coalesce merges adjacent extents that landed contiguously on the same
+// disk (happens when a request spans a full stripe row).
+func coalesce(ext []Extent) []Extent {
+	if len(ext) < 2 {
+		return ext
+	}
+	out := ext[:1]
+	for _, e := range ext[1:] {
+		last := &out[len(out)-1]
+		if e.Disk == last.Disk && e.Offset == last.Offset+int64(last.Length) {
+			last.Length += e.Length
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Control-message layout (all integers big-endian):
+//
+//	off  size  field
+//	0    2     magic
+//	2    1     version
+//	3    1     type
+//	4    8     seq
+//	12   4     ack
+//	16   ..    type-specific payload
+//	..   64    zero padding to ControlSize
+//
+// The fixed 64-byte size mirrors the paper's 64-byte request messages and
+// keeps the simulated and TCP transports trivially framed.
+
+func putHeader(b []byte, t MsgType, h *Header) {
+	binary.BigEndian.PutUint16(b[0:], Magic)
+	b[2] = Version
+	b[3] = byte(t)
+	binary.BigEndian.PutUint64(b[4:], h.Seq)
+	binary.BigEndian.PutUint32(b[12:], h.Ack)
+}
+
+func parseHeader(b []byte) (MsgType, Header, error) {
+	if len(b) < HeaderSize {
+		return 0, Header{}, ErrShort
+	}
+	if binary.BigEndian.Uint16(b[0:]) != Magic {
+		return 0, Header{}, ErrBadMagic
+	}
+	if b[2] != Version {
+		return 0, Header{}, ErrBadVersion
+	}
+	t := MsgType(b[3])
+	h := Header{
+		Type: t,
+		Seq:  binary.BigEndian.Uint64(b[4:]),
+		Ack:  binary.BigEndian.Uint32(b[12:]),
+	}
+	return t, h, nil
+}
+
+// Marshal encodes m into a fresh ControlSize-byte buffer.
+func Marshal(m Message) []byte {
+	b := make([]byte, ControlSize)
+	t := TypeOf(m)
+	putHeader(b, t, m.Hdr())
+	p := b[HeaderSize:]
+	switch v := m.(type) {
+	case *Connect:
+		binary.BigEndian.PutUint64(p[0:], v.ClientID)
+		binary.BigEndian.PutUint16(p[8:], v.WantCreds)
+	case *ConnectResp:
+		p[0] = byte(v.Status)
+		binary.BigEndian.PutUint16(p[1:], v.Credits)
+		binary.BigEndian.PutUint32(p[3:], v.MaxXfer)
+		binary.BigEndian.PutUint64(p[7:], v.SessionID)
+	case *Read:
+		binary.BigEndian.PutUint64(p[0:], v.ReqID)
+		binary.BigEndian.PutUint32(p[8:], v.Volume)
+		binary.BigEndian.PutUint64(p[12:], v.Offset)
+		binary.BigEndian.PutUint32(p[20:], v.Length)
+		binary.BigEndian.PutUint64(p[24:], v.BufAddr)
+		p[32] = v.FlagBits
+	case *ReadResp:
+		binary.BigEndian.PutUint64(p[0:], v.ReqID)
+		p[8] = byte(v.Status)
+		binary.BigEndian.PutUint16(p[9:], v.Credits)
+	case *Write:
+		binary.BigEndian.PutUint64(p[0:], v.ReqID)
+		binary.BigEndian.PutUint32(p[8:], v.Volume)
+		binary.BigEndian.PutUint64(p[12:], v.Offset)
+		binary.BigEndian.PutUint32(p[20:], v.Length)
+		binary.BigEndian.PutUint32(p[24:], v.Slot)
+		p[28] = v.FlagBits
+	case *WriteResp:
+		binary.BigEndian.PutUint64(p[0:], v.ReqID)
+		p[8] = byte(v.Status)
+		binary.BigEndian.PutUint16(p[9:], v.Credits)
+	case *CreditGrant:
+		binary.BigEndian.PutUint16(p[0:], v.Credits)
+	case *Ping, *Pong:
+		// header only
+	case *Disconnect:
+		p[0] = v.Reason
+	default:
+		panic("wire: Marshal of unknown message type")
+	}
+	return b
+}
+
+// Unmarshal decodes one control message from b (at least ControlSize
+// bytes; extra bytes are ignored).
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < ControlSize {
+		return nil, ErrShort
+	}
+	t, h, err := parseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	p := b[HeaderSize:]
+	switch t {
+	case TConnect:
+		return &Connect{
+			Header:    h,
+			ClientID:  binary.BigEndian.Uint64(p[0:]),
+			WantCreds: binary.BigEndian.Uint16(p[8:]),
+		}, nil
+	case TConnectResp:
+		return &ConnectResp{
+			Header:    h,
+			Status:    Status(p[0]),
+			Credits:   binary.BigEndian.Uint16(p[1:]),
+			MaxXfer:   binary.BigEndian.Uint32(p[3:]),
+			SessionID: binary.BigEndian.Uint64(p[7:]),
+		}, nil
+	case TRead:
+		return &Read{
+			Header:   h,
+			ReqID:    binary.BigEndian.Uint64(p[0:]),
+			Volume:   binary.BigEndian.Uint32(p[8:]),
+			Offset:   binary.BigEndian.Uint64(p[12:]),
+			Length:   binary.BigEndian.Uint32(p[20:]),
+			BufAddr:  binary.BigEndian.Uint64(p[24:]),
+			FlagBits: p[32],
+		}, nil
+	case TReadResp:
+		return &ReadResp{
+			Header:  h,
+			ReqID:   binary.BigEndian.Uint64(p[0:]),
+			Status:  Status(p[8]),
+			Credits: binary.BigEndian.Uint16(p[9:]),
+		}, nil
+	case TWrite:
+		return &Write{
+			Header:   h,
+			ReqID:    binary.BigEndian.Uint64(p[0:]),
+			Volume:   binary.BigEndian.Uint32(p[8:]),
+			Offset:   binary.BigEndian.Uint64(p[12:]),
+			Length:   binary.BigEndian.Uint32(p[20:]),
+			Slot:     binary.BigEndian.Uint32(p[24:]),
+			FlagBits: p[28],
+		}, nil
+	case TWriteResp:
+		return &WriteResp{
+			Header:  h,
+			ReqID:   binary.BigEndian.Uint64(p[0:]),
+			Status:  Status(p[8]),
+			Credits: binary.BigEndian.Uint16(p[9:]),
+		}, nil
+	case TCreditGrant:
+		return &CreditGrant{Header: h, Credits: binary.BigEndian.Uint16(p[0:])}, nil
+	case TPing:
+		return &Ping{Header: h}, nil
+	case TPong:
+		return &Pong{Header: h}, nil
+	case TDisconnect:
+		return &Disconnect{Header: h, Reason: p[0]}, nil
+	}
+	return nil, ErrBadType
+}
+
+// WriteTo writes the encoded control message to w.
+func WriteTo(w io.Writer, m Message) error {
+	_, err := w.Write(Marshal(m))
+	return err
+}
+
+// ReadFrom reads exactly one control message from r.
+func ReadFrom(r io.Reader) (Message, error) {
+	var b [ControlSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return nil, err
+	}
+	return Unmarshal(b[:])
+}

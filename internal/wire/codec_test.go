@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundtrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b := Marshal(m)
+	if len(b) != ControlSize {
+		t.Fatalf("encoded size %d, want %d", len(b), ControlSize)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	return got
+}
+
+func TestRoundtripConnect(t *testing.T) {
+	m := &Connect{Header: Header{Seq: 7, Ack: 3}, ClientID: 0xdeadbeef, WantCreds: 256}
+	got := roundtrip(t, m)
+	m.Type = TConnect // parse fills Type
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestRoundtripConnectResp(t *testing.T) {
+	m := &ConnectResp{Header: Header{Seq: 1}, Status: StatusOK, Credits: 128, MaxXfer: 1 << 17, SessionID: 42}
+	got := roundtrip(t, m).(*ConnectResp)
+	if got.Credits != 128 || got.MaxXfer != 1<<17 || got.SessionID != 42 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundtripRead(t *testing.T) {
+	m := &Read{
+		Header: Header{Seq: 99, Ack: 98}, ReqID: 1234, Volume: 5,
+		Offset: 1 << 40, Length: 131072, BufAddr: 0xabcdef0123456789,
+		FlagBits: FlagPollCompletion | FlagSync,
+	}
+	got := roundtrip(t, m).(*Read)
+	m.Type = TRead
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestRoundtripWrite(t *testing.T) {
+	m := &Write{
+		Header: Header{Seq: 2}, ReqID: 77, Volume: 1,
+		Offset: 8192, Length: 8192, Slot: 31, FlagBits: FlagSync,
+	}
+	got := roundtrip(t, m).(*Write)
+	m.Type = TWrite
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestRoundtripResponses(t *testing.T) {
+	rr := roundtrip(t, &ReadResp{Header: Header{Seq: 3}, ReqID: 5, Status: StatusEIO, Credits: 2}).(*ReadResp)
+	if rr.ReqID != 5 || rr.Status != StatusEIO || rr.Credits != 2 {
+		t.Fatalf("ReadResp %+v", rr)
+	}
+	wr := roundtrip(t, &WriteResp{Header: Header{Seq: 4}, ReqID: 6, Status: StatusEAgain, Credits: 9}).(*WriteResp)
+	if wr.ReqID != 6 || wr.Status != StatusEAgain || wr.Credits != 9 {
+		t.Fatalf("WriteResp %+v", wr)
+	}
+}
+
+func TestRoundtripSmallMessages(t *testing.T) {
+	cg := roundtrip(t, &CreditGrant{Header: Header{Seq: 10}, Credits: 500}).(*CreditGrant)
+	if cg.Credits != 500 {
+		t.Fatalf("CreditGrant %+v", cg)
+	}
+	if _, ok := roundtrip(t, &Ping{Header: Header{Seq: 11}}).(*Ping); !ok {
+		t.Fatal("Ping type lost")
+	}
+	if _, ok := roundtrip(t, &Pong{Header: Header{Seq: 12}}).(*Pong); !ok {
+		t.Fatal("Pong type lost")
+	}
+	d := roundtrip(t, &Disconnect{Header: Header{Seq: 13}, Reason: 7}).(*Disconnect)
+	if d.Reason != 7 {
+		t.Fatalf("Disconnect %+v", d)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err != ErrShort {
+		t.Fatalf("short: %v", err)
+	}
+	b := Marshal(&Ping{})
+	b[0] = 0
+	if _, err := Unmarshal(b); err != ErrBadMagic {
+		t.Fatalf("magic: %v", err)
+	}
+	b = Marshal(&Ping{})
+	b[2] = 99
+	if _, err := Unmarshal(b); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+	b = Marshal(&Ping{})
+	b[3] = 200
+	if _, err := Unmarshal(b); err != ErrBadType {
+		t.Fatalf("type: %v", err)
+	}
+}
+
+func TestReadWriteStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Connect{ClientID: 1, WantCreds: 64},
+		&Read{ReqID: 2, Volume: 3, Offset: 4096, Length: 8192},
+		&ReadResp{ReqID: 2, Status: StatusOK, Credits: 1},
+		&Disconnect{Reason: 0},
+	}
+	for _, m := range msgs {
+		if err := WriteTo(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if TypeOf(got) != TypeOf(want) {
+			t.Fatalf("got %v, want %v", TypeOf(got), TypeOf(want))
+		}
+	}
+	if _, err := ReadFrom(&buf); err == nil {
+		t.Fatal("expected EOF on drained stream")
+	}
+}
+
+func TestSeqAckPreservedForAllTypes(t *testing.T) {
+	mk := []func(h Header) Message{
+		func(h Header) Message { return &Connect{Header: h} },
+		func(h Header) Message { return &ConnectResp{Header: h} },
+		func(h Header) Message { return &Read{Header: h} },
+		func(h Header) Message { return &ReadResp{Header: h} },
+		func(h Header) Message { return &Write{Header: h} },
+		func(h Header) Message { return &WriteResp{Header: h} },
+		func(h Header) Message { return &CreditGrant{Header: h} },
+		func(h Header) Message { return &Ping{Header: h} },
+		func(h Header) Message { return &Pong{Header: h} },
+		func(h Header) Message { return &Disconnect{Header: h} },
+	}
+	for _, f := range mk {
+		m := f(Header{Seq: 0xfeedface12345678, Ack: 0xcafe1234})
+		got := roundtrip(t, m)
+		if got.Hdr().Seq != 0xfeedface12345678 || got.Hdr().Ack != 0xcafe1234 {
+			t.Fatalf("%v lost seq/ack: %+v", TypeOf(m), got.Hdr())
+		}
+	}
+}
+
+func TestReadRoundtripProperty(t *testing.T) {
+	f := func(seq, reqID, bufAddr uint64, vol, length uint32, off uint64, flags uint8) bool {
+		m := &Read{
+			Header: Header{Seq: seq}, ReqID: reqID, Volume: vol,
+			Offset: off, Length: length, BufAddr: bufAddr, FlagBits: flags,
+		}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		r := got.(*Read)
+		return r.Seq == seq && r.ReqID == reqID && r.Volume == vol &&
+			r.Offset == off && r.Length == length && r.BufAddr == bufAddr && r.FlagBits == flags
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRoundtripProperty(t *testing.T) {
+	f := func(seq, reqID uint64, vol, length, slot uint32, off uint64, flags uint8) bool {
+		m := &Write{
+			Header: Header{Seq: seq}, ReqID: reqID, Volume: vol,
+			Offset: off, Length: length, Slot: slot, FlagBits: flags,
+		}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		w := got.(*Write)
+		return w.Seq == seq && w.ReqID == reqID && w.Volume == vol &&
+			w.Offset == off && w.Length == length && w.Slot == slot && w.FlagBits == flags
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusAndTypeStrings(t *testing.T) {
+	if StatusOK.String() != "OK" || StatusEIO.String() != "EIO" ||
+		StatusEInval.String() != "EINVAL" || StatusENoVolume.String() != "ENOVOLUME" ||
+		StatusEAgain.String() != "EAGAIN" {
+		t.Fatal("status strings wrong")
+	}
+	if Status(99).String() == "" {
+		t.Fatal("unknown status should stringify")
+	}
+	if StatusOK.Err() != nil {
+		t.Fatal("OK should map to nil error")
+	}
+	if StatusEIO.Err() == nil {
+		t.Fatal("EIO should map to an error")
+	}
+	for _, typ := range []MsgType{TConnect, TConnectResp, TRead, TReadResp, TWrite, TWriteResp, TCreditGrant, TPing, TPong, TDisconnect} {
+		if typ.String() == "" {
+			t.Fatalf("type %d has no name", typ)
+		}
+	}
+	if MsgType(77).String() != "MsgType(77)" {
+		t.Fatal("unknown type string wrong")
+	}
+}

@@ -1,0 +1,226 @@
+// Package wire defines the V3 block protocol: the messages exchanged
+// between a DSA client and a V3 storage server. The encoding is
+// transport-independent and is used both by the simulated VI transport
+// and by the real TCP transport in internal/netv3.
+//
+// Control messages are fixed-size (64 bytes, the paper's request size);
+// bulk data travels out-of-band (RDMA in the paper, a framed body on
+// TCP). Every message carries a connection-scoped sequence number used by
+// the retransmission layer.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Protocol constants.
+const (
+	Magic       = 0x5633 // "V3"
+	Version     = 1
+	ControlSize = 64 // every control message is exactly this many bytes
+	HeaderSize  = 16
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Message types.
+const (
+	TConnect MsgType = iota + 1
+	TConnectResp
+	TRead
+	TReadResp
+	TWrite
+	TWriteResp
+	TCreditGrant
+	TPing
+	TPong
+	TDisconnect
+)
+
+// String returns the wire name of the type.
+func (t MsgType) String() string {
+	switch t {
+	case TConnect:
+		return "Connect"
+	case TConnectResp:
+		return "ConnectResp"
+	case TRead:
+		return "Read"
+	case TReadResp:
+		return "ReadResp"
+	case TWrite:
+		return "Write"
+	case TWriteResp:
+		return "WriteResp"
+	case TCreditGrant:
+		return "CreditGrant"
+	case TPing:
+		return "Ping"
+	case TPong:
+		return "Pong"
+	case TDisconnect:
+		return "Disconnect"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Status codes carried by responses.
+type Status uint8
+
+// Response status codes.
+const (
+	StatusOK Status = iota
+	StatusEIO
+	StatusEInval
+	StatusENoVolume
+	StatusEAgain // out of server resources; retry after credit grant
+)
+
+// String returns the symbolic name of the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusEIO:
+		return "EIO"
+	case StatusEInval:
+		return "EINVAL"
+	case StatusENoVolume:
+		return "ENOVOLUME"
+	case StatusEAgain:
+		return "EAGAIN"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Err converts a non-OK status to an error (nil for StatusOK).
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("wire: server status %s", s)
+}
+
+// Completion flags on read/write requests.
+const (
+	FlagPollCompletion uint8 = 1 << iota // server sets an RDMA completion flag; no response interrupt wanted
+	FlagSync                             // synchronous request (latency-critical)
+)
+
+// Header prefixes every control message.
+type Header struct {
+	Type MsgType
+	Seq  uint64 // connection-scoped sequence number
+	Ack  uint32 // cumulative ack of the peer's sequence numbers (low 32 bits)
+}
+
+// Connect opens a session.
+type Connect struct {
+	Header
+	ClientID  uint64
+	WantCreds uint16 // requested flow-control credits
+}
+
+// ConnectResp answers Connect.
+type ConnectResp struct {
+	Header
+	Status    Status
+	Credits   uint16 // granted credits == server buffer slots
+	MaxXfer   uint32 // largest single transfer the server accepts
+	SessionID uint64
+}
+
+// Read asks the server to RDMA length bytes of volume vol at offset into
+// the client buffer identified by BufAddr.
+type Read struct {
+	Header
+	ReqID    uint64
+	Volume   uint32
+	Offset   uint64
+	Length   uint32
+	BufAddr  uint64 // client-side RDMA target (simulated address / opaque token)
+	FlagBits uint8
+}
+
+// ReadResp completes a Read. On the VI transport the payload has already
+// been RDMA-written to BufAddr; on TCP the body follows this message.
+type ReadResp struct {
+	Header
+	ReqID   uint64
+	Status  Status
+	Credits uint16 // piggybacked credit grant
+}
+
+// Write asks the server to commit length bytes to volume vol at offset.
+// The payload occupies the server buffer slot named Slot (granted by flow
+// control); on TCP the body follows this message.
+type Write struct {
+	Header
+	ReqID    uint64
+	Volume   uint32
+	Offset   uint64
+	Length   uint32
+	Slot     uint32 // server buffer slot carrying the payload
+	FlagBits uint8
+}
+
+// WriteResp completes a Write (payload is durable on disk when it is sent).
+type WriteResp struct {
+	Header
+	ReqID   uint64
+	Status  Status
+	Credits uint16
+}
+
+// CreditGrant returns flow-control credits outside of a response.
+type CreditGrant struct {
+	Header
+	Credits uint16
+}
+
+// Ping/Pong are liveness probes used by the reconnection layer.
+type Ping struct{ Header }
+
+// Pong answers Ping.
+type Pong struct{ Header }
+
+// Disconnect closes a session cleanly.
+type Disconnect struct {
+	Header
+	Reason uint8
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Hdr returns the embedded header.
+	Hdr() *Header
+	// kind returns the wire type tag.
+	kind() MsgType
+}
+
+// Hdr implements Message.
+func (h *Header) Hdr() *Header { return h }
+
+func (*Connect) kind() MsgType     { return TConnect }
+func (*ConnectResp) kind() MsgType { return TConnectResp }
+func (*Read) kind() MsgType        { return TRead }
+func (*ReadResp) kind() MsgType    { return TReadResp }
+func (*Write) kind() MsgType       { return TWrite }
+func (*WriteResp) kind() MsgType   { return TWriteResp }
+func (*CreditGrant) kind() MsgType { return TCreditGrant }
+func (*Ping) kind() MsgType        { return TPing }
+func (*Pong) kind() MsgType        { return TPong }
+func (*Disconnect) kind() MsgType  { return TDisconnect }
+
+// TypeOf returns the wire type of m.
+func TypeOf(m Message) MsgType { return m.kind() }
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrShort      = errors.New("wire: short message")
+	ErrBadType    = errors.New("wire: unknown message type")
+)
