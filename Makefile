@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet verify bench bench-netv3 clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the gate every change must pass.
+verify: vet build race
+
+# bench regenerates the netv3 fast-path numbers (BENCH_netv3.json) and
+# runs the paper-figure benchmarks once.
+bench: bench-netv3
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+bench-netv3:
+	BENCH_JSON=$(CURDIR)/BENCH_netv3.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkNetv3' -benchtime 1s ./internal/netv3/
+
+clean:
+	$(GO) clean ./...

@@ -6,6 +6,7 @@
 //	v3cli -addr host:9300 write 4096 "hello"
 //	v3cli -addr host:9300 read 4096 5
 //	v3cli -addr host:9300 bench -n 1000 -size 8192 -depth 8
+//	v3cli -addr host:9300 bench -n 100000 -size 8192 -window 16   # async pipeline
 package main
 
 import (
@@ -63,12 +64,61 @@ func main() {
 		n := fs.Int("n", 1000, "I/Os")
 		size := fs.Int("size", 8192, "request size")
 		depth := fs.Int("depth", 8, "concurrent streams")
+		window := fs.Int("window", 0, "async pipeline depth (0 = sync goroutine bench)")
 		writes := fs.Bool("writes", false, "write instead of read")
 		_ = fs.Parse(args[1:])
-		runBench(c, v, *n, *size, *depth, *writes)
+		if *window > 0 {
+			runAsyncBench(c, v, *n, *size, *window, *writes)
+		} else {
+			runBench(c, v, *n, *size, *depth, *writes)
+		}
 	default:
 		log.Fatalf("v3cli: unknown command %q", args[0])
 	}
+}
+
+// runAsyncBench drives the async API from one goroutine, keeping up to
+// `window` requests in flight — the pipelined submission pattern the
+// paper's cDSA clients use, and the fastest way to use netv3 batching.
+func runAsyncBench(c *netv3.Client, vol uint32, n, size, window int, writes bool) {
+	bufs := make([][]byte, window)
+	for i := range bufs {
+		bufs[i] = make([]byte, size)
+	}
+	handles := make([]*netv3.Pending, window)
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		s := i % window
+		if handles[s] != nil {
+			if err := handles[s].Wait(); err != nil {
+				log.Fatalf("v3cli: %v", err)
+			}
+		}
+		off := int64(i*size) % (1 << 20)
+		var h *netv3.Pending
+		var err error
+		if writes {
+			h, err = c.WriteAsync(vol, off, bufs[s])
+		} else {
+			h, err = c.ReadAsync(vol, off, bufs[s])
+		}
+		if err != nil {
+			log.Fatalf("v3cli: %v", err)
+		}
+		handles[s] = h
+	}
+	for _, h := range handles {
+		if h != nil {
+			if err := h.Wait(); err != nil {
+				log.Fatalf("v3cli: %v", err)
+			}
+		}
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("%d I/Os of %d bytes, window %d: %.0f ops/s, %.1f MB/s\n",
+		n, size, window,
+		float64(n)/elapsed.Seconds(),
+		float64(n)*float64(size)/elapsed.Seconds()/1e6)
 }
 
 func runBench(c *netv3.Client, vol uint32, n, size, depth int, writes bool) {

@@ -5,6 +5,8 @@
 //
 //	v3d -addr :9300 -size 256M                 # in-memory volume 1
 //	v3d -addr :9300 -file /data/vol.img -size 1G -cache 4096
+//	v3d -addr :9300 -cache 4096 -shards 32 -stats 10s
+//	v3d -addr :9300 -nopool -nobatch           # seed-equivalent baseline
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/v3storage/v3/internal/netv3"
 )
@@ -41,7 +44,11 @@ func main() {
 	sizeStr := flag.String("size", "64M", "volume size (supports K/M/G suffix)")
 	file := flag.String("file", "", "back the volume with this file (default: memory)")
 	cache := flag.Int("cache", 0, "server MQ cache size in 8K blocks (0 = off)")
+	shards := flag.Int("shards", 0, "cache shard count (0 = default, 1 = single lock)")
 	credits := flag.Int("credits", 64, "flow-control window per session")
+	noPool := flag.Bool("nopool", false, "disable buffer pooling (allocate per request)")
+	noBatch := flag.Bool("nobatch", false, "disable response batching (flush per response)")
+	stats := flag.Duration("stats", 0, "log served/cache/pool counters at this interval (0 = off)")
 	flag.Parse()
 
 	size, err := parseSize(*sizeStr)
@@ -52,6 +59,9 @@ func main() {
 	cfg := netv3.DefaultServerConfig()
 	cfg.Credits = *credits
 	cfg.CacheBlocks = *cache
+	cfg.CacheShards = *shards
+	cfg.NoPool = *noPool
+	cfg.NoBatch = *noBatch
 	cfg.Logger = log.New(os.Stderr, "v3d: ", log.LstdFlags)
 	srv := netv3.NewServer(cfg)
 
@@ -72,6 +82,16 @@ func main() {
 		log.Fatalf("v3d: %v", err)
 	}
 	log.Printf("v3d: serving volume 1 (%d bytes) on %s", size, bound)
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				hits, misses := srv.CacheStats()
+				ps := srv.PoolStats()
+				log.Printf("v3d: served=%d sessions=%d cache=%d/%d hit/miss pool=%d/%d get/alloc",
+					srv.Served(), srv.Sessions(), hits, misses, ps.Gets, ps.Allocs)
+			}
+		}()
+	}
 	if err := srv.Serve(); err != nil {
 		log.Fatalf("v3d: %v", err)
 	}

@@ -50,6 +50,15 @@ func (l *LRU) Insert(key uint64) (uint64, bool) {
 	return victim, evicted
 }
 
+// RefOrInsert implements Cache.
+func (l *LRU) RefOrInsert(key uint64) (bool, uint64, bool) {
+	if l.Ref(key) {
+		return true, 0, false
+	}
+	victim, evicted := l.Insert(key)
+	return false, victim, evicted
+}
+
 // Contains implements Cache.
 func (l *LRU) Contains(key uint64) bool { _, ok := l.entries[key]; return ok }
 

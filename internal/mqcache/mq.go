@@ -24,6 +24,12 @@ type Cache interface {
 	Insert(key uint64) (evicted uint64, wasEvict bool)
 	// Contains reports presence without touching recency state.
 	Contains(key uint64) bool
+	// RefOrInsert combines Ref and Insert: it records an access, and on a
+	// miss makes key resident, returning the evicted key, if any. Callers
+	// that guard the cache with a lock (e.g. netv3's sharded block cache)
+	// get the whole hit-or-fill decision in one critical section instead
+	// of two lock round-trips.
+	RefOrInsert(key uint64) (hit bool, evicted uint64, wasEvict bool)
 	// Remove drops key, reporting whether it was present.
 	Remove(key uint64) bool
 	// Len returns the number of resident blocks; Cap the maximum.
@@ -200,6 +206,15 @@ func (m *MQ) evict() uint64 {
 		return e.key
 	}
 	panic("mqcache: evict on empty cache")
+}
+
+// RefOrInsert implements Cache.
+func (m *MQ) RefOrInsert(key uint64) (bool, uint64, bool) {
+	if m.Ref(key) {
+		return true, 0, false
+	}
+	victim, evicted := m.Insert(key)
+	return false, victim, evicted
 }
 
 // Contains implements Cache.

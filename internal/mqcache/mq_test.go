@@ -279,3 +279,35 @@ func TestCacheInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: RefOrInsert behaves exactly like Ref followed (on miss) by
+// Insert, for both cache implementations.
+func TestRefOrInsertEquivalence(t *testing.T) {
+	f := func(trace []uint16, capSeed uint8) bool {
+		capacity := int(capSeed%64) + 1
+		a, b := caches(capacity), caches(capacity)
+		for name, combined := range a {
+			split := b[name]
+			for _, kRaw := range trace {
+				k := uint64(kRaw % 256)
+				hit1, victim1, ev1 := combined.RefOrInsert(k)
+				hit2 := split.Ref(k)
+				var victim2 uint64
+				var ev2 bool
+				if !hit2 {
+					victim2, ev2 = split.Insert(k)
+				}
+				if hit1 != hit2 || victim1 != victim2 || ev1 != ev2 {
+					return false
+				}
+				if combined.Len() != split.Len() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

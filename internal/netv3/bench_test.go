@@ -1,0 +1,294 @@
+package netv3
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/wire"
+)
+
+// Benchmark results are collected here and, when the BENCH_JSON
+// environment variable names a file, written out by TestMain so the
+// repo's perf trajectory is machine-readable across PRs (`make bench`).
+type benchRecord struct {
+	Name        string  `json:"name"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	MeanMicros  float64 `json:"mean_us,omitempty"`
+	BytesPerOp  float64 `json:"alloc_bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchRecords []benchRecord
+)
+
+func record(r benchRecord) {
+	benchMu.Lock()
+	benchRecords = append(benchRecords, r)
+	benchMu.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecords) > 0 {
+		if data, err := json.MarshalIndent(benchRecords, "", "  "); err == nil {
+			_ = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
+}
+
+// ablationConfig names one point in the optimization space.
+type ablationConfig struct {
+	name    string
+	noPool  bool
+	noBatch bool
+	shards  int // 0 = default, 1 = unsharded
+}
+
+var ablations = []ablationConfig{
+	{name: "all-on"},
+	{name: "no-pool", noPool: true},
+	{name: "no-batch", noBatch: true},
+	{name: "no-shard", shards: 1},
+	{name: "all-off", noPool: true, noBatch: true, shards: 1},
+}
+
+// benchPair starts a server+client for one benchmark run.
+func benchPair(b *testing.B, ac ablationConfig, cacheBlocks int) (*Server, *Client) {
+	b.Helper()
+	cfg := DefaultServerConfig()
+	cfg.CacheBlocks = cacheBlocks
+	cfg.CacheShards = ac.shards
+	cfg.NoPool = ac.noPool
+	cfg.NoBatch = ac.noBatch
+	srv := NewServer(cfg)
+	srv.AddVolume(1, NewMemStore(64<<20))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	b.Cleanup(func() { srv.Close() })
+	ccfg := DefaultClientConfig()
+	ccfg.NoBatch = ac.noBatch
+	c, err := Dial(addr.String(), ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+// pipelineReads keeps `outstanding` reads in flight for b.N total ops and
+// returns wall-clock elapsed plus allocation deltas per op.
+func pipelineReads(b *testing.B, c *Client, size, outstanding int) (elapsed time.Duration, bytesPerOp, allocsPerOp float64) {
+	b.Helper()
+	const region = 32 << 20
+	bufs := make([][]byte, outstanding)
+	for i := range bufs {
+		bufs[i] = make([]byte, size)
+	}
+	handles := make([]*Pending, outstanding)
+	var ms1, ms2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	b.ResetTimer()
+	t0 := time.Now()
+	for n := 0; n < b.N; n++ {
+		s := n % outstanding
+		if handles[s] != nil {
+			if err := handles[s].Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		off := int64(n*size) % (region - int64(size))
+		h, err := c.ReadAsync(1, off, bufs[s])
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[s] = h
+	}
+	for _, h := range handles {
+		if h != nil {
+			if err := h.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	elapsed = time.Since(t0)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms2)
+	bytesPerOp = float64(ms2.TotalAlloc-ms1.TotalAlloc) / float64(b.N)
+	allocsPerOp = float64(ms2.Mallocs-ms1.Mallocs) / float64(b.N)
+	return elapsed, bytesPerOp, allocsPerOp
+}
+
+// BenchmarkNetv3Throughput sweeps request size × outstanding I/Os on the
+// fully optimized path, the TCP counterpart of the paper's cached
+// throughput microbenchmark (Figure 6).
+func BenchmarkNetv3Throughput(b *testing.B) {
+	for _, size := range []int{4096, 8192, 65536} {
+		for _, outstanding := range []int{1, 16} {
+			name := fmt.Sprintf("size=%d/outstanding=%d", size, outstanding)
+			b.Run(name, func(b *testing.B) {
+				_, c := benchPair(b, ablations[0], 4096)
+				elapsed, bpo, apo := pipelineReads(b, c, size, outstanding)
+				ops := float64(b.N) / elapsed.Seconds()
+				mbs := ops * float64(size) / 1e6
+				b.ReportMetric(ops, "ops/s")
+				b.ReportMetric(mbs, "MB/s")
+				b.ReportMetric(bpo, "alloc-B/op")
+				record(benchRecord{
+					Name: "Netv3Throughput/" + name, OpsPerSec: ops, MBPerSec: mbs,
+					BytesPerOp: bpo, AllocsPerOp: apo,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkNetv3Latency measures single-outstanding (synchronous)
+// round-trip time, the Figure 3 analogue.
+func BenchmarkNetv3Latency(b *testing.B) {
+	for _, size := range []int{512, 8192} {
+		name := fmt.Sprintf("size=%d", size)
+		b.Run(name, func(b *testing.B) {
+			_, c := benchPair(b, ablations[0], 4096)
+			buf := make([]byte, size)
+			b.ResetTimer()
+			t0 := time.Now()
+			for n := 0; n < b.N; n++ {
+				if err := c.Read(1, int64(n*size)%(16<<20), buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(t0)
+			mean := elapsed.Seconds() / float64(b.N) * 1e6
+			b.ReportMetric(mean, "µs/op")
+			record(benchRecord{Name: "Netv3Latency/" + name, MeanMicros: mean})
+		})
+	}
+}
+
+// BenchmarkNetv3Ablation toggles each optimization individually at
+// 8 KB × 16 outstanding — the per-optimization accounting the paper does
+// in Figures 9/12. "all-off" is the seed-equivalent baseline: fresh
+// allocations per request, one flush and one read syscall per frame, and
+// a single cache lock.
+func BenchmarkNetv3Ablation(b *testing.B) {
+	for _, ac := range ablations {
+		b.Run(ac.name, func(b *testing.B) {
+			_, c := benchPair(b, ac, 4096)
+			elapsed, bpo, apo := pipelineReads(b, c, 8192, 16)
+			ops := float64(b.N) / elapsed.Seconds()
+			b.ReportMetric(ops, "ops/s")
+			b.ReportMetric(bpo, "alloc-B/op")
+			b.ReportMetric(apo, "allocs/op")
+			record(benchRecord{
+				Name: "Netv3Ablation/" + ac.name + "/8192x16", OpsPerSec: ops,
+				MBPerSec: ops * 8192 / 1e6, BytesPerOp: bpo, AllocsPerOp: apo,
+			})
+		})
+	}
+}
+
+// BenchmarkNetv3ServerReadPath isolates the server-side read path —
+// frame decode, dispatch, cache lookup, response framing — without the
+// client or the socket, for a precise allocation account. "all-on" runs
+// the batched inline path (reused decode struct, pooled body, reused
+// response, scratch frame); "all-off" runs the seed's path (fresh
+// Unmarshal, make([]byte) body, fresh response, Marshal frame).
+func BenchmarkNetv3ServerReadPath(b *testing.B) {
+	for _, ac := range []ablationConfig{ablations[0], ablations[len(ablations)-1]} {
+		b.Run(ac.name, func(b *testing.B) {
+			cfg := DefaultServerConfig()
+			cfg.CacheBlocks = 4096
+			cfg.CacheShards = ac.shards
+			cfg.NoPool = ac.noPool
+			cfg.NoBatch = ac.noBatch
+			s := NewServer(cfg)
+			s.AddVolume(1, NewMemStore(64<<20))
+			w := newRespWriter(io.Discard, ac.noBatch, ac.noPool)
+			req := &wire.Read{Header: wire.Header{Seq: 1}, ReqID: 1, Volume: 1, Length: 8192}
+			frame := wire.Marshal(req)
+			inline := !ac.noBatch
+			var m wire.Read
+			var ms1, ms2 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms1)
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				off := uint64(n%4096) * 8192
+				if inline {
+					if err := wire.UnmarshalInto(frame, &m); err != nil {
+						b.Fatal(err)
+					}
+					m.Offset = off
+					s.handleRead(&m, w, true)
+				} else {
+					mi, err := wire.Unmarshal(frame)
+					if err != nil {
+						b.Fatal(err)
+					}
+					r := mi.(*wire.Read)
+					r.Offset = off
+					s.handleRead(r, w, false)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms2)
+			bpo := float64(ms2.TotalAlloc-ms1.TotalAlloc) / float64(b.N)
+			apo := float64(ms2.Mallocs-ms1.Mallocs) / float64(b.N)
+			b.ReportMetric(bpo, "alloc-B/op")
+			b.ReportMetric(apo, "allocs/op")
+			record(benchRecord{
+				Name: "Netv3ServerReadPath/" + ac.name, BytesPerOp: bpo, AllocsPerOp: apo,
+			})
+		})
+	}
+}
+
+// BenchmarkNetv3WriteThroughput covers the submission direction (client
+// batching + server staging-buffer pooling).
+func BenchmarkNetv3WriteThroughput(b *testing.B) {
+	const size, outstanding = 8192, 16
+	_, c := benchPair(b, ablations[0], 0)
+	data := make([]byte, size)
+	handles := make([]*Pending, outstanding)
+	b.ResetTimer()
+	t0 := time.Now()
+	for n := 0; n < b.N; n++ {
+		s := n % outstanding
+		if handles[s] != nil {
+			if err := handles[s].Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		h, err := c.WriteAsync(1, int64(n*size)%(32<<20), data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[s] = h
+	}
+	for _, h := range handles {
+		if h != nil {
+			if err := h.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	elapsed := time.Since(t0)
+	ops := float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(ops, "ops/s")
+	b.ReportMetric(ops*size/1e6, "MB/s")
+	record(benchRecord{Name: "Netv3WriteThroughput/8192x16", OpsPerSec: ops, MBPerSec: ops * size / 1e6})
+}

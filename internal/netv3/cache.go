@@ -1,0 +1,126 @@
+package netv3
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"github.com/v3storage/v3/internal/bufpool"
+	"github.com/v3storage/v3/internal/mqcache"
+)
+
+// blockCache is the per-volume server read cache, sharded so that cache
+// hits on different blocks stop serializing on one volume-wide mutex
+// during the payload memcpy. It is the TCP-path form of the paper's
+// lock-synchronization minimization (Section 3.3): the same MQ policy,
+// but the single lock pair per access now covers only 1/nshards of the
+// key space. Shards are selected by low bits of the block number, so a
+// sequential scan also spreads across shards.
+type blockCache struct {
+	shards []cacheShard
+	mask   uint64
+	pool   *bufpool.Pool
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard struct {
+	mu   sync.Mutex
+	mq   *mqcache.MQ
+	data map[uint64][]byte // resident block payloads, len cacheBlockSize
+	_    [40]byte          // pad to a cache line so shard locks don't false-share
+}
+
+// defaultCacheShards is the shard count when ServerConfig.CacheShards is
+// zero. 16 keeps per-shard capacity useful for small caches while
+// allowing 16-way concurrent hits.
+const defaultCacheShards = 16
+
+// newBlockCache builds a cache of totalBlocks across nshards shards
+// (rounded up to a power of two; 1 disables sharding for ablation).
+func newBlockCache(totalBlocks, nshards int, pool *bufpool.Pool) *blockCache {
+	if nshards <= 0 {
+		nshards = defaultCacheShards
+	}
+	if nshards&(nshards-1) != 0 {
+		nshards = 1 << bits.Len(uint(nshards))
+	}
+	// Never create more shards than blocks: each shard needs capacity.
+	for nshards > 1 && totalBlocks/nshards < 1 {
+		nshards /= 2
+	}
+	per := totalBlocks / nshards
+	if per < 1 {
+		per = 1
+	}
+	c := &blockCache{shards: make([]cacheShard, nshards), mask: uint64(nshards - 1), pool: pool}
+	for i := range c.shards {
+		c.shards[i].mq = mqcache.NewMQ(per, 0, 0)
+		c.shards[i].data = make(map[uint64][]byte, per)
+	}
+	return c
+}
+
+func (c *blockCache) shard(blk uint64) *cacheShard {
+	return &c.shards[blk&c.mask]
+}
+
+// readBlock copies block blk's bytes [within, within+n) into dst,
+// filling the block from store on a miss. The store read happens under
+// the shard lock: that serializes misses per shard but guarantees a
+// concurrent volume.write (store write, then cache update) can never
+// leave a stale payload resident — the writer's cache update always
+// observes a completed insert or no entry at all.
+func (c *blockCache) readBlock(v *volume, blk uint64, within, n int64, dst []byte) error {
+	sh := c.shard(blk)
+	sh.mu.Lock()
+	hit, victim, evicted := sh.mq.RefOrInsert(blk)
+	if hit {
+		c.hits.Add(1)
+		copy(dst, sh.data[blk][within:within+n])
+		sh.mu.Unlock()
+		return nil
+	}
+	c.misses.Add(1)
+	if evicted {
+		c.pool.Put(sh.data[victim])
+		delete(sh.data, victim)
+	}
+	payload := c.pool.Get(cacheBlockSize)
+	bs := int64(blk) * cacheBlockSize
+	readLen := int64(cacheBlockSize)
+	if bs+readLen > v.store.Size() {
+		readLen = v.store.Size() - bs
+	}
+	if err := v.store.ReadAt(payload[:readLen], bs); err != nil {
+		// Roll the insert back so the failed block is not resident.
+		sh.mq.Remove(blk)
+		c.pool.Put(payload)
+		sh.mu.Unlock()
+		return err
+	}
+	// Pooled slabs arrive dirty; the tail past EOF must read as zeros.
+	clear(payload[readLen:])
+	sh.data[blk] = payload
+	copy(dst, payload[within:within+n])
+	sh.mu.Unlock()
+	return nil
+}
+
+// updateBlock folds a committed write into block blk if it is resident.
+// Absent blocks are left absent (write-around): the read path will fetch
+// the new bytes from the store.
+func (c *blockCache) updateBlock(blk uint64, within, n int64, src []byte) {
+	sh := c.shard(blk)
+	sh.mu.Lock()
+	if payload, ok := sh.data[blk]; ok {
+		copy(payload[within:within+n], src)
+		sh.mq.Ref(blk)
+	}
+	sh.mu.Unlock()
+}
+
+// stats returns cumulative (hits, misses).
+func (c *blockCache) stats() (int64, int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,11 +1,13 @@
 package netv3
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/v3storage/v3/internal/flow"
@@ -24,6 +26,9 @@ type ClientConfig struct {
 	MaxReconnects    int
 	// DialTimeout bounds each dial attempt.
 	DialTimeout time.Duration
+	// NoBatch disables submission frame batching (ablation: every request
+	// is flushed to the socket individually).
+	NoBatch bool
 }
 
 // DefaultClientConfig returns production defaults.
@@ -38,16 +43,46 @@ func DefaultClientConfig() ClientConfig {
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("netv3: client closed")
 
-type pendingIO struct {
-	seq    uint64
-	msg    wire.Message // for replay after reconnection
-	body   []byte       // write payload (replay) — nil for reads
-	buf    []byte       // read destination
-	doneCh chan error
+// Pending is one in-flight request and its completion handle — the TCP
+// counterpart of the cDSA API's async calls plus Poll/Wait
+// (internal/core/api.go calls 5, 6, 9, 10).
+type Pending struct {
+	seq  uint64
+	slot uint32       // credit slot held until completion
+	msg  wire.Message // for replay after reconnection
+	body []byte       // write payload (replay) — nil for reads
+	buf  []byte       // read destination
+	err  error        // completion status; valid once done is closed
+	done chan struct{}
+}
+
+// Done reports without blocking whether the request has completed — the
+// polling primitive.
+func (h *Pending) Done() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the request completes and returns its status. It may
+// be called any number of times, from any goroutine.
+func (h *Pending) Wait() error {
+	<-h.done
+	return h.err
 }
 
 // Client is a DSA-style block client for a netv3 server. It is safe for
 // concurrent use; requests overlap up to the credit window.
+//
+// Locking: mu guards only request bookkeeping (pending map, sequence
+// numbers, connection identity, reconnection state). Payload
+// transmission happens under the separate sendMu, so concurrent
+// submitters and the completion path never wait behind a blocking
+// network write — the lock-minimization lesson of Section 3.3 applied to
+// the client.
 type Client struct {
 	cfg  ClientConfig
 	addr string
@@ -56,7 +91,7 @@ type Client struct {
 	conn    net.Conn
 	fc      *flow.Client
 	creditC chan uint32 // available slot ids (buffered = window)
-	pending map[uint64]*pendingIO
+	pending map[uint64]*Pending
 	tracker *reliable.Tracker
 	reconn  *reliable.Reconnector
 	nextSeq uint64
@@ -65,6 +100,15 @@ type Client struct {
 	closed  bool
 	genID   int // bumps on every reconnect; stale readers exit
 	start   time.Time
+
+	// Submission path, guarded by sendMu. bw wraps the generation-bwGen
+	// connection; senders counts goroutines queued for sendMu, driving
+	// the adaptive flush (flush only when nobody else is about to write).
+	sendMu  sync.Mutex
+	bw      *bufio.Writer
+	bwGen   int
+	senders atomic.Int32
+	scratch [wire.ControlSize]byte // frame staging; guarded by sendMu
 
 	reconnects int64
 }
@@ -77,7 +121,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	c := &Client{
 		cfg:     cfg,
 		addr:    addr,
-		pending: make(map[uint64]*pendingIO),
+		pending: make(map[uint64]*Pending),
 		tracker: reliable.NewTracker(0, 0),
 		reconn:  reliable.NewReconnector(cfg.ReconnectBackoff, cfg.MaxReconnects),
 		start:   time.Now(),
@@ -128,6 +172,10 @@ func (c *Client) connectLocked() error {
 		}
 	}
 	c.genID++
+	c.sendMu.Lock()
+	c.bw = bufio.NewWriterSize(conn, sockBufSize)
+	c.bwGen = c.genID
+	c.sendMu.Unlock()
 	go c.reader(conn, c.genID)
 	return nil
 }
@@ -152,120 +200,221 @@ func (c *Client) Reconnects() int64 { return c.reconnects }
 // Close tears the session down; outstanding requests fail.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	if c.conn != nil {
-		_ = wire.WriteTo(c.conn, &wire.Disconnect{})
-		c.conn.Close()
+	conn := c.conn
+	failed := c.pending
+	c.pending = map[uint64]*Pending{}
+	c.mu.Unlock()
+	if conn != nil {
+		c.senders.Add(1)
+		c.sendMu.Lock()
+		c.senders.Add(-1)
+		wire.MarshalInto(c.scratch[:], &wire.Disconnect{})
+		_, _ = c.bw.Write(c.scratch[:])
+		_ = c.bw.Flush()
+		c.sendMu.Unlock()
+		conn.Close()
 	}
-	for _, p := range c.pending {
-		p.doneCh <- ErrClosed
+	for _, p := range failed {
+		c.finish(p, ErrClosed)
 	}
-	c.pending = map[uint64]*pendingIO{}
 	return nil
 }
 
 // Read fills buf from volume vol at off.
 func (c *Client) Read(vol uint32, off int64, buf []byte) error {
-	slot := <-c.creditC
-	defer func() { c.creditC <- slot }()
-	p := &pendingIO{buf: buf, doneCh: make(chan error, 1)}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
-	}
-	c.nextSeq++
-	c.nextReq++
-	p.seq = c.nextSeq
-	m := &wire.Read{
-		Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq,
-		Volume: vol, Offset: uint64(off), Length: uint32(len(buf)),
-	}
-	p.msg = m
-	c.pending[p.seq] = p
-	c.tracker.Track(p.seq, time.Since(c.start))
-	err := wire.WriteTo(c.conn, m)
-	c.mu.Unlock()
+	h, err := c.ReadAsync(vol, off, buf)
 	if err != nil {
-		c.connectionBroken()
+		return err
 	}
-	return <-p.doneCh
+	return h.Wait()
 }
 
 // Write commits data to volume vol at off.
 func (c *Client) Write(vol uint32, off int64, data []byte) error {
+	h, err := c.WriteAsync(vol, off, data)
+	if err != nil {
+		return err
+	}
+	return h.Wait()
+}
+
+// ReadAsync submits a read and returns immediately with a completion
+// handle; buf must stay untouched until the handle reports completion.
+// Submission blocks only while the credit window is exhausted.
+func (c *Client) ReadAsync(vol uint32, off int64, buf []byte) (*Pending, error) {
+	return c.submit(vol, off, buf, nil, false)
+}
+
+// WriteAsync submits a write and returns immediately with a completion
+// handle; data must stay untouched until the handle reports completion.
+func (c *Client) WriteAsync(vol uint32, off int64, data []byte) (*Pending, error) {
+	return c.submit(vol, off, nil, data, true)
+}
+
+func (c *Client) submit(vol uint32, off int64, buf, data []byte, isWrite bool) (*Pending, error) {
 	slot := <-c.creditC
-	defer func() { c.creditC <- slot }()
-	p := &pendingIO{body: data, doneCh: make(chan error, 1)}
+	p := &Pending{slot: slot, done: make(chan struct{})}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return ErrClosed
+		c.creditC <- slot // hand the slot to any other blocked submitter
+		return nil, ErrClosed
 	}
 	c.nextSeq++
 	c.nextReq++
 	p.seq = c.nextSeq
-	m := &wire.Write{
-		Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq,
-		Volume: vol, Offset: uint64(off), Length: uint32(len(data)), Slot: slot,
+	if isWrite {
+		p.body = data
+		p.msg = &wire.Write{
+			Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq,
+			Volume: vol, Offset: uint64(off), Length: uint32(len(data)), Slot: slot,
+		}
+	} else {
+		p.buf = buf
+		p.msg = &wire.Read{
+			Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq,
+			Volume: vol, Offset: uint64(off), Length: uint32(len(buf)),
+		}
 	}
-	p.msg = m
 	c.pending[p.seq] = p
 	c.tracker.Track(p.seq, time.Since(c.start))
-	err := c.writeWithBody(m, data)
+	gen := c.genID
 	c.mu.Unlock()
-	if err != nil {
+	// The network write happens outside mu: a slow or blocking send no
+	// longer stalls other submitters' bookkeeping or the reader's
+	// completion path.
+	if err := c.send(gen, p.msg, p.body); err != nil {
 		c.connectionBroken()
 	}
-	return <-p.doneCh
+	// Even on a send error the request is tracked: reconnection replay
+	// (or permanent failure) will complete the handle.
+	return p, nil
 }
 
-// writeWithBody sends a control frame plus payload atomically with
-// respect to other senders. Caller holds mu.
-func (c *Client) writeWithBody(m wire.Message, body []byte) error {
-	if err := wire.WriteTo(c.conn, m); err != nil {
+// send writes a control frame plus payload onto the submission stream.
+// Frames from concurrent submitters batch in bw; the flush syscall is
+// issued by whichever sender drains the queue (senders == 0), mirroring
+// the server's response batching. gen identifies the connection the
+// request was issued on: if a reconnect has replaced it, the write is
+// skipped — replay owns retransmission on the new connection.
+//
+// With NoBatch the submission reproduces the seed exactly: a freshly
+// allocated frame and an immediate flush per write, so frame and body
+// reach the kernel as separate unbatched syscalls.
+func (c *Client) send(gen int, m wire.Message, body []byte) error {
+	c.senders.Add(1)
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.senders.Add(-1)
+	if gen != c.bwGen {
+		// Still honor the flush contract for earlier senders' bytes.
+		if c.senders.Load() == 0 {
+			_ = c.bw.Flush()
+		}
+		return nil
+	}
+	if c.cfg.NoBatch {
+		if _, err := c.bw.Write(wire.Marshal(m)); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		if len(body) > 0 {
+			if _, err := c.bw.Write(body); err != nil {
+				return err
+			}
+		}
+		return c.bw.Flush()
+	}
+	wire.MarshalInto(c.scratch[:], m)
+	if _, err := c.bw.Write(c.scratch[:]); err != nil {
 		return err
 	}
 	if len(body) > 0 {
-		if _, err := c.conn.Write(body); err != nil {
+		if _, err := c.bw.Write(body); err != nil {
 			return err
 		}
+	}
+	if c.senders.Load() == 0 {
+		return c.bw.Flush()
 	}
 	return nil
 }
 
-// reader demultiplexes responses for one connection generation.
+// reader demultiplexes responses for one connection generation. Frames
+// decode into two reusable structs (one per response type), so steady
+// state reads allocate nothing on the completion path.
 func (c *Client) reader(conn net.Conn, gen int) {
+	br := bufio.NewReaderSize(conn, readBufSize(c.cfg.NoBatch))
+	var frame [wire.ControlSize]byte
+	var rr wire.ReadResp
+	var wr wire.WriteResp
+	fail := func() {
+		c.mu.Lock()
+		stale := gen != c.genID || c.closed
+		c.mu.Unlock()
+		if !stale {
+			c.connectionBroken()
+		}
+	}
 	for {
-		msg, err := wire.ReadFrom(conn)
+		t, err := wire.ReadFrame(br, &frame)
 		if err != nil {
-			c.mu.Lock()
-			stale := gen != c.genID || c.closed
-			c.mu.Unlock()
-			if !stale {
-				c.connectionBroken()
-			}
+			fail()
 			return
 		}
-		switch m := msg.(type) {
-		case *wire.ReadResp:
+		switch t {
+		case wire.TReadResp:
+			m := &rr
+			if err := wire.UnmarshalInto(frame[:], m); err != nil {
+				fail()
+				return
+			}
 			c.mu.Lock()
 			p := c.pending[uint64(m.Ack)]
 			c.mu.Unlock()
-			var err error
-			if p != nil && m.Status == wire.StatusOK {
-				_, err = io.ReadFull(conn, p.buf)
-			} else if m.Status != wire.StatusOK {
-				err = m.Status.Err()
+			n := int64(m.Length)
+			var ioErr error
+			switch {
+			case m.Status != wire.StatusOK:
+				ioErr = m.Status.Err()
+				// Error responses carry no payload (Length is 0), but trust
+				// the header over the convention.
+				if n > 0 {
+					_, err = io.CopyN(io.Discard, br, n)
+				}
+			case p != nil && int64(len(p.buf)) == n:
+				_, err = io.ReadFull(br, p.buf)
+			default:
+				// Unknown or stale seq, or a length mismatch. The payload
+				// must still leave the stream — otherwise its bytes would be
+				// parsed as the next control frame and every subsequent
+				// response on this connection would be corrupted.
+				_, err = io.CopyN(io.Discard, br, n)
+				if p != nil {
+					ioErr = fmt.Errorf("netv3: read response length %d != buffer %d", n, len(p.buf))
+				}
 			}
-			c.complete(uint64(m.Ack), err)
-		case *wire.WriteResp:
-			c.complete(uint64(m.Ack), m.Status.Err())
-		case *wire.Pong:
+			if err != nil { // stream died mid-payload
+				fail()
+				return
+			}
+			if p != nil {
+				c.complete(uint64(m.Ack), ioErr)
+			}
+		case wire.TWriteResp:
+			if err := wire.UnmarshalInto(frame[:], &wr); err != nil {
+				fail()
+				return
+			}
+			c.complete(uint64(wr.Ack), wr.Status.Err())
+		case wire.TPong:
 			// liveness only
 		default:
 			// Unexpected frame: treat as protocol failure.
@@ -282,8 +431,18 @@ func (c *Client) complete(seq uint64, err error) {
 	c.tracker.Ack(seq)
 	c.mu.Unlock()
 	if p != nil {
-		p.doneCh <- err
+		c.finish(p, err)
 	}
+}
+
+// finish publishes the completion and returns the credit slot. Each
+// Pending reaches finish exactly once: complete, Close, and permanent
+// reconnection failure all remove it from the pending map under mu
+// before calling here.
+func (c *Client) finish(p *Pending, err error) {
+	p.err = err
+	close(p.done)
+	c.creditC <- p.slot
 }
 
 // connectionBroken drives the reconnection state machine: redial with
@@ -324,7 +483,7 @@ func (c *Client) connectionBroken() {
 			if !ok {
 				continue
 			}
-			if err := c.writeWithBody(p.msg, p.body); err != nil {
+			if err := c.send(c.genID, p.msg, p.body); err != nil {
 				// New connection failed immediately; loop again.
 				c.reconn.ConnectionBroken(time.Since(c.start))
 				c.conn.Close()
@@ -336,9 +495,10 @@ func (c *Client) connectionBroken() {
 		}
 	}
 	// Permanent failure: fail everything outstanding.
-	for seq, p := range c.pending {
-		delete(c.pending, seq)
-		p.doneCh <- fmt.Errorf("netv3: connection lost and reconnection failed")
-	}
+	failed := c.pending
+	c.pending = map[uint64]*Pending{}
 	c.closed = true
+	for _, p := range failed {
+		c.finish(p, fmt.Errorf("netv3: connection lost and reconnection failed"))
+	}
 }

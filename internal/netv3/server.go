@@ -1,14 +1,15 @@
 package netv3
 
 import (
+	"bufio"
 	"io"
 	"log"
 	"net"
 	"sync"
 	"sync/atomic"
 
+	"github.com/v3storage/v3/internal/bufpool"
 	"github.com/v3storage/v3/internal/flow"
-	"github.com/v3storage/v3/internal/mqcache"
 	"github.com/v3storage/v3/internal/wire"
 )
 
@@ -22,6 +23,16 @@ type ServerConfig struct {
 	// CacheBlocks enables a server-side MQ read cache of 8 KB blocks per
 	// volume (0 disables).
 	CacheBlocks int
+	// CacheShards is the number of independently locked cache shards per
+	// volume (rounded up to a power of two). 0 selects the default (16);
+	// 1 yields a single-lock cache, the ablation baseline.
+	CacheShards int
+	// NoPool disables payload buffer pooling (ablation: every request
+	// allocates fresh buffers, the pre-optimization behavior).
+	NoPool bool
+	// NoBatch disables response frame batching (ablation: every response
+	// is flushed to the socket individually).
+	NoBatch bool
 	// Logger receives connection-level errors; nil silences them.
 	Logger *log.Logger
 }
@@ -33,21 +44,40 @@ func DefaultServerConfig() ServerConfig {
 
 const cacheBlockSize = 8192
 
-// volume is one exported store with its optional block cache.
+// sockBufSize sizes the per-session bufio reader and writer. The writer
+// doubles as the frame-batching byte threshold: a pending batch is
+// pushed to the kernel when it reaches this size even if responses are
+// still being produced.
+const sockBufSize = 64 << 10
+
+// readBufSize returns the session read-buffer size: the full batching
+// buffer normally, a single control frame when batching is ablated — so
+// the NoBatch baseline consumes inbound frames one syscall at a time,
+// like the unbatched path it stands in for.
+func readBufSize(noBatch bool) int {
+	if noBatch {
+		return wire.ControlSize
+	}
+	return sockBufSize
+}
+
+// volume is one exported store with its optional sharded block cache.
 type volume struct {
 	store BlockStore
-	mu    sync.Mutex
-	cache *mqcache.MQ
-	data  map[uint64][]byte // cached block payloads
-	hits  atomic.Int64
-	miss  atomic.Int64
+	cache *blockCache
 }
 
 // Server exports volumes over TCP.
 type Server struct {
-	cfg      ServerConfig
-	mu       sync.Mutex
-	volumes  map[uint32]*volume
+	cfg  ServerConfig
+	pool *bufpool.Pool // nil when cfg.NoPool: Get/Put degrade to make/no-op
+
+	// volumes is a copy-on-write map: lookups on the request hot path are
+	// a single atomic load, with no lock shared across sessions. addMu
+	// serializes the (rare) writers.
+	volumes atomic.Pointer[map[uint32]*volume]
+	addMu   sync.Mutex
+
 	ln       net.Listener
 	sessions atomic.Int64
 	served   atomic.Int64
@@ -63,26 +93,39 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxXfer == 0 {
 		cfg.MaxXfer = 1 << 20
 	}
-	return &Server{cfg: cfg, volumes: make(map[uint32]*volume)}
+	s := &Server{cfg: cfg}
+	if !cfg.NoPool {
+		s.pool = bufpool.New()
+	}
+	s.volumes.Store(&map[uint32]*volume{})
+	return s
 }
 
 // AddVolume exports store under the given volume ID.
 func (s *Server) AddVolume(id uint32, store BlockStore) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.addMu.Lock()
+	defer s.addMu.Unlock()
 	v := &volume{store: store}
 	if s.cfg.CacheBlocks > 0 {
-		v.cache = mqcache.NewMQ(s.cfg.CacheBlocks, 0, 0)
-		v.data = make(map[uint64][]byte)
+		v.cache = newBlockCache(s.cfg.CacheBlocks, s.cfg.CacheShards, s.pool)
 	}
-	s.volumes[id] = v
+	old := *s.volumes.Load()
+	next := make(map[uint32]*volume, len(old)+1)
+	for k, ov := range old {
+		next[k] = ov
+	}
+	next[id] = v
+	s.volumes.Store(&next)
+}
+
+// lookup resolves a volume ID lock-free.
+func (s *Server) lookup(id uint32) *volume {
+	return (*s.volumes.Load())[id]
 }
 
 // VolumeSize returns the size of volume id, or 0 if absent.
 func (s *Server) VolumeSize(id uint32) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if v, ok := s.volumes[id]; ok {
+	if v := s.lookup(id); v != nil {
 		return v.store.Size()
 	}
 	return 0
@@ -96,14 +139,18 @@ func (s *Server) Sessions() int64 { return s.sessions.Load() }
 
 // CacheStats returns aggregate (hits, misses) across volumes.
 func (s *Server) CacheStats() (hits, misses int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, v := range s.volumes {
-		hits += v.hits.Load()
-		misses += v.miss.Load()
+	for _, v := range *s.volumes.Load() {
+		if v.cache != nil {
+			h, m := v.cache.stats()
+			hits += h
+			misses += m
+		}
 	}
 	return hits, misses
 }
+
+// PoolStats returns buffer-pool counters (zero when pooling is off).
+func (s *Server) PoolStats() bufpool.Stats { return s.pool.Stats() }
 
 // Listen binds addr and returns the bound address (use ":0" for an
 // ephemeral port).
@@ -154,12 +201,138 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// respWriter serializes response frames and bodies onto one session's
+// socket. In batching mode responses accumulate in a bufio.Writer and
+// the session loop issues one flush syscall when the inbound request
+// burst drains — the TCP analogue of the paper's interrupt batching
+// (Section 3.2): just as kDSA withholds completion interrupts while more
+// completions are imminent, the session withholds the flush while more
+// requests (hence more responses) are already buffered. The byte
+// threshold is the bufio buffer itself: a batch that reaches sockBufSize
+// is pushed to the kernel mid-stream.
+//
+// With noBatch the writer reproduces the seed's behavior exactly: no
+// write buffering, one syscall for the frame and a second for the body.
+// With noPool it also reproduces the seed's per-frame Marshal
+// allocation instead of staging frames in the scratch buffer.
+type respWriter struct {
+	mu      sync.Mutex
+	conn    io.Writer
+	bw      *bufio.Writer // nil when noBatch
+	noBatch bool
+	noPool  bool
+	scratch [wire.ControlSize]byte // frame staging; guarded by mu
+
+	// Reusable hot-path response structs for inline (batching-mode)
+	// dispatch, where the session loop is the only responder. Guarded by
+	// mu like scratch.
+	rr wire.ReadResp
+	wr wire.WriteResp
+}
+
+func newRespWriter(conn io.Writer, noBatch, noPool bool) *respWriter {
+	w := &respWriter{conn: conn, noBatch: noBatch, noPool: noPool}
+	if !noBatch {
+		w.bw = bufio.NewWriterSize(conn, sockBufSize)
+	}
+	return w
+}
+
+// frame encodes m either into the shared scratch buffer (pooling on) or
+// a fresh allocation (noPool, the seed's per-message cost). Call with mu
+// held.
+func (w *respWriter) frame(m wire.Message) []byte {
+	if w.noPool {
+		return wire.Marshal(m)
+	}
+	wire.MarshalInto(w.scratch[:], m)
+	return w.scratch[:]
+}
+
+// send writes one response frame plus optional body and pushes it to
+// the kernel immediately. It is the control-plane path (handshake,
+// pong, flow-control rejections) and the whole data path when batching
+// is off — where frame and body go out as two separate unbuffered
+// writes, like the seed.
+func (w *respWriter) send(m wire.Message, body []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.noBatch {
+		if _, err := w.conn.Write(w.frame(m)); err != nil {
+			return err
+		}
+		if len(body) > 0 {
+			if _, err := w.conn.Write(body); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := w.bw.Write(w.frame(m)); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.bw.Write(body); err != nil {
+			return err
+		}
+	}
+	return w.bw.Flush()
+}
+
+// buffer appends one response frame plus optional body to the pending
+// batch without flushing; the session loop flushes via flushPending when
+// the inbound burst drains. Batching mode only.
+func (w *respWriter) buffer(m wire.Message, body []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.bw.Write(w.frame(m)); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.bw.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// respond routes a response through the batch (inline dispatch) or
+// straight to the socket (goroutine dispatch, noBatch).
+func (w *respWriter) respond(m wire.Message, body []byte, inline bool) error {
+	if inline {
+		return w.buffer(m, body)
+	}
+	return w.send(m, body)
+}
+
+// flushPending pushes any buffered responses to the kernel.
+func (w *respWriter) flushPending() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.bw == nil || w.bw.Buffered() == 0 {
+		return nil
+	}
+	return w.bw.Flush()
+}
+
 // session speaks the V3 protocol on one connection. Control messages are
 // fixed 64-byte frames; write payloads follow their Write message, read
 // payloads follow the ReadResp.
+//
+// Dispatch depends on the batching mode. Batching on: requests execute
+// inline in this loop (no per-request goroutine), responses accumulate
+// in the respWriter, and one flush goes out when no further request
+// frame is already buffered — the paper's completion pipeline, which
+// also lets the loop reuse one decoded message and one response struct
+// for the whole session. Batching off (the ablation baseline): each
+// request runs in its own goroutine and each response is written
+// unbuffered, the seed's dispatch.
 func (s *Server) session(conn net.Conn) {
 	defer conn.Close()
-	msg, err := wire.ReadFrom(conn)
+	inline := !s.cfg.NoBatch
+	br := bufio.NewReaderSize(conn, readBufSize(s.cfg.NoBatch))
+	var frame [wire.ControlSize]byte
+	msg, err := wire.ReadFrom(br)
 	if err != nil {
 		s.logf("netv3: handshake read: %v", err)
 		return
@@ -174,50 +347,67 @@ func (s *Server) session(conn net.Conn) {
 		credits = w
 	}
 	fc := flow.NewServer(credits)
-	var wmu sync.Mutex // serializes response frames + bodies
+	w := newRespWriter(conn, s.cfg.NoBatch, s.cfg.NoPool)
 	resp := &wire.ConnectResp{
 		Status: wire.StatusOK, Credits: uint16(credits),
 		MaxXfer: s.cfg.MaxXfer, SessionID: s.nextSess.Add(1),
 	}
-	if err := wire.WriteTo(conn, resp); err != nil {
+	if err := w.send(resp, nil); err != nil {
 		return
 	}
-	reply := func(m wire.Message, body []byte) error {
-		wmu.Lock()
-		defer wmu.Unlock()
-		if err := wire.WriteTo(conn, m); err != nil {
-			return err
-		}
-		if len(body) > 0 {
-			_, err := conn.Write(body)
-			return err
-		}
-		return nil
-	}
-	var fcMu sync.Mutex
+	var fcMu sync.Mutex // guards fc slot state (writes only; see below)
+	var rdMsg wire.Read  // reused by inline dispatch
+	var wrMsg wire.Write // reused by inline dispatch
 	for {
-		msg, err := wire.ReadFrom(conn)
+		// Adaptive flush: if no complete request frame is already
+		// buffered, the burst is over — push the batched responses out
+		// before blocking for more work.
+		if inline && br.Buffered() < wire.ControlSize {
+			if err := w.flushPending(); err != nil {
+				return
+			}
+		}
+		t, err := wire.ReadFrame(br, &frame)
 		if err != nil {
 			if err != io.EOF {
 				s.logf("netv3: session read: %v", err)
 			}
 			return
 		}
-		switch m := msg.(type) {
-		case *wire.Read:
-			fcMu.Lock()
-			// Reads carry no slot on the wire in this direction; flow
-			// control is enforced by the client. Nothing to reserve.
-			fcMu.Unlock()
-			go s.handleRead(m, reply)
-		case *wire.Write:
+		switch t {
+		case wire.TRead:
+			// Reads reserve no server-side slot: flow-control slots name
+			// the staging buffers for payloads *arriving at* the server,
+			// and a read carries none — its response buffer is accounted
+			// by the credit the client holds until the ReadResp returns
+			// it. So there is nothing to reserve here and fc is untouched.
+			if inline {
+				if err := wire.UnmarshalInto(frame[:], &rdMsg); err != nil {
+					return
+				}
+				s.handleRead(&rdMsg, w, true)
+				continue
+			}
+			m := new(wire.Read)
+			if err := wire.UnmarshalInto(frame[:], m); err != nil {
+				return
+			}
+			go s.handleRead(m, w, false)
+		case wire.TWrite:
+			m := &wrMsg
+			if !inline {
+				m = new(wire.Write)
+			}
+			if err := wire.UnmarshalInto(frame[:], m); err != nil {
+				return
+			}
 			fcMu.Lock()
 			err := fc.Reserve(m.Slot)
 			fcMu.Unlock()
 			if err != nil {
 				s.logf("netv3: %v", err)
-				_ = reply(&wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq)},
-					ReqID: m.ReqID, Status: wire.StatusEAgain}, nil)
+				_ = w.respond(&wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq)},
+					ReqID: m.ReqID, Status: wire.StatusEAgain}, nil, inline)
 				continue
 			}
 			// The payload follows the control message on the stream and
@@ -226,82 +416,114 @@ func (s *Server) session(conn net.Conn) {
 				s.logf("netv3: oversized write %d", m.Length)
 				return
 			}
-			body := make([]byte, m.Length)
-			if _, err := io.ReadFull(conn, body); err != nil {
+			body := s.pool.Get(int(m.Length))
+			if _, err := io.ReadFull(br, body); err != nil {
+				s.pool.Put(body)
 				return
 			}
+			if inline {
+				s.handleWrite(m, body, w, true)
+				s.pool.Put(body)
+				fcMu.Lock()
+				_ = fc.Release(m.Slot)
+				fcMu.Unlock()
+				continue
+			}
 			go func() {
-				s.handleWrite(m, body, reply)
+				s.handleWrite(m, body, w, false)
+				s.pool.Put(body)
 				fcMu.Lock()
 				_ = fc.Release(m.Slot)
 				fcMu.Unlock()
 			}()
-		case *wire.Ping:
-			_ = reply(&wire.Pong{Header: wire.Header{Seq: m.Seq}}, nil)
-		case *wire.Disconnect:
+		case wire.TPing:
+			var seq uint64
+			if m, err := wire.Unmarshal(frame[:]); err == nil {
+				seq = m.Hdr().Seq
+			}
+			_ = w.send(&wire.Pong{Header: wire.Header{Seq: seq}}, nil)
+		case wire.TDisconnect:
 			return
 		default:
-			s.logf("netv3: unexpected %v", wire.TypeOf(msg))
+			s.logf("netv3: unexpected %v", t)
 			return
 		}
 	}
 }
 
-func (s *Server) lookup(id uint32) *volume {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.volumes[id]
-}
-
-func (s *Server) handleRead(m *wire.Read, reply func(wire.Message, []byte) error) {
+// handleRead serves one read. With inline dispatch the response struct
+// is the respWriter's reusable one, so a cache-hit read completes with
+// zero heap allocations; goroutine dispatch allocates per response like
+// the seed.
+func (s *Server) handleRead(m *wire.Read, w *respWriter, inline bool) {
+	var rr *wire.ReadResp
+	if inline {
+		rr = &w.rr
+		*rr = wire.ReadResp{}
+	} else {
+		rr = new(wire.ReadResp)
+	}
+	rr.Ack = uint32(m.Seq)
+	rr.ReqID = m.ReqID
+	rr.Credits = 1
 	v := s.lookup(m.Volume)
 	if v == nil {
-		_ = reply(&wire.ReadResp{ReqID: m.ReqID, Status: wire.StatusENoVolume, Credits: 1}, nil)
+		rr.Status = wire.StatusENoVolume
+		_ = w.respond(rr, nil, inline)
 		return
 	}
 	if m.Length > s.cfg.MaxXfer {
-		_ = reply(&wire.ReadResp{ReqID: m.ReqID, Status: wire.StatusEInval, Credits: 1}, nil)
+		rr.Status = wire.StatusEInval
+		_ = w.respond(rr, nil, inline)
 		return
 	}
-	body := make([]byte, m.Length)
+	body := s.pool.Get(int(m.Length))
 	var err error
 	if v.cache != nil {
 		err = v.cachedRead(body, int64(m.Offset))
 	} else {
 		err = v.store.ReadAt(body, int64(m.Offset))
 	}
-	status := wire.StatusOK
+	rr.Status = wire.StatusOK
 	if err != nil {
-		status = wire.StatusEIO
+		rr.Status = wire.StatusEIO
+		s.pool.Put(body)
 		body = nil
 		s.logf("netv3: read: %v", err)
 	}
 	s.served.Add(1)
-	rr := &wire.ReadResp{ReqID: m.ReqID, Status: status, Credits: 1}
-	rr.Ack = uint32(m.Seq)
-	_ = reply(rr, body)
+	rr.Length = uint32(len(body))
+	_ = w.respond(rr, body, inline)
+	s.pool.Put(body)
 }
 
-func (s *Server) handleWrite(m *wire.Write, body []byte, reply func(wire.Message, []byte) error) {
+func (s *Server) handleWrite(m *wire.Write, body []byte, w *respWriter, inline bool) {
+	var wr *wire.WriteResp
+	if inline {
+		wr = &w.wr
+		*wr = wire.WriteResp{}
+	} else {
+		wr = new(wire.WriteResp)
+	}
+	wr.Ack = uint32(m.Seq)
+	wr.ReqID = m.ReqID
+	wr.Credits = 1
 	v := s.lookup(m.Volume)
-	status := wire.StatusOK
+	wr.Status = wire.StatusOK
 	if v == nil {
-		status = wire.StatusENoVolume
+		wr.Status = wire.StatusENoVolume
 	} else if err := v.write(body, int64(m.Offset)); err != nil {
-		status = wire.StatusEIO
+		wr.Status = wire.StatusEIO
 		s.logf("netv3: write: %v", err)
 	}
 	s.served.Add(1)
-	wr := &wire.WriteResp{ReqID: m.ReqID, Status: status, Credits: 1}
-	wr.Ack = uint32(m.Seq)
-	_ = reply(wr, nil)
+	_ = w.respond(wr, nil, inline)
 }
 
-// cachedRead serves aligned 8 KB blocks from the MQ cache and fills
-// misses from the store.
+// cachedRead serves aligned 8 KB blocks from the sharded MQ cache,
+// filling misses from the store; each block touches only its own shard
+// lock.
 func (v *volume) cachedRead(b []byte, off int64) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	end := off + int64(len(b))
 	for cur := off; cur < end; {
 		blk := uint64(cur / cacheBlockSize)
@@ -310,25 +532,9 @@ func (v *volume) cachedRead(b []byte, off int64) error {
 		if end-cur < n {
 			n = end - cur
 		}
-		if v.cache.Ref(blk) {
-			v.hits.Add(1)
-		} else {
-			v.miss.Add(1)
-			payload := make([]byte, cacheBlockSize)
-			bs := int64(blk) * cacheBlockSize
-			readLen := cacheBlockSize
-			if bs+int64(readLen) > v.store.Size() {
-				readLen = int(v.store.Size() - bs)
-			}
-			if err := v.store.ReadAt(payload[:readLen], bs); err != nil {
-				return err
-			}
-			if victim, ev := v.cache.Insert(blk); ev {
-				delete(v.data, victim)
-			}
-			v.data[blk] = payload
+		if err := v.cache.readBlock(v, blk, within, n, b[cur-off:cur-off+n]); err != nil {
+			return err
 		}
-		copy(b[cur-off:cur-off+n], v.data[blk][within:within+n])
 		cur += n
 	}
 	return nil
@@ -342,8 +548,6 @@ func (v *volume) write(b []byte, off int64) error {
 	if v.cache == nil {
 		return nil
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	end := off + int64(len(b))
 	for cur := off; cur < end; {
 		blk := uint64(cur / cacheBlockSize)
@@ -352,10 +556,7 @@ func (v *volume) write(b []byte, off int64) error {
 		if end-cur < n {
 			n = end - cur
 		}
-		if payload, ok := v.data[blk]; ok {
-			copy(payload[within:within+n], b[cur-off:cur-off+n])
-			v.cache.Ref(blk)
-		}
+		v.cache.updateBlock(blk, within, n, b[cur-off:cur-off+n])
 		cur += n
 	}
 	return nil

@@ -49,6 +49,17 @@ func parseHeader(b []byte) (MsgType, Header, error) {
 // Marshal encodes m into a fresh ControlSize-byte buffer.
 func Marshal(m Message) []byte {
 	b := make([]byte, ControlSize)
+	MarshalInto(b, m)
+	return b
+}
+
+// MarshalInto encodes m into b, which must be at least ControlSize bytes
+// (the frame region is fully overwritten, including padding). It lets
+// hot paths reuse a scratch frame buffer instead of allocating per
+// message.
+func MarshalInto(b []byte, m Message) {
+	_ = b[:ControlSize]
+	clear(b[:ControlSize])
 	t := TypeOf(m)
 	putHeader(b, t, m.Hdr())
 	p := b[HeaderSize:]
@@ -72,6 +83,7 @@ func Marshal(m Message) []byte {
 		binary.BigEndian.PutUint64(p[0:], v.ReqID)
 		p[8] = byte(v.Status)
 		binary.BigEndian.PutUint16(p[9:], v.Credits)
+		binary.BigEndian.PutUint32(p[11:], v.Length)
 	case *Write:
 		binary.BigEndian.PutUint64(p[0:], v.ReqID)
 		binary.BigEndian.PutUint32(p[8:], v.Volume)
@@ -92,79 +104,144 @@ func Marshal(m Message) []byte {
 	default:
 		panic("wire: Marshal of unknown message type")
 	}
-	return b
 }
 
 // Unmarshal decodes one control message from b (at least ControlSize
-// bytes; extra bytes are ignored).
+// bytes; extra bytes are ignored) into a freshly allocated struct.
 func Unmarshal(b []byte) (Message, error) {
 	if len(b) < ControlSize {
 		return nil, ErrShort
 	}
-	t, h, err := parseHeader(b)
+	t, _, err := parseHeader(b)
 	if err != nil {
 		return nil, err
 	}
-	p := b[HeaderSize:]
+	var m Message
 	switch t {
 	case TConnect:
-		return &Connect{
-			Header:    h,
-			ClientID:  binary.BigEndian.Uint64(p[0:]),
-			WantCreds: binary.BigEndian.Uint16(p[8:]),
-		}, nil
+		m = &Connect{}
 	case TConnectResp:
-		return &ConnectResp{
-			Header:    h,
-			Status:    Status(p[0]),
-			Credits:   binary.BigEndian.Uint16(p[1:]),
-			MaxXfer:   binary.BigEndian.Uint32(p[3:]),
-			SessionID: binary.BigEndian.Uint64(p[7:]),
-		}, nil
+		m = &ConnectResp{}
 	case TRead:
-		return &Read{
-			Header:   h,
-			ReqID:    binary.BigEndian.Uint64(p[0:]),
-			Volume:   binary.BigEndian.Uint32(p[8:]),
-			Offset:   binary.BigEndian.Uint64(p[12:]),
-			Length:   binary.BigEndian.Uint32(p[20:]),
-			BufAddr:  binary.BigEndian.Uint64(p[24:]),
-			FlagBits: p[32],
-		}, nil
+		m = &Read{}
 	case TReadResp:
-		return &ReadResp{
-			Header:  h,
-			ReqID:   binary.BigEndian.Uint64(p[0:]),
-			Status:  Status(p[8]),
-			Credits: binary.BigEndian.Uint16(p[9:]),
-		}, nil
+		m = &ReadResp{}
 	case TWrite:
-		return &Write{
-			Header:   h,
-			ReqID:    binary.BigEndian.Uint64(p[0:]),
-			Volume:   binary.BigEndian.Uint32(p[8:]),
-			Offset:   binary.BigEndian.Uint64(p[12:]),
-			Length:   binary.BigEndian.Uint32(p[20:]),
-			Slot:     binary.BigEndian.Uint32(p[24:]),
-			FlagBits: p[28],
-		}, nil
+		m = &Write{}
 	case TWriteResp:
-		return &WriteResp{
-			Header:  h,
-			ReqID:   binary.BigEndian.Uint64(p[0:]),
-			Status:  Status(p[8]),
-			Credits: binary.BigEndian.Uint16(p[9:]),
-		}, nil
+		m = &WriteResp{}
 	case TCreditGrant:
-		return &CreditGrant{Header: h, Credits: binary.BigEndian.Uint16(p[0:])}, nil
+		m = &CreditGrant{}
 	case TPing:
-		return &Ping{Header: h}, nil
+		m = &Ping{}
 	case TPong:
-		return &Pong{Header: h}, nil
+		m = &Pong{}
 	case TDisconnect:
-		return &Disconnect{Header: h, Reason: p[0]}, nil
+		m = &Disconnect{}
+	default:
+		return nil, ErrBadType
 	}
-	return nil, ErrBadType
+	if err := UnmarshalInto(b, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnmarshalInto decodes the frame in b into the caller-owned m, whose
+// concrete type must match the frame's type byte (ErrBadType otherwise).
+// Together with ReadFrame it lets hot loops reuse one message struct per
+// frame type instead of allocating per message.
+func UnmarshalInto(b []byte, m Message) error {
+	if len(b) < ControlSize {
+		return ErrShort
+	}
+	t, h, err := parseHeader(b)
+	if err != nil {
+		return err
+	}
+	p := b[HeaderSize:]
+	switch v := m.(type) {
+	case *Connect:
+		if t != TConnect {
+			return ErrBadType
+		}
+		v.Header = h
+		v.ClientID = binary.BigEndian.Uint64(p[0:])
+		v.WantCreds = binary.BigEndian.Uint16(p[8:])
+	case *ConnectResp:
+		if t != TConnectResp {
+			return ErrBadType
+		}
+		v.Header = h
+		v.Status = Status(p[0])
+		v.Credits = binary.BigEndian.Uint16(p[1:])
+		v.MaxXfer = binary.BigEndian.Uint32(p[3:])
+		v.SessionID = binary.BigEndian.Uint64(p[7:])
+	case *Read:
+		if t != TRead {
+			return ErrBadType
+		}
+		v.Header = h
+		v.ReqID = binary.BigEndian.Uint64(p[0:])
+		v.Volume = binary.BigEndian.Uint32(p[8:])
+		v.Offset = binary.BigEndian.Uint64(p[12:])
+		v.Length = binary.BigEndian.Uint32(p[20:])
+		v.BufAddr = binary.BigEndian.Uint64(p[24:])
+		v.FlagBits = p[32]
+	case *ReadResp:
+		if t != TReadResp {
+			return ErrBadType
+		}
+		v.Header = h
+		v.ReqID = binary.BigEndian.Uint64(p[0:])
+		v.Status = Status(p[8])
+		v.Credits = binary.BigEndian.Uint16(p[9:])
+		v.Length = binary.BigEndian.Uint32(p[11:])
+	case *Write:
+		if t != TWrite {
+			return ErrBadType
+		}
+		v.Header = h
+		v.ReqID = binary.BigEndian.Uint64(p[0:])
+		v.Volume = binary.BigEndian.Uint32(p[8:])
+		v.Offset = binary.BigEndian.Uint64(p[12:])
+		v.Length = binary.BigEndian.Uint32(p[20:])
+		v.Slot = binary.BigEndian.Uint32(p[24:])
+		v.FlagBits = p[28]
+	case *WriteResp:
+		if t != TWriteResp {
+			return ErrBadType
+		}
+		v.Header = h
+		v.ReqID = binary.BigEndian.Uint64(p[0:])
+		v.Status = Status(p[8])
+		v.Credits = binary.BigEndian.Uint16(p[9:])
+	case *CreditGrant:
+		if t != TCreditGrant {
+			return ErrBadType
+		}
+		v.Header = h
+		v.Credits = binary.BigEndian.Uint16(p[0:])
+	case *Ping:
+		if t != TPing {
+			return ErrBadType
+		}
+		v.Header = h
+	case *Pong:
+		if t != TPong {
+			return ErrBadType
+		}
+		v.Header = h
+	case *Disconnect:
+		if t != TDisconnect {
+			return ErrBadType
+		}
+		v.Header = h
+		v.Reason = p[0]
+	default:
+		return ErrBadType
+	}
+	return nil
 }
 
 // WriteTo writes the encoded control message to w.
@@ -180,4 +257,15 @@ func ReadFrom(r io.Reader) (Message, error) {
 		return nil, err
 	}
 	return Unmarshal(b[:])
+}
+
+// ReadFrame reads one control frame into b and returns its validated
+// type, without decoding the payload. Hot loops pair it with
+// UnmarshalInto to demultiplex frames with zero allocations.
+func ReadFrame(r io.Reader, b *[ControlSize]byte) (MsgType, error) {
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	t, _, err := parseHeader(b[:])
+	return t, err
 }

@@ -63,8 +63,8 @@ func TestRoundtripWrite(t *testing.T) {
 }
 
 func TestRoundtripResponses(t *testing.T) {
-	rr := roundtrip(t, &ReadResp{Header: Header{Seq: 3}, ReqID: 5, Status: StatusEIO, Credits: 2}).(*ReadResp)
-	if rr.ReqID != 5 || rr.Status != StatusEIO || rr.Credits != 2 {
+	rr := roundtrip(t, &ReadResp{Header: Header{Seq: 3}, ReqID: 5, Status: StatusEIO, Credits: 2, Length: 8192}).(*ReadResp)
+	if rr.ReqID != 5 || rr.Status != StatusEIO || rr.Credits != 2 || rr.Length != 8192 {
 		t.Fatalf("ReadResp %+v", rr)
 	}
 	wr := roundtrip(t, &WriteResp{Header: Header{Seq: 4}, ReqID: 6, Status: StatusEAgain, Credits: 9}).(*WriteResp)
@@ -87,6 +87,17 @@ func TestRoundtripSmallMessages(t *testing.T) {
 	d := roundtrip(t, &Disconnect{Header: Header{Seq: 13}, Reason: 7}).(*Disconnect)
 	if d.Reason != 7 {
 		t.Fatalf("Disconnect %+v", d)
+	}
+}
+
+func TestMarshalIntoScrubsScratch(t *testing.T) {
+	// A reused scratch buffer full of garbage must produce the identical
+	// frame as a fresh Marshal, padding included.
+	scratch := bytes.Repeat([]byte{0xff}, ControlSize)
+	m := &ReadResp{Header: Header{Seq: 9, Ack: 9}, ReqID: 1, Status: StatusOK, Credits: 1, Length: 512}
+	MarshalInto(scratch, m)
+	if !bytes.Equal(scratch, Marshal(m)) {
+		t.Fatal("MarshalInto differs from Marshal")
 	}
 }
 
@@ -220,5 +231,45 @@ func TestStatusAndTypeStrings(t *testing.T) {
 	}
 	if MsgType(77).String() != "MsgType(77)" {
 		t.Fatal("unknown type string wrong")
+	}
+}
+
+// TestReadFrameUnmarshalInto covers the zero-allocation decode pair used
+// by the netv3 hot loops: ReadFrame validates the header and returns the
+// type, UnmarshalInto decodes into a caller-owned struct and rejects a
+// frame whose type byte does not match the target.
+func TestReadFrameUnmarshalInto(t *testing.T) {
+	src := &Read{Header: Header{Seq: 7, Ack: 3}, ReqID: 9, Volume: 2,
+		Offset: 4096, Length: 8192, BufAddr: 0xdead, FlagBits: 1}
+	var frame [ControlSize]byte
+	tp, err := ReadFrame(bytes.NewReader(Marshal(src)), &frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp != TRead {
+		t.Fatalf("type = %v, want TRead", tp)
+	}
+	var dst Read
+	if err := UnmarshalInto(frame[:], &dst); err != nil {
+		t.Fatal(err)
+	}
+	src.Type = TRead // decode fills the header's type byte
+	if dst != *src {
+		t.Fatalf("decode mismatch: %+v != %+v", dst, *src)
+	}
+	// A mismatched target type must be rejected, not silently garbled.
+	var wrong Write
+	if err := UnmarshalInto(frame[:], &wrong); err != ErrBadType {
+		t.Fatalf("type mismatch error = %v, want ErrBadType", err)
+	}
+	// The reusable-struct contract: decoding a second frame into dst must
+	// fully overwrite the first decode.
+	src2 := &Read{Header: Header{Seq: 8}, ReqID: 10, Volume: 1, Length: 512}
+	if err := UnmarshalInto(Marshal(src2), &dst); err != nil {
+		t.Fatal(err)
+	}
+	src2.Type = TRead
+	if dst != *src2 {
+		t.Fatalf("reuse decode mismatch: %+v != %+v", dst, *src2)
 	}
 }

@@ -146,11 +146,16 @@ type Read struct {
 
 // ReadResp completes a Read. On the VI transport the payload has already
 // been RDMA-written to BufAddr; on TCP the body follows this message.
+// Length is the byte count of that trailing body (0 on error statuses),
+// so a receiver can keep the stream framed even when it cannot match the
+// response to an outstanding request (e.g. a stale seq after
+// reconnection) — it drains exactly Length bytes instead of desyncing.
 type ReadResp struct {
 	Header
 	ReqID   uint64
 	Status  Status
 	Credits uint16 // piggybacked credit grant
+	Length  uint32 // bytes of payload following this frame on TCP
 }
 
 // Write asks the server to commit length bytes to volume vol at offset.
