@@ -5,6 +5,7 @@
 //
 //	v3cli -addr host:9300 write 4096 "hello"
 //	v3cli -addr host:9300 read 4096 5
+//	v3cli -addr host:9300 flush
 //	v3cli -addr host:9300 bench -n 1000 -size 8192 -depth 8
 //	v3cli -addr host:9300 bench -n 100000 -size 8192 -window 16   # async pipeline
 package main
@@ -27,7 +28,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "v3cli: need a command: read | write | bench")
+		fmt.Fprintln(os.Stderr, "v3cli: need a command: read | write | flush | bench")
 		os.Exit(2)
 	}
 	c, err := netv3.Dial(*addr, netv3.DefaultClientConfig())
@@ -56,6 +57,11 @@ func main() {
 		}
 		off, _ := strconv.ParseInt(args[1], 10, 64)
 		if err := c.Write(v, off, []byte(args[2])); err != nil {
+			log.Fatalf("v3cli: %v", err)
+		}
+		fmt.Println("ok")
+	case "flush":
+		if err := c.Flush(v); err != nil {
 			log.Fatalf("v3cli: %v", err)
 		}
 		fmt.Println("ok")

@@ -6,6 +6,8 @@
 //	v3d -addr :9300 -size 256M                 # in-memory volume 1
 //	v3d -addr :9300 -file /data/vol.img -size 1G -cache 4096
 //	v3d -addr :9300 -cache 4096 -shards 32 -stats 10s
+//	v3d -addr :9300 -file /data/vol.img -size 1G -cache 4096 -workers 8
+//	v3d -addr :9300 -cache 4096 -workers 8 -nowritebehind -noprefetch
 //	v3d -addr :9300 -nopool -nobatch           # seed-equivalent baseline
 package main
 
@@ -48,6 +50,10 @@ func main() {
 	credits := flag.Int("credits", 64, "flow-control window per session")
 	noPool := flag.Bool("nopool", false, "disable buffer pooling (allocate per request)")
 	noBatch := flag.Bool("nobatch", false, "disable response batching (flush per response)")
+	workers := flag.Int("workers", 0, "disk worker goroutines per volume (0 = synchronous inline I/O)")
+	noWriteBehind := flag.Bool("nowritebehind", false, "disable write-behind destaging (ack after store write)")
+	noPrefetch := flag.Bool("noprefetch", false, "disable sequential read-ahead")
+	dirtyMax := flag.Int("dirtymax", 0, "dirty-block high-watermark before write-through fallback (0 = cache/2)")
 	stats := flag.Duration("stats", 0, "log served/cache/pool counters at this interval (0 = off)")
 	flag.Parse()
 
@@ -62,6 +68,10 @@ func main() {
 	cfg.CacheShards = *shards
 	cfg.NoPool = *noPool
 	cfg.NoBatch = *noBatch
+	cfg.DiskWorkers = *workers
+	cfg.NoWriteBehind = *noWriteBehind
+	cfg.NoPrefetch = *noPrefetch
+	cfg.DirtyHighWater = *dirtyMax
 	cfg.Logger = log.New(os.Stderr, "v3d: ", log.LstdFlags)
 	srv := netv3.NewServer(cfg)
 
@@ -89,6 +99,15 @@ func main() {
 				ps := srv.PoolStats()
 				log.Printf("v3d: served=%d sessions=%d cache=%d/%d hit/miss pool=%d/%d get/alloc",
 					srv.Served(), srv.Sessions(), hits, misses, ps.Gets, ps.Allocs)
+				ds := srv.DiskStats()
+				hitPct := 0.0
+				if ds.PrefetchFills > 0 {
+					hitPct = 100 * float64(ds.PrefetchHits) / float64(ds.PrefetchFills)
+				}
+				log.Printf("v3d: disk dirty=%d orphans=%d destage=%d runs/%d blks hist(1,2,4,8,16,32,64)=%v wt-fallback=%d prefetch=%d/%d fills/hits (%.1f%%) dropped=%d inline=%d",
+					ds.DirtyBlocks, ds.OrphanBlocks, ds.DestageRuns, ds.DestagedBlocks,
+					ds.DestageBatchHist, ds.WriteThroughFallbacks,
+					ds.PrefetchFills, ds.PrefetchHits, hitPct, ds.PrefetchDropped, ds.InlineFallbacks)
 			}
 		}()
 	}

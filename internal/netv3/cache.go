@@ -2,6 +2,7 @@ package netv3
 
 import (
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -9,26 +10,64 @@ import (
 	"github.com/v3storage/v3/internal/mqcache"
 )
 
-// blockCache is the per-volume server read cache, sharded so that cache
-// hits on different blocks stop serializing on one volume-wide mutex
-// during the payload memcpy. It is the TCP-path form of the paper's
+// blockCache is the per-volume server cache, sharded so that cache hits
+// on different blocks stop serializing on one volume-wide mutex during
+// the payload memcpy. It is the TCP-path form of the paper's
 // lock-synchronization minimization (Section 3.3): the same MQ policy,
 // but the single lock pair per access now covers only 1/nshards of the
 // key space. Shards are selected by low bits of the block number, so a
 // sequential scan also spreads across shards.
+//
+// Beyond read caching, the cache carries the write-behind state of the
+// paper's pipelined disk manager: blocks a write has landed in but the
+// destager has not yet committed are *dirty*; blocks the destager has
+// staged for an in-flight batch write are *flushing*; blocks installed
+// ahead of a sequential reader are *prefetched*. The rules that keep the
+// store and cache coherent:
+//
+//   - A dirty or flushing block is never silently evicted: its payload
+//     moves to the orphan list, where the destager commits it and a
+//     re-fetching reader can re-adopt it. Dropping it would either lose
+//     acked data (dirty) or let a reader re-fill the block from the
+//     store while the destager's batch write for the same bytes is still
+//     in flight (flushing) — a torn read.
+//   - Miss fills read the store while holding the block's shard lock,
+//     and writers update the store before the cache: an in-flight fill
+//     can observe stale store bytes, but the writer's cache update is
+//     then ordered after the fill's insert and corrects the payload.
 type blockCache struct {
 	shards []cacheShard
 	mask   uint64
 	pool   *bufpool.Pool
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	dirtyCount atomic.Int64 // resident dirty blocks across shards
+	prefFills  atomic.Int64 // blocks installed by the prefetcher
+	prefHits   atomic.Int64 // demand hits on prefetched blocks
+
+	// Orphans: dirty/flushing payloads whose blocks were evicted before
+	// the destager committed them. orphanCount mirrors len(orphans) so
+	// the (hot) read path can skip the lock when the list is empty.
+	orphanMu    sync.Mutex
+	orphans     []*orphanEntry
+	orphanCount atomic.Int64
+}
+
+type orphanEntry struct {
+	blk     uint64
+	payload []byte // full cacheBlockSize slab, tail zeroed
+	n       int64  // meaningful bytes (short only for the volume's tail block)
+	writing bool   // destager is committing it right now
 }
 
 type cacheShard struct {
-	mu   sync.Mutex
-	mq   *mqcache.MQ
-	data map[uint64][]byte // resident block payloads, len cacheBlockSize
-	_    [40]byte          // pad to a cache line so shard locks don't false-share
+	mu       sync.Mutex
+	mq       *mqcache.MQ
+	data     map[uint64][]byte   // resident block payloads, len cacheBlockSize
+	dirty    map[uint64]struct{} // written-behind, not yet destaged
+	flushing map[uint64]struct{} // staged in an in-flight destage batch
+	pref     map[uint64]struct{} // installed by prefetch, not yet demanded
 }
 
 // defaultCacheShards is the shard count when ServerConfig.CacheShards is
@@ -57,12 +96,111 @@ func newBlockCache(totalBlocks, nshards int, pool *bufpool.Pool) *blockCache {
 	for i := range c.shards {
 		c.shards[i].mq = mqcache.NewMQ(per, 0, 0)
 		c.shards[i].data = make(map[uint64][]byte, per)
+		c.shards[i].dirty = make(map[uint64]struct{})
+		c.shards[i].flushing = make(map[uint64]struct{})
+		c.shards[i].pref = make(map[uint64]struct{})
 	}
 	return c
 }
 
 func (c *blockCache) shard(blk uint64) *cacheShard {
 	return &c.shards[blk&c.mask]
+}
+
+// blockLen returns the meaningful byte count of blk: cacheBlockSize,
+// except for the volume's final partial block.
+func blockLen(vsize int64, blk uint64) int64 {
+	n := vsize - int64(blk)*cacheBlockSize
+	if n > cacheBlockSize {
+		n = cacheBlockSize
+	}
+	return n
+}
+
+// hitLocked records prefetch accounting for a demand hit. Call with the
+// shard lock held.
+func (c *blockCache) hitLocked(sh *cacheShard, blk uint64) {
+	if _, ok := sh.pref[blk]; ok {
+		delete(sh.pref, blk)
+		c.prefHits.Add(1)
+	}
+}
+
+// evictLocked disposes of a victim the MQ just evicted. Clean victims
+// release their slab; dirty or flushing victims move to the orphan list
+// so their bytes are never lost or raced (see the type comment). Call
+// with sh.mu held.
+func (c *blockCache) evictLocked(v *volume, sh *cacheShard, victim uint64) {
+	payload := sh.data[victim]
+	delete(sh.data, victim)
+	_, dirty := sh.dirty[victim]
+	_, flushing := sh.flushing[victim]
+	delete(sh.dirty, victim)
+	delete(sh.flushing, victim)
+	delete(sh.pref, victim)
+	if dirty {
+		c.dirtyCount.Add(-1)
+	}
+	if dirty || flushing {
+		e := &orphanEntry{blk: victim, payload: payload, n: blockLen(v.store.Size(), victim)}
+		c.orphanMu.Lock()
+		c.orphans = append(c.orphans, e)
+		c.orphanMu.Unlock()
+		c.orphanCount.Add(1)
+		return
+	}
+	c.pool.Put(payload)
+}
+
+// adoptOrphan returns an owned copy of blk's orphaned payload, or nil.
+// An orphan the destager is not yet committing is removed (the adopter
+// re-marks the block dirty, making the cache the single source of
+// truth); one mid-commit is left for the destager to finish.
+//
+// The list can hold several entries for one block: adopting a mid-commit
+// entry leaves it behind, and evicting the re-adopted dirty block
+// appends a fresh one. Entries append in age order, so the newest — the
+// last match — carries the authoritative bytes; adopting an older one
+// would resurrect data a later write already superseded.
+func (c *blockCache) adoptOrphan(blk uint64) []byte {
+	if c.orphanCount.Load() == 0 {
+		return nil
+	}
+	c.orphanMu.Lock()
+	defer c.orphanMu.Unlock()
+	idx := -1
+	for i, e := range c.orphans {
+		if e.blk == blk {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	e := c.orphans[idx]
+	cp := c.pool.Get(cacheBlockSize)
+	copy(cp, e.payload)
+	if !e.writing {
+		c.orphans = append(c.orphans[:idx], c.orphans[idx+1:]...)
+		c.orphanCount.Add(-1)
+		c.pool.Put(e.payload)
+	}
+	return cp
+}
+
+// orphaned reports whether blk currently has an orphan entry.
+func (c *blockCache) orphaned(blk uint64) bool {
+	if c.orphanCount.Load() == 0 {
+		return false
+	}
+	c.orphanMu.Lock()
+	defer c.orphanMu.Unlock()
+	for _, e := range c.orphans {
+		if e.blk == blk {
+			return true
+		}
+	}
+	return false
 }
 
 // readBlock copies block blk's bytes [within, within+n) into dst,
@@ -77,21 +215,28 @@ func (c *blockCache) readBlock(v *volume, blk uint64, within, n int64, dst []byt
 	hit, victim, evicted := sh.mq.RefOrInsert(blk)
 	if hit {
 		c.hits.Add(1)
+		c.hitLocked(sh, blk)
 		copy(dst, sh.data[blk][within:within+n])
 		sh.mu.Unlock()
 		return nil
 	}
 	c.misses.Add(1)
 	if evicted {
-		c.pool.Put(sh.data[victim])
-		delete(sh.data, victim)
+		c.evictLocked(v, sh, victim)
+	}
+	if payload := c.adoptOrphan(blk); payload != nil {
+		// The freshest bytes were in orphan limbo, not on disk: re-adopt
+		// them as dirty so the destager commits them from here.
+		sh.data[blk] = payload
+		sh.dirty[blk] = struct{}{}
+		c.dirtyCount.Add(1)
+		copy(dst, payload[within:within+n])
+		sh.mu.Unlock()
+		return nil
 	}
 	payload := c.pool.Get(cacheBlockSize)
 	bs := int64(blk) * cacheBlockSize
-	readLen := int64(cacheBlockSize)
-	if bs+readLen > v.store.Size() {
-		readLen = v.store.Size() - bs
-	}
+	readLen := blockLen(v.store.Size(), blk)
 	if err := v.store.ReadAt(payload[:readLen], bs); err != nil {
 		// Roll the insert back so the failed block is not resident.
 		sh.mq.Remove(blk)
@@ -107,6 +252,91 @@ func (c *blockCache) readBlock(v *volume, blk uint64, within, n int64, dst []byt
 	return nil
 }
 
+// readBlockHit is the hit-only probe behind the disk pipeline's inline
+// fast path: it copies the block's bytes if resident and reports false
+// otherwise, never touching the store. A false return leaves dst
+// partially written; the caller re-issues the whole read on a worker.
+func (c *blockCache) readBlockHit(blk uint64, within, n int64, dst []byte) bool {
+	sh := c.shard(blk)
+	sh.mu.Lock()
+	payload, ok := sh.data[blk]
+	if !ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.mq.Ref(blk)
+	c.hits.Add(1)
+	c.hitLocked(sh, blk)
+	copy(dst, payload[within:within+n])
+	sh.mu.Unlock()
+	return true
+}
+
+// absorb folds write bytes into block blk as dirty state — the
+// write-behind path. An absent block is installed first: a fully
+// covered block needs no store round-trip, a partially covered one is
+// read-modify-write filled (from an orphan if one exists, else the
+// store, under the shard lock like any fill).
+func (c *blockCache) absorb(v *volume, blk uint64, within, n int64, src []byte) error {
+	sh := c.shard(blk)
+	sh.mu.Lock()
+	payload, resident := sh.data[blk]
+	if resident {
+		sh.mq.Ref(blk)
+	} else {
+		_, victim, evicted := sh.mq.RefOrInsert(blk)
+		if evicted {
+			c.evictLocked(v, sh, victim)
+		}
+		payload = c.adoptOrphan(blk)
+		if payload == nil {
+			payload = c.pool.Get(cacheBlockSize)
+			bl := blockLen(v.store.Size(), blk)
+			if within == 0 && n == bl {
+				clear(payload[n:])
+			} else {
+				if err := v.store.ReadAt(payload[:bl], int64(blk)*cacheBlockSize); err != nil {
+					sh.mq.Remove(blk)
+					c.pool.Put(payload)
+					sh.mu.Unlock()
+					return err
+				}
+				clear(payload[bl:])
+			}
+		}
+		sh.data[blk] = payload
+	}
+	copy(payload[within:within+n], src)
+	if _, d := sh.dirty[blk]; !d {
+		sh.dirty[blk] = struct{}{}
+		c.dirtyCount.Add(1)
+	}
+	delete(sh.pref, blk)
+	sh.mu.Unlock()
+	return nil
+}
+
+// absorbIfResident folds write bytes into blk only if it is resident,
+// reporting (resident, wasDirty). Used by the write-through fallback: a
+// resident dirty block must absorb (its store ordering belongs to the
+// destager); a resident clean block absorbs and the caller also writes
+// the store so it can stay clean.
+func (c *blockCache) absorbIfResident(blk uint64, within, n int64, src []byte) (resident, wasDirty bool) {
+	sh := c.shard(blk)
+	sh.mu.Lock()
+	payload, ok := sh.data[blk]
+	if !ok {
+		sh.mu.Unlock()
+		return false, false
+	}
+	sh.mq.Ref(blk)
+	copy(payload[within:within+n], src)
+	_, wasDirty = sh.dirty[blk]
+	delete(sh.pref, blk)
+	sh.mu.Unlock()
+	return true, wasDirty
+}
+
 // updateBlock folds a committed write into block blk if it is resident.
 // Absent blocks are left absent (write-around): the read path will fetch
 // the new bytes from the store.
@@ -118,6 +348,154 @@ func (c *blockCache) updateBlock(blk uint64, within, n int64, src []byte) {
 		sh.mq.Ref(blk)
 	}
 	sh.mu.Unlock()
+}
+
+// dirtySnapshot returns the sorted block numbers currently dirty — the
+// destager's work list. Blocks may be cleaned (or evicted to orphans)
+// between snapshot and staging; stage re-checks under the shard lock.
+func (c *blockCache) dirtySnapshot() []uint64 {
+	blks := make([]uint64, 0, c.dirtyCount.Load())
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for blk := range sh.dirty {
+			blks = append(blks, blk)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	return blks
+}
+
+// stage copies blk's payload into dst for a destage batch, moving the
+// block dirty → flushing. Reports false if the block is no longer a
+// resident dirty block (destaged, evicted, or re-adopted elsewhere).
+func (c *blockCache) stage(blk uint64, dst []byte) bool {
+	sh := c.shard(blk)
+	sh.mu.Lock()
+	payload, resident := sh.data[blk]
+	if _, dirty := sh.dirty[blk]; !resident || !dirty {
+		sh.mu.Unlock()
+		return false
+	}
+	copy(dst, payload[:len(dst)])
+	delete(sh.dirty, blk)
+	c.dirtyCount.Add(-1)
+	sh.flushing[blk] = struct{}{}
+	sh.mu.Unlock()
+	return true
+}
+
+// unstage clears the flushing marks of a committed batch. With redirty,
+// the batch write failed: still-resident blocks return to dirty so the
+// next pass retries them (orphaned ones are already queued separately).
+func (c *blockCache) unstage(blks []uint64, redirty bool) {
+	for _, blk := range blks {
+		sh := c.shard(blk)
+		sh.mu.Lock()
+		delete(sh.flushing, blk)
+		if redirty {
+			if _, resident := sh.data[blk]; resident {
+				if _, d := sh.dirty[blk]; !d {
+					sh.dirty[blk] = struct{}{}
+					c.dirtyCount.Add(1)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// prefetchFill installs blocks [start, start+n) from one contiguous
+// store read, skipping resident and orphaned blocks. Every touched
+// shard stays locked across the read — the same publication rule as a
+// demand miss fill, widened to the whole range — so the
+// store-write-before-cache-update ordering of writers keeps installed
+// payloads fresh.
+func (c *blockCache) prefetchFill(v *volume, start uint64, n int) error {
+	vsize := v.store.Size()
+	for n > 0 && int64(start+uint64(n)-1)*cacheBlockSize >= vsize {
+		n--
+	}
+	if n <= 0 {
+		return nil
+	}
+	// Collect the distinct shards the range touches, in ascending index
+	// order (the global shard-lock order; single-shard paths trivially
+	// comply).
+	shardSet := make([]bool, len(c.shards))
+	nlock := 0
+	for i := 0; i < n; i++ {
+		idx := (start + uint64(i)) & c.mask
+		if !shardSet[idx] {
+			shardSet[idx] = true
+			nlock++
+		}
+	}
+	locked := make([]*cacheShard, 0, nlock)
+	for idx := range c.shards {
+		if shardSet[idx] {
+			c.shards[idx].mu.Lock()
+			locked = append(locked, &c.shards[idx])
+		}
+	}
+	unlock := func() {
+		for _, sh := range locked {
+			sh.mu.Unlock()
+		}
+	}
+	want := make([]bool, n)
+	need := 0
+	for i := 0; i < n; i++ {
+		blk := start + uint64(i)
+		sh := c.shard(blk)
+		if _, resident := sh.data[blk]; !resident && !c.orphaned(blk) {
+			want[i] = true
+			need++
+		}
+	}
+	if need == 0 {
+		unlock()
+		return nil
+	}
+	buf := c.pool.Get(n * cacheBlockSize)
+	readLen := int64(n) * cacheBlockSize
+	if over := int64(start)*cacheBlockSize + readLen - vsize; over > 0 {
+		readLen -= over
+	}
+	if err := v.store.ReadAt(buf[:readLen], int64(start)*cacheBlockSize); err != nil {
+		unlock()
+		c.pool.Put(buf)
+		return err
+	}
+	clear(buf[readLen:])
+	for i := 0; i < n; i++ {
+		if !want[i] {
+			continue
+		}
+		blk := start + uint64(i)
+		sh := c.shard(blk)
+		hit, victim, evicted := sh.mq.RefOrInsert(blk)
+		if hit {
+			continue // raced in by a demand fill in another shard? defensive
+		}
+		if evicted {
+			c.evictLocked(v, sh, victim)
+		}
+		// Second reference on insert: without it a long scan's read-ahead
+		// lands in the MQ's lowest queue, whose LRU victim is the oldest
+		// not-yet-read prefetched block — the next one the stream needs.
+		// Promoted one level, eviction falls on already-consumed blocks.
+		sh.mq.Ref(blk)
+		payload := c.pool.Get(cacheBlockSize)
+		copy(payload, buf[i*cacheBlockSize:(i+1)*cacheBlockSize])
+		sh.data[blk] = payload
+		sh.pref[blk] = struct{}{}
+		c.prefFills.Add(1)
+	}
+	unlock()
+	c.pool.Put(buf)
+	return nil
 }
 
 // stats returns cumulative (hits, misses).

@@ -234,7 +234,10 @@ func (c *Client) Read(vol uint32, off int64, buf []byte) error {
 	return h.Wait()
 }
 
-// Write commits data to volume vol at off.
+// Write sends data to volume vol at off. Completion means the server
+// accepted the bytes and every later read observes them; on a
+// write-behind server they may not yet be durable — Flush is the
+// durability barrier.
 func (c *Client) Write(vol uint32, off int64, data []byte) error {
 	h, err := c.WriteAsync(vol, off, data)
 	if err != nil {
@@ -243,20 +246,46 @@ func (c *Client) Write(vol uint32, off int64, data []byte) error {
 	return h.Wait()
 }
 
+// Flush is the durability barrier: when it returns nil, every write on
+// vol whose completion was observed before Flush was submitted is
+// durable on the server's store. Writes still in flight are not covered
+// — Wait them first.
+func (c *Client) Flush(vol uint32) error {
+	h, err := c.FlushAsync(vol)
+	if err != nil {
+		return err
+	}
+	return h.Wait()
+}
+
+// FlushAsync submits a flush barrier and returns a completion handle.
+func (c *Client) FlushAsync(vol uint32) (*Pending, error) {
+	return c.submit(opFlush, vol, 0, nil, nil)
+}
+
 // ReadAsync submits a read and returns immediately with a completion
 // handle; buf must stay untouched until the handle reports completion.
 // Submission blocks only while the credit window is exhausted.
 func (c *Client) ReadAsync(vol uint32, off int64, buf []byte) (*Pending, error) {
-	return c.submit(vol, off, buf, nil, false)
+	return c.submit(opRead, vol, off, buf, nil)
 }
 
 // WriteAsync submits a write and returns immediately with a completion
 // handle; data must stay untouched until the handle reports completion.
 func (c *Client) WriteAsync(vol uint32, off int64, data []byte) (*Pending, error) {
-	return c.submit(vol, off, nil, data, true)
+	return c.submit(opWrite, vol, off, nil, data)
 }
 
-func (c *Client) submit(vol uint32, off int64, buf, data []byte, isWrite bool) (*Pending, error) {
+// Client-side op kinds for submit. All three occupy a credit slot while
+// in flight: the slot bounds outstanding requests of any kind, even
+// though only writes stage payload bytes in a server slot.
+const (
+	opRead = iota
+	opWrite
+	opFlush
+)
+
+func (c *Client) submit(op int, vol uint32, off int64, buf, data []byte) (*Pending, error) {
 	slot := <-c.creditC
 	p := &Pending{slot: slot, done: make(chan struct{})}
 	c.mu.Lock()
@@ -268,17 +297,22 @@ func (c *Client) submit(vol uint32, off int64, buf, data []byte, isWrite bool) (
 	c.nextSeq++
 	c.nextReq++
 	p.seq = c.nextSeq
-	if isWrite {
+	switch op {
+	case opWrite:
 		p.body = data
 		p.msg = &wire.Write{
 			Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq,
 			Volume: vol, Offset: uint64(off), Length: uint32(len(data)), Slot: slot,
 		}
-	} else {
+	case opRead:
 		p.buf = buf
 		p.msg = &wire.Read{
 			Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq,
 			Volume: vol, Offset: uint64(off), Length: uint32(len(buf)),
+		}
+	case opFlush:
+		p.msg = &wire.Flush{
+			Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq, Volume: vol,
 		}
 	}
 	c.pending[p.seq] = p
@@ -355,6 +389,7 @@ func (c *Client) reader(conn net.Conn, gen int) {
 	var frame [wire.ControlSize]byte
 	var rr wire.ReadResp
 	var wr wire.WriteResp
+	var fr wire.FlushResp
 	fail := func() {
 		c.mu.Lock()
 		stale := gen != c.genID || c.closed
@@ -414,6 +449,12 @@ func (c *Client) reader(conn net.Conn, gen int) {
 				return
 			}
 			c.complete(uint64(wr.Ack), wr.Status.Err())
+		case wire.TFlushResp:
+			if err := wire.UnmarshalInto(frame[:], &fr); err != nil {
+				fail()
+				return
+			}
+			c.complete(uint64(fr.Ack), fr.Status.Err())
 		case wire.TPong:
 			// liveness only
 		default:

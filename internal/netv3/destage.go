@@ -1,0 +1,316 @@
+package netv3
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxDestageRun caps one coalesced destage write at 64 blocks (512 KB
+// with 8 KB blocks) — large enough to amortize per-I/O cost, small
+// enough to bound staging-buffer size and store-write latency.
+const maxDestageRun = 64
+
+// destageHistBuckets is the number of log2 batch-size buckets: runs of
+// 1, 2, ≤4, ≤8, ≤16, ≤32 and ≤64 blocks.
+const destageHistBuckets = 7
+
+// destager is the per-volume write-behind engine, the TCP-path analogue
+// of the paper's pipelined disk manager (Section 3.2): writes are
+// absorbed into the cache as dirty blocks and acknowledged immediately,
+// while this background component coalesces adjacent dirty blocks into
+// large contiguous store writes. Durability is explicit — the Flush wire
+// op drains the dirty set and fsyncs — exactly the contract a database
+// log manager wants from a storage server.
+//
+// mu is the destage mutex. It is held for a whole destage pass, by the
+// write-through fallback, and by Flush, and it serializes every store
+// write the write-behind machinery issues. That gives a simple global
+// ordering argument: at any instant at most one destage-side store write
+// is in flight per volume, and cache state transitions (dirty →
+// flushing → clean) always happen under both mu and the shard lock.
+type destager struct {
+	s     *Server
+	v     *volume
+	cache *blockCache
+
+	mu   sync.Mutex // the destage mutex; see type comment
+	kick chan struct{}
+
+	interval time.Duration
+	hiWater  int
+
+	// Store errors during background destaging are sticky: the blocks
+	// stay dirty (or orphaned) and the error surfaces on the next Flush.
+	errMu sync.Mutex
+	err   error
+
+	runs          atomic.Int64
+	blocks        atomic.Int64
+	hist          [destageHistBuckets]atomic.Int64
+	wtFallbacks   atomic.Int64 // writes bounced to write-through at the high-watermark
+	orphanWrites  atomic.Int64
+	orphanRetries atomic.Int64
+}
+
+func newDestager(s *Server, v *volume) *destager {
+	hw := s.cfg.DirtyHighWater
+	if hw <= 0 {
+		hw = s.cfg.CacheBlocks / 2
+		if hw < 1 {
+			hw = 1
+		}
+	}
+	iv := s.cfg.DestageInterval
+	if iv <= 0 {
+		iv = 5 * time.Millisecond
+	}
+	return &destager{
+		s:        s,
+		v:        v,
+		cache:    v.cache,
+		kick:     make(chan struct{}, 1),
+		interval: iv,
+		hiWater:  hw,
+	}
+}
+
+// run is the background destage loop: every interval (or sooner when
+// kicked by a write crossing the high-watermark) it commits the current
+// dirty set.
+func (d *destager) run(done <-chan struct{}) {
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			// Final best-effort pass so a clean shutdown leaves little
+			// behind; Flush remains the only durability guarantee.
+			d.destageAll()
+			return
+		case <-t.C:
+		case <-d.kick:
+		}
+		d.destageAll()
+	}
+}
+
+// kickNow nudges the background loop without blocking.
+func (d *destager) kickNow() {
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+}
+
+// overWater reports whether uncommitted state (dirty + orphaned blocks)
+// has reached the high-watermark, at which point new writes fall back to
+// write-through so dirty state cannot grow without bound.
+func (d *destager) overWater() bool {
+	return d.cache.dirtyCount.Load()+d.cache.orphanCount.Load() >= int64(d.hiWater)
+}
+
+func (d *destager) setErr(err error) {
+	d.errMu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.errMu.Unlock()
+}
+
+// takeErr returns and clears the sticky destage error.
+func (d *destager) takeErr() error {
+	d.errMu.Lock()
+	err := d.err
+	d.err = nil
+	d.errMu.Unlock()
+	return err
+}
+
+// destageAll runs one complete pass: orphans first (they hold the oldest
+// acked bytes), then the dirty set coalesced into contiguous runs, then
+// orphans created by evictions during the pass.
+func (d *destager) destageAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.drainOrphansLocked()
+	d.passLocked()
+	d.drainOrphansLocked()
+}
+
+// passLocked commits the dirty snapshot as coalesced contiguous writes.
+// Caller holds d.mu.
+func (d *destager) passLocked() {
+	blks := d.cache.dirtySnapshot()
+	if len(blks) == 0 {
+		return
+	}
+	vsize := d.v.store.Size()
+	buf := d.s.pool.Get(maxDestageRun * cacheBlockSize)
+	defer d.s.pool.Put(buf)
+	i := 0
+	for i < len(blks) {
+		start := blks[i]
+		n := 0
+		for i < len(blks) && n < maxDestageRun && blks[i] == start+uint64(n) {
+			ln := blockLen(vsize, blks[i])
+			if !d.cache.stage(blks[i], buf[n*cacheBlockSize:int64(n)*cacheBlockSize+ln]) {
+				break // no longer resident-dirty; run ends here
+			}
+			n++
+			i++
+		}
+		if n == 0 {
+			i++ // skip the unstageable block
+			continue
+		}
+		staged := blks[i-n : i]
+		off := int64(start) * cacheBlockSize
+		runBytes := int64(n) * cacheBlockSize
+		if off+runBytes > vsize {
+			runBytes = vsize - off
+		}
+		if err := d.v.store.WriteAt(buf[:runBytes], off); err != nil {
+			d.s.logf("netv3: destage vol run [%d,+%d): %v", off, runBytes, err)
+			d.cache.unstage(staged, true)
+			d.setErr(err)
+			continue
+		}
+		d.cache.unstage(staged, false)
+		d.runs.Add(1)
+		d.blocks.Add(int64(n))
+		d.hist[batchBucket(n)].Add(1)
+	}
+}
+
+// batchBucket maps a run's block count to its log2 histogram bucket.
+func batchBucket(n int) int {
+	b := bits.Len(uint(n - 1)) // 1→0, 2→1, 3..4→2, 5..8→3, ...
+	if b >= destageHistBuckets {
+		b = destageHistBuckets - 1
+	}
+	return b
+}
+
+// drainOrphansLocked commits evicted-while-dirty payloads. Each entry is
+// marked writing under the orphan lock, written without it, then removed
+// (or unmarked, on error, so the next pass retries). Caller holds d.mu.
+func (d *destager) drainOrphansLocked() {
+	c := d.cache
+	for {
+		if c.orphanCount.Load() == 0 {
+			return
+		}
+		c.orphanMu.Lock()
+		var e *orphanEntry
+		for _, cand := range c.orphans {
+			if !cand.writing {
+				e = cand
+				break
+			}
+		}
+		if e != nil {
+			e.writing = true
+		}
+		c.orphanMu.Unlock()
+		if e == nil {
+			return
+		}
+		err := d.v.store.WriteAt(e.payload[:e.n], int64(e.blk)*cacheBlockSize)
+		c.orphanMu.Lock()
+		if err != nil {
+			e.writing = false // leave queued for the next pass
+		} else {
+			for i, cand := range c.orphans {
+				if cand == e {
+					c.orphans = append(c.orphans[:i], c.orphans[i+1:]...)
+					break
+				}
+			}
+			c.orphanCount.Add(-1)
+			c.pool.Put(e.payload)
+		}
+		c.orphanMu.Unlock()
+		if err != nil {
+			d.s.logf("netv3: destage orphan block %d: %v", e.blk, err)
+			d.setErr(err)
+			d.orphanRetries.Add(1)
+			return // don't hot-loop against a failing store
+		}
+		d.orphanWrites.Add(1)
+		d.runs.Add(1)
+		d.blocks.Add(1)
+		d.hist[0].Add(1)
+	}
+}
+
+// writeThrough commits one request's bytes under the destage mutex — the
+// backpressure path once the high-watermark is reached. Blocks resident
+// in the cache absorb the bytes (a dirty block's store ordering belongs
+// to the destager and must not be written around; a clean one also gets
+// a direct store write so it can stay clean); non-resident blocks write
+// straight through, write-around style.
+func (d *destager) writeThrough(b []byte, off int64) error {
+	if err := checkStoreRange(d.v.store.Size(), off, len(b)); err != nil {
+		return err
+	}
+	d.wtFallbacks.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := d.cache
+	cur := off
+	rest := b
+	for len(rest) > 0 {
+		blk := uint64(cur) / cacheBlockSize
+		within := cur % cacheBlockSize
+		n := int64(cacheBlockSize) - within
+		if n > int64(len(rest)) {
+			n = int64(len(rest))
+		}
+		resident, wasDirty := c.absorbIfResident(blk, within, n, rest[:n])
+		switch {
+		case resident && wasDirty:
+			// Dirty block: the destager owns its store ordering; the
+			// overlay above is enough.
+		case !resident && c.orphaned(blk):
+			// A queued orphan holds older acked bytes for this block.
+			// Writing around it would let the drain later commit those
+			// stale bytes *over* ours. Fold the new bytes into the
+			// cache instead — absorb adopts and merges the orphan and
+			// re-marks the block dirty, so the destager commits the
+			// merge in order. (We hold d.mu, so no drain can remove
+			// the entry between the check and the absorb; session-side
+			// adoption just makes the block resident, which absorb
+			// also handles.)
+			if err := c.absorb(d.v, blk, within, n, rest[:n]); err != nil {
+				return err
+			}
+		default:
+			if err := d.v.store.WriteAt(rest[:n], cur); err != nil {
+				return err
+			}
+			// A miss fill racing this store write can install the
+			// pre-write bytes (it reads the store under only its shard
+			// lock). Re-applying the bytes to any now-resident block
+			// restores the writer ordering rule (see blockCache): the
+			// fill either finished before this update, which corrects
+			// it, or starts after the store write and reads fresh bytes.
+			c.updateBlock(blk, within, n, rest[:n])
+		}
+		cur += n
+		rest = rest[n:]
+	}
+	return nil
+}
+
+// flush is the durability barrier behind the wire-level Flush op: drain
+// all uncommitted write-behind state, then fsync the store. Any sticky
+// background destage error surfaces here.
+func (d *destager) flush() error {
+	d.destageAll()
+	if err := d.takeErr(); err != nil {
+		return err
+	}
+	return d.v.store.Sync()
+}

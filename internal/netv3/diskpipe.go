@@ -1,0 +1,182 @@
+package netv3
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/v3storage/v3/internal/flow"
+	"github.com/v3storage/v3/internal/wire"
+)
+
+const (
+	taskRead = iota
+	taskWrite
+)
+
+// diskTask is one store I/O handed from a session loop to the volume's
+// disk workers. All request fields are copied in, so inline dispatch can
+// keep reusing its decoded message structs.
+type diskTask struct {
+	sc    *sessCtx
+	kind  int
+	seq   uint64
+	reqID uint64
+	off   int64
+	body  []byte // read: response buffer; write: payload (owned by the task)
+	slot  uint32 // write only: flow-control slot to release on completion
+}
+
+// diskPipe is a per-volume pool of disk worker goroutines, the
+// asynchronous-I/O half of the paper's pipelined disk manager: the
+// session loop stays a pure protocol engine while store reads and
+// writes proceed in parallel and complete out of order. Cache hits never
+// enter the pipe — they are served inline, where the only cost is a
+// memcpy.
+type diskPipe struct {
+	s     *Server
+	v     *volume
+	tasks chan diskTask
+
+	// mu guards closed against the shutdown close(tasks): submitters hold
+	// it shared, shutdown exclusively, so a task is never sent to a
+	// closed channel and a false return always means "run it yourself".
+	mu              sync.RWMutex
+	closed          bool
+	inlineFallbacks atomic.Int64
+}
+
+func newDiskPipe(s *Server, v *volume) *diskPipe {
+	depth := s.cfg.DiskWorkers * 4
+	if depth < 16 {
+		depth = 16
+	}
+	p := &diskPipe{s: s, v: v, tasks: make(chan diskTask, depth)}
+	for i := 0; i < s.cfg.DiskWorkers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// trySubmit queues t for the workers. A false return (queue full or pipe
+// shut down) means the caller still owns the task and must execute it on
+// the classic path.
+func (p *diskPipe) trySubmit(t diskTask) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- t:
+		return true
+	default:
+		p.inlineFallbacks.Add(1)
+		return false
+	}
+}
+
+// shutdown stops submissions and lets the workers drain and exit. Every
+// task accepted before shutdown still completes, so session-side
+// WaitGroups cannot strand.
+func (p *diskPipe) shutdown() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.tasks)
+}
+
+func (p *diskPipe) worker() {
+	for t := range p.tasks {
+		p.runTask(t)
+	}
+}
+
+func (p *diskPipe) runTask(t diskTask) {
+	s := p.s
+	defer t.sc.wg.Done()
+	switch t.kind {
+	case taskRead:
+		rr := &wire.ReadResp{Header: wire.Header{Ack: uint32(t.seq)}, ReqID: t.reqID, Credits: 1, Status: wire.StatusOK}
+		body := t.body
+		if err := p.v.readInto(body, t.off); err != nil {
+			rr.Status = wire.StatusEIO
+			s.logf("netv3: worker read [%d,+%d): %v", t.off, len(body), err)
+			s.pool.Put(body)
+			body = nil
+		}
+		rr.Length = uint32(len(body))
+		s.served.Add(1)
+		t.sc.complete(completion{msg: rr, body: body})
+	case taskWrite:
+		wr := &wire.WriteResp{Header: wire.Header{Ack: uint32(t.seq)}, ReqID: t.reqID, Credits: 1, Status: wire.StatusOK}
+		if err := p.v.write(t.body, t.off); err != nil {
+			wr.Status = wire.StatusEIO
+			s.logf("netv3: worker write [%d,+%d): %v", t.off, len(t.body), err)
+		}
+		s.pool.Put(t.body)
+		s.served.Add(1)
+		t.sc.complete(completion{msg: wr, slot: t.slot, hasSlot: true})
+	}
+}
+
+// completion is one finished worker task on its way back to the wire.
+type completion struct {
+	msg     wire.Message
+	body    []byte // returned to the pool after the response is written
+	slot    uint32
+	hasSlot bool
+}
+
+// sessCtx is a session's completion lane: workers finish tasks in any
+// order and hand the responses to one dedicated completion goroutine
+// over a channel, so no worker ever contends on the respWriter mutex or
+// interleaves with another worker's frame+body write. The lane batches
+// opportunistically — a response is buffered (not flushed) whenever more
+// completions are already queued behind it, extending the session loop's
+// interrupt-batching discipline to out-of-order completions.
+type sessCtx struct {
+	s    *Server
+	w    *respWriter
+	fc   *flow.Server
+	fcMu *sync.Mutex
+	comp chan completion
+	wg   sync.WaitGroup // in-flight worker tasks for this session
+}
+
+func newSessCtx(s *Server, w *respWriter, fc *flow.Server, fcMu *sync.Mutex) *sessCtx {
+	sc := &sessCtx{s: s, w: w, fc: fc, fcMu: fcMu, comp: make(chan completion, 64)}
+	go sc.loop()
+	return sc
+}
+
+func (sc *sessCtx) complete(c completion) {
+	sc.comp <- c
+}
+
+// close tears the lane down after the connection is dead: wait out the
+// in-flight tasks, then stop the completion goroutine.
+func (sc *sessCtx) close() {
+	sc.wg.Wait()
+	close(sc.comp)
+}
+
+func (sc *sessCtx) loop() {
+	for c := range sc.comp {
+		// Buffer while more completions are queued; the last one in the
+		// burst goes out with a flush.
+		batch := sc.w.bw != nil && len(sc.comp) > 0
+		_ = sc.w.respond(c.msg, c.body, batch)
+		if c.body != nil {
+			sc.s.pool.Put(c.body)
+		}
+		if c.hasSlot {
+			sc.fcMu.Lock()
+			_ = sc.fc.Release(c.slot)
+			sc.fcMu.Unlock()
+		}
+	}
+}

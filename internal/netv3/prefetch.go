@@ -1,0 +1,110 @@
+package netv3
+
+import "sync/atomic"
+
+// Read-ahead sizing: a detected sequential stream starts at
+// minPrefetchBlocks of read-ahead and doubles per trigger up to
+// maxPrefetchBlocks (256 KB with 8 KB blocks), so short scans stay
+// cheap and long scans keep the disk ahead of the client.
+const (
+	minPrefetchBlocks = 8
+	maxPrefetchBlocks = 32
+	// prefetchStreak is how many back-to-back sequential reads arm
+	// read-ahead; one adjacency is too weak a signal.
+	prefetchStreak = 2
+)
+
+// prefetcher is per-session sequential-stream detection, the server-side
+// read-ahead of the paper's pipelined disk path: databases scan files
+// sequentially during recovery and table scans, and a detected stream
+// lets the disk run ahead of the client's request window. State is only
+// touched by the session goroutine; no locking.
+type prefetcher struct {
+	vol     uint32
+	nextOff int64  // offset that would continue the current stream
+	streak  int    // consecutive sequential reads observed
+	ahead   uint64 // first block NOT yet requested for read-ahead
+	degree  int    // blocks per trigger, doubling to maxPrefetchBlocks
+	started bool
+}
+
+// observe feeds one read into the detector and returns a block range to
+// prefetch, if the stream is established and has caught up with the
+// previous read-ahead horizon.
+func (p *prefetcher) observe(vol uint32, off, length int64) (start uint64, n int, ok bool) {
+	if !p.started || vol != p.vol || off != p.nextOff {
+		p.vol = vol
+		p.streak = 0
+		p.degree = minPrefetchBlocks
+		p.ahead = 0
+		p.started = true
+	} else {
+		p.streak++
+	}
+	p.nextOff = off + length
+	if p.streak < prefetchStreak {
+		return 0, 0, false
+	}
+	// First block at or past the read's end — the stream's frontier.
+	frontier := uint64((off + length + cacheBlockSize - 1) / cacheBlockSize)
+	if p.ahead < frontier {
+		p.ahead = frontier
+	}
+	// Trigger only once the stream has consumed most of the previous
+	// window: this keeps at most ~1.5 windows of read-ahead outstanding
+	// instead of racing the horizon further away on every read.
+	if p.ahead-frontier >= uint64(p.degree)/2 {
+		return 0, 0, false
+	}
+	n = p.degree
+	if p.degree < maxPrefetchBlocks {
+		p.degree *= 2
+	}
+	start = p.ahead
+	p.ahead += uint64(n)
+	return start, n, true
+}
+
+// prefetchReq is one read-ahead range for the volume's prefetch worker.
+type prefetchReq struct {
+	start uint64
+	n     int
+}
+
+// prefetchWorker is the per-volume background read-ahead engine: one
+// goroutine draining a small request channel. Requests that arrive while
+// it is busy are dropped — read-ahead is best-effort and a demand miss
+// is always correct, just slower.
+type prefetchWorker struct {
+	v       *volume
+	reqs    chan prefetchReq
+	dropped atomic.Int64
+}
+
+func newPrefetchWorker(v *volume) *prefetchWorker {
+	return &prefetchWorker{v: v, reqs: make(chan prefetchReq, 8)}
+}
+
+// submit queues a read-ahead range, dropping it if the worker is behind.
+func (w *prefetchWorker) submit(start uint64, n int) {
+	select {
+	case w.reqs <- prefetchReq{start: start, n: n}:
+	default:
+		w.dropped.Add(1)
+	}
+}
+
+func (w *prefetchWorker) run(s *Server, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case r := <-w.reqs:
+			if err := w.v.cache.prefetchFill(w.v, r.start, r.n); err != nil {
+				// Best-effort: log and move on; the demand path will
+				// surface a persistent store error to the client.
+				s.logf("netv3: prefetch blocks [%d,+%d): %v", r.start, r.n, err)
+			}
+		}
+	}
+}

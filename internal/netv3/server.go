@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/v3storage/v3/internal/bufpool"
 	"github.com/v3storage/v3/internal/flow"
@@ -33,6 +34,26 @@ type ServerConfig struct {
 	// NoBatch disables response frame batching (ablation: every response
 	// is flushed to the socket individually).
 	NoBatch bool
+	// DiskWorkers, when positive, enables the pipelined disk path: each
+	// volume gets a pool of that many disk worker goroutines, cache hits
+	// are served inline on the session loop, and store I/O completes out
+	// of order through a per-session completion lane. 0 keeps the classic
+	// synchronous dispatch (the ablation baseline).
+	DiskWorkers int
+	// NoWriteBehind disables write-behind destaging (ablation): writes go
+	// to the store before they are acknowledged, as in the seed. Only
+	// meaningful when CacheBlocks > 0, since dirty blocks live in the
+	// cache.
+	NoWriteBehind bool
+	// NoPrefetch disables sequential read-ahead (ablation). Only
+	// meaningful when CacheBlocks > 0.
+	NoPrefetch bool
+	// DirtyHighWater caps uncommitted write-behind blocks per volume;
+	// writes beyond it fall back to write-through until the destager
+	// catches up. 0 selects CacheBlocks/2.
+	DirtyHighWater int
+	// DestageInterval is the background destage period. 0 selects 5ms.
+	DestageInterval time.Duration
 	// Logger receives connection-level errors; nil silences them.
 	Logger *log.Logger
 }
@@ -61,10 +82,15 @@ func readBufSize(noBatch bool) int {
 	return sockBufSize
 }
 
-// volume is one exported store with its optional sharded block cache.
+// volume is one exported store with its optional sharded block cache
+// and the per-volume disk-pipeline components (each nil when its toggle
+// is off).
 type volume struct {
 	store BlockStore
 	cache *blockCache
+	pipe  *diskPipe       // DiskWorkers > 0: async store I/O
+	wb    *destager       // cache + write-behind: dirty-block destaging
+	pf    *prefetchWorker // cache + prefetch: sequential read-ahead
 }
 
 // Server exports volumes over TCP.
@@ -83,6 +109,7 @@ type Server struct {
 	served   atomic.Int64
 	nextSess atomic.Uint64
 	closed   atomic.Bool
+	done     chan struct{} // closed by Close; stops background goroutines
 }
 
 // NewServer returns a server with no volumes; add them with AddVolume.
@@ -93,7 +120,7 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxXfer == 0 {
 		cfg.MaxXfer = 1 << 20
 	}
-	s := &Server{cfg: cfg}
+	s := &Server{cfg: cfg, done: make(chan struct{})}
 	if !cfg.NoPool {
 		s.pool = bufpool.New()
 	}
@@ -108,6 +135,19 @@ func (s *Server) AddVolume(id uint32, store BlockStore) {
 	v := &volume{store: store}
 	if s.cfg.CacheBlocks > 0 {
 		v.cache = newBlockCache(s.cfg.CacheBlocks, s.cfg.CacheShards, s.pool)
+	}
+	if !s.closed.Load() {
+		if s.cfg.DiskWorkers > 0 {
+			v.pipe = newDiskPipe(s, v)
+		}
+		if v.cache != nil && !s.cfg.NoWriteBehind {
+			v.wb = newDestager(s, v)
+			go v.wb.run(s.done)
+		}
+		if v.cache != nil && !s.cfg.NoPrefetch {
+			v.pf = newPrefetchWorker(v)
+			go v.pf.run(s, s.done)
+		}
 	}
 	old := *s.volumes.Load()
 	next := make(map[uint32]*volume, len(old)+1)
@@ -186,9 +226,18 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve()
 }
 
-// Close stops accepting and closes the listener.
+// Close stops accepting, stops the background disk-path goroutines
+// (workers drain their queues first), and closes the listener.
 func (s *Server) Close() error {
-	s.closed.Store(true)
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.done)
+	for _, v := range *s.volumes.Load() {
+		if v.pipe != nil {
+			v.pipe.shutdown()
+		}
+	}
 	if s.ln != nil {
 		return s.ln.Close()
 	}
@@ -356,6 +405,17 @@ func (s *Server) session(conn net.Conn) {
 		return
 	}
 	var fcMu sync.Mutex // guards fc slot state (writes only; see below)
+	var sc *sessCtx     // completion lane, only with the pipelined disk path
+	if s.cfg.DiskWorkers > 0 {
+		sc = newSessCtx(s, w, fc, &fcMu)
+		defer func() {
+			// Kill the socket first so no new requests arrive, then wait
+			// out in-flight worker tasks before closing the lane.
+			conn.Close()
+			sc.close()
+		}()
+	}
+	var pf prefetcher    // per-session sequential-read detector
 	var rdMsg wire.Read  // reused by inline dispatch
 	var wrMsg wire.Write // reused by inline dispatch
 	for {
@@ -381,16 +441,19 @@ func (s *Server) session(conn net.Conn) {
 			// and a read carries none — its response buffer is accounted
 			// by the credit the client holds until the ReadResp returns
 			// it. So there is nothing to reserve here and fc is untouched.
-			if inline {
-				if err := wire.UnmarshalInto(frame[:], &rdMsg); err != nil {
-					return
-				}
-				s.handleRead(&rdMsg, w, true)
-				continue
+			m := &rdMsg
+			if !inline {
+				m = new(wire.Read)
 			}
-			m := new(wire.Read)
 			if err := wire.UnmarshalInto(frame[:], m); err != nil {
 				return
+			}
+			if s.fastRead(m, w, sc, &pf, inline) {
+				continue
+			}
+			if inline {
+				s.handleRead(m, w, true)
+				continue
 			}
 			go s.handleRead(m, w, false)
 		case wire.TWrite:
@@ -421,6 +484,44 @@ func (s *Server) session(conn net.Conn) {
 				s.pool.Put(body)
 				return
 			}
+			v := s.lookup(m.Volume)
+			if v != nil && v.wb != nil {
+				if !v.wb.overWater() {
+					// Write-behind: absorb into the cache as dirty blocks
+					// and acknowledge immediately; the destager owns the
+					// store write, Flush is the durability barrier.
+					st := wire.StatusOK
+					if err := v.absorbWrite(body, int64(m.Offset)); err != nil {
+						st = wire.StatusEIO
+						s.logf("netv3: write-behind vol %d [%d,+%d): %v", m.Volume, m.Offset, m.Length, err)
+					}
+					wr := &w.wr
+					if !inline {
+						wr = new(wire.WriteResp)
+					}
+					*wr = wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq)},
+						ReqID: m.ReqID, Status: st, Credits: 1}
+					s.served.Add(1)
+					_ = w.respond(wr, nil, inline)
+					s.pool.Put(body)
+					fcMu.Lock()
+					_ = fc.Release(m.Slot)
+					fcMu.Unlock()
+					continue
+				}
+				// Over the dirty high-watermark: this write goes through
+				// the slow path; prod the destager to start catching up.
+				v.wb.kickNow()
+			}
+			if v != nil && v.pipe != nil {
+				t := diskTask{sc: sc, kind: taskWrite, seq: m.Seq, reqID: m.ReqID,
+					off: int64(m.Offset), body: body, slot: m.Slot}
+				sc.wg.Add(1)
+				if v.pipe.trySubmit(t) {
+					continue
+				}
+				sc.wg.Done()
+			}
 			if inline {
 				s.handleWrite(m, body, w, true)
 				s.pool.Put(body)
@@ -436,6 +537,16 @@ func (s *Server) session(conn net.Conn) {
 				_ = fc.Release(m.Slot)
 				fcMu.Unlock()
 			}()
+		case wire.TFlush:
+			m := new(wire.Flush)
+			if err := wire.UnmarshalInto(frame[:], m); err != nil {
+				return
+			}
+			// Flush is rare and slow (full destage + fsync), so it always
+			// runs on its own goroutine; its response takes the direct
+			// send path and may complete out of order, which the client
+			// matches by Ack like any other response.
+			go s.handleFlush(m, w)
 		case wire.TPing:
 			var seq uint64
 			if m, err := wire.Unmarshal(frame[:]); err == nil {
@@ -520,6 +631,118 @@ func (s *Server) handleWrite(m *wire.Write, body []byte, w *respWriter, inline b
 	_ = w.respond(wr, nil, inline)
 }
 
+// fastRead is the pipelined dispatch for reads: it feeds the session's
+// sequential-read detector, serves whole-cache hits inline (a memcpy on
+// the session goroutine), and hands misses to the volume's disk workers
+// so one slow store read cannot stall the requests queued behind it. A
+// false return sends the request down the classic path, which also owns
+// all error responses.
+func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetcher, inline bool) bool {
+	v := s.lookup(m.Volume)
+	if v == nil || m.Length > s.cfg.MaxXfer {
+		return false
+	}
+	if v.pf != nil {
+		if start, n, ok := pf.observe(m.Volume, int64(m.Offset), int64(m.Length)); ok {
+			v.pf.submit(start, n)
+		}
+	}
+	if v.pipe == nil {
+		return false
+	}
+	body := s.pool.Get(int(m.Length))
+	if v.cache != nil && v.tryCachedRead(body, int64(m.Offset)) {
+		var rr *wire.ReadResp
+		if inline {
+			rr = &w.rr
+		} else {
+			rr = new(wire.ReadResp)
+		}
+		*rr = wire.ReadResp{Header: wire.Header{Ack: uint32(m.Seq)},
+			ReqID: m.ReqID, Status: wire.StatusOK, Credits: 1, Length: uint32(len(body))}
+		s.served.Add(1)
+		_ = w.respond(rr, body, inline)
+		s.pool.Put(body)
+		return true
+	}
+	t := diskTask{sc: sc, kind: taskRead, seq: m.Seq, reqID: m.ReqID, off: int64(m.Offset), body: body}
+	sc.wg.Add(1)
+	if v.pipe.trySubmit(t) {
+		return true
+	}
+	sc.wg.Done()
+	s.pool.Put(body)
+	return false
+}
+
+// handleFlush serves the wire-level durability barrier: drain the
+// volume's write-behind state and fsync the store. Writes acknowledged
+// before the Flush was received are durable once it succeeds.
+func (s *Server) handleFlush(m *wire.Flush, w *respWriter) {
+	fr := &wire.FlushResp{Header: wire.Header{Ack: uint32(m.Seq)},
+		ReqID: m.ReqID, Status: wire.StatusOK, Credits: 1}
+	v := s.lookup(m.Volume)
+	if v == nil {
+		fr.Status = wire.StatusENoVolume
+	} else if err := v.flush(); err != nil {
+		fr.Status = wire.StatusEIO
+		s.logf("netv3: flush vol %d: %v", m.Volume, err)
+	}
+	s.served.Add(1)
+	_ = w.send(fr, nil)
+}
+
+// DiskStats aggregates disk-pipeline counters across volumes.
+type DiskStats struct {
+	// DirtyBlocks and OrphanBlocks together are the volume of acked but
+	// not yet committed write-behind data, in 8 KB blocks.
+	DirtyBlocks  int64
+	OrphanBlocks int64
+	// DestageRuns / DestagedBlocks count coalesced store writes issued by
+	// the destagers; DestageBatchHist buckets runs by size: 1, 2, ≤4, ≤8,
+	// ≤16, ≤32, ≤64 blocks.
+	DestageRuns      int64
+	DestagedBlocks   int64
+	DestageBatchHist [destageHistBuckets]int64
+	// WriteThroughFallbacks counts writes bounced to the synchronous path
+	// at the dirty high-watermark.
+	WriteThroughFallbacks int64
+	PrefetchFills         int64 // blocks installed by read-ahead
+	PrefetchHits          int64 // demand hits on those blocks
+	PrefetchDropped       int64 // read-ahead requests dropped (worker busy)
+	// InlineFallbacks counts requests bounced to classic dispatch because
+	// the disk-worker queue was full.
+	InlineFallbacks int64
+}
+
+// DiskStats returns cumulative disk-pipeline counters.
+func (s *Server) DiskStats() DiskStats {
+	var d DiskStats
+	for _, v := range *s.volumes.Load() {
+		if v.cache != nil {
+			d.DirtyBlocks += v.cache.dirtyCount.Load()
+			d.OrphanBlocks += v.cache.orphanCount.Load()
+			d.PrefetchFills += v.cache.prefFills.Load()
+			d.PrefetchHits += v.cache.prefHits.Load()
+		}
+		if v.wb != nil {
+			d.DestageRuns += v.wb.runs.Load()
+			d.DestagedBlocks += v.wb.blocks.Load()
+			for i := range v.wb.hist {
+				d.DestageBatchHist[i] += v.wb.hist[i].Load()
+			}
+			d.WriteThroughFallbacks += v.wb.wtFallbacks.Load()
+		}
+		if v.pf != nil {
+			d.PrefetchDropped += v.pf.dropped.Load()
+		}
+		if v.pipe != nil {
+			d.InlineFallbacks += v.pipe.inlineFallbacks.Load()
+		}
+	}
+	return d
+}
+
 // cachedRead serves aligned 8 KB blocks from the sharded MQ cache,
 // filling misses from the store; each block touches only its own shard
 // lock.
@@ -540,8 +763,76 @@ func (v *volume) cachedRead(b []byte, off int64) error {
 	return nil
 }
 
-// write commits to the store and updates any cached blocks.
+// readInto fills b from off, through the cache when one exists.
+func (v *volume) readInto(b []byte, off int64) error {
+	if v.cache != nil {
+		return v.cachedRead(b, off)
+	}
+	return v.store.ReadAt(b, off)
+}
+
+// tryCachedRead serves b entirely from resident cache blocks, reporting
+// false (with b possibly partially filled) on any miss — the inline
+// fast path of the pipelined dispatch, which never touches the store.
+func (v *volume) tryCachedRead(b []byte, off int64) bool {
+	end := off + int64(len(b))
+	if off < 0 || end > v.store.Size() {
+		return false
+	}
+	for cur := off; cur < end; {
+		blk := uint64(cur / cacheBlockSize)
+		within := cur % cacheBlockSize
+		n := int64(cacheBlockSize - within)
+		if end-cur < n {
+			n = end - cur
+		}
+		if !v.cache.readBlockHit(blk, within, n, b[cur-off:cur-off+n]) {
+			return false
+		}
+		cur += n
+	}
+	return true
+}
+
+// absorbWrite folds a write into the cache as dirty blocks — the
+// write-behind acknowledge-then-destage path.
+func (v *volume) absorbWrite(b []byte, off int64) error {
+	if err := checkStoreRange(v.store.Size(), off, len(b)); err != nil {
+		return err
+	}
+	end := off + int64(len(b))
+	for cur := off; cur < end; {
+		blk := uint64(cur / cacheBlockSize)
+		within := cur % cacheBlockSize
+		n := int64(cacheBlockSize - within)
+		if end-cur < n {
+			n = end - cur
+		}
+		if err := v.cache.absorb(v, blk, within, n, b[cur-off:cur-off+n]); err != nil {
+			return err
+		}
+		cur += n
+	}
+	return nil
+}
+
+// flush makes all acknowledged writes durable: drain write-behind state,
+// then sync the store.
+func (v *volume) flush() error {
+	if v.wb != nil {
+		return v.wb.flush()
+	}
+	return v.store.Sync()
+}
+
+// write commits to the store and updates any cached blocks. On a
+// write-behind volume this is the slow synchronous path (worker tasks
+// and high-watermark fallbacks), which must coordinate with the
+// destager rather than write around dirty blocks.
 func (v *volume) write(b []byte, off int64) error {
+	if v.wb != nil {
+		return v.wb.writeThrough(b, off)
+	}
 	if err := v.store.WriteAt(b, off); err != nil {
 		return err
 	}

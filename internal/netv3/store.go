@@ -24,6 +24,9 @@ import (
 type BlockStore interface {
 	ReadAt(b []byte, off int64) error
 	WriteAt(b []byte, off int64) error
+	// Sync makes every completed WriteAt durable. It is the store half of
+	// the wire-level Flush barrier; volatile stores may no-op.
+	Sync() error
 	Size() int64
 	Close() error
 }
@@ -68,6 +71,9 @@ func (m *MemStore) WriteAt(b []byte, off int64) error {
 	return nil
 }
 
+// Sync implements BlockStore; memory is as durable as it gets.
+func (m *MemStore) Sync() error { return nil }
+
 // Size implements BlockStore.
 func (m *MemStore) Size() int64 {
 	m.mu.RLock()
@@ -100,22 +106,48 @@ func NewFileStore(path string, size int64) (*FileStore, error) {
 	return &FileStore{f: f, size: size}, nil
 }
 
-// ReadAt implements BlockStore.
+// ReadAt implements BlockStore. A failed or short read is reported with
+// the file range and the bytes actually transferred, so an EIO surfaced
+// to a client can be traced to the exact extent on disk.
 func (s *FileStore) ReadAt(b []byte, off int64) error {
 	if err := checkStoreRange(s.size, off, len(b)); err != nil {
 		return err
 	}
-	_, err := s.f.ReadAt(b, off)
-	return err
+	n, err := s.f.ReadAt(b, off)
+	if err != nil {
+		if n > 0 && n < len(b) {
+			return fmt.Errorf("netv3: file store short read [%d,+%d): got %d bytes: %w", off, len(b), n, err)
+		}
+		return fmt.Errorf("netv3: file store read [%d,+%d): %w", off, len(b), err)
+	}
+	return nil
 }
 
-// WriteAt implements BlockStore.
+// WriteAt implements BlockStore, reporting short writes distinctly from
+// outright failures (see ReadAt).
 func (s *FileStore) WriteAt(b []byte, off int64) error {
 	if err := checkStoreRange(s.size, off, len(b)); err != nil {
 		return err
 	}
-	_, err := s.f.WriteAt(b, off)
-	return err
+	n, err := s.f.WriteAt(b, off)
+	if err != nil {
+		if n > 0 && n < len(b) {
+			return fmt.Errorf("netv3: file store short write [%d,+%d): wrote %d bytes: %w", off, len(b), n, err)
+		}
+		return fmt.Errorf("netv3: file store write [%d,+%d): %w", off, len(b), err)
+	}
+	if n < len(b) {
+		return fmt.Errorf("netv3: file store short write [%d,+%d): wrote %d bytes", off, len(b), n)
+	}
+	return nil
+}
+
+// Sync implements BlockStore: fsync the backing file.
+func (s *FileStore) Sync() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("netv3: file store sync: %w", err)
+	}
+	return nil
 }
 
 // Size implements BlockStore.

@@ -101,6 +101,13 @@ func MarshalInto(b []byte, m Message) {
 		// header only
 	case *Disconnect:
 		p[0] = v.Reason
+	case *Flush:
+		binary.BigEndian.PutUint64(p[0:], v.ReqID)
+		binary.BigEndian.PutUint32(p[8:], v.Volume)
+	case *FlushResp:
+		binary.BigEndian.PutUint64(p[0:], v.ReqID)
+		p[8] = byte(v.Status)
+		binary.BigEndian.PutUint16(p[9:], v.Credits)
 	default:
 		panic("wire: Marshal of unknown message type")
 	}
@@ -138,6 +145,10 @@ func Unmarshal(b []byte) (Message, error) {
 		m = &Pong{}
 	case TDisconnect:
 		m = &Disconnect{}
+	case TFlush:
+		m = &Flush{}
+	case TFlushResp:
+		m = &FlushResp{}
 	default:
 		return nil, ErrBadType
 	}
@@ -238,6 +249,21 @@ func UnmarshalInto(b []byte, m Message) error {
 		}
 		v.Header = h
 		v.Reason = p[0]
+	case *Flush:
+		if t != TFlush {
+			return ErrBadType
+		}
+		v.Header = h
+		v.ReqID = binary.BigEndian.Uint64(p[0:])
+		v.Volume = binary.BigEndian.Uint32(p[8:])
+	case *FlushResp:
+		if t != TFlushResp {
+			return ErrBadType
+		}
+		v.Header = h
+		v.ReqID = binary.BigEndian.Uint64(p[0:])
+		v.Status = Status(p[8])
+		v.Credits = binary.BigEndian.Uint16(p[9:])
 	default:
 		return ErrBadType
 	}

@@ -90,6 +90,39 @@ func TestRoundtripSmallMessages(t *testing.T) {
 	}
 }
 
+func TestRoundtripFlush(t *testing.T) {
+	m := &Flush{Header: Header{Seq: 21, Ack: 20}, ReqID: 0x1122334455667788, Volume: 9}
+	got := roundtrip(t, m).(*Flush)
+	m.Type = TFlush
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+	fr := roundtrip(t, &FlushResp{Header: Header{Seq: 22}, ReqID: 5, Status: StatusEIO, Credits: 3}).(*FlushResp)
+	if fr.ReqID != 5 || fr.Status != StatusEIO || fr.Credits != 3 {
+		t.Fatalf("FlushResp %+v", fr)
+	}
+	// UnmarshalInto must reject a type mismatch for the new frames too.
+	var wrong Read
+	if err := UnmarshalInto(Marshal(m), &wrong); err != ErrBadType {
+		t.Fatalf("flush-into-read error = %v, want ErrBadType", err)
+	}
+}
+
+func TestFlushRoundtripProperty(t *testing.T) {
+	f := func(seq, reqID uint64, vol uint32, ack uint32) bool {
+		m := &Flush{Header: Header{Seq: seq, Ack: ack}, ReqID: reqID, Volume: vol}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		fl := got.(*Flush)
+		return fl.Seq == seq && fl.Ack == ack && fl.ReqID == reqID && fl.Volume == vol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMarshalIntoScrubsScratch(t *testing.T) {
 	// A reused scratch buffer full of garbage must produce the identical
 	// frame as a fresh Marshal, padding included.
@@ -161,6 +194,8 @@ func TestSeqAckPreservedForAllTypes(t *testing.T) {
 		func(h Header) Message { return &Ping{Header: h} },
 		func(h Header) Message { return &Pong{Header: h} },
 		func(h Header) Message { return &Disconnect{Header: h} },
+		func(h Header) Message { return &Flush{Header: h} },
+		func(h Header) Message { return &FlushResp{Header: h} },
 	}
 	for _, f := range mk {
 		m := f(Header{Seq: 0xfeedface12345678, Ack: 0xcafe1234})
@@ -224,7 +259,7 @@ func TestStatusAndTypeStrings(t *testing.T) {
 	if StatusEIO.Err() == nil {
 		t.Fatal("EIO should map to an error")
 	}
-	for _, typ := range []MsgType{TConnect, TConnectResp, TRead, TReadResp, TWrite, TWriteResp, TCreditGrant, TPing, TPong, TDisconnect} {
+	for _, typ := range []MsgType{TConnect, TConnectResp, TRead, TReadResp, TWrite, TWriteResp, TCreditGrant, TPing, TPong, TDisconnect, TFlush, TFlushResp} {
 		if typ.String() == "" {
 			t.Fatalf("type %d has no name", typ)
 		}

@@ -37,6 +37,8 @@ const (
 	TPing
 	TPong
 	TDisconnect
+	TFlush
+	TFlushResp
 )
 
 // String returns the wire name of the type.
@@ -62,6 +64,10 @@ func (t MsgType) String() string {
 		return "Pong"
 	case TDisconnect:
 		return "Disconnect"
+	case TFlush:
+		return "Flush"
+	case TFlushResp:
+		return "FlushResp"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -197,6 +203,24 @@ type Disconnect struct {
 	Reason uint8
 }
 
+// Flush is the durability barrier for write-behind volumes: it asks the
+// server to destage every dirty cache block of the volume and sync the
+// backing store. When the FlushResp arrives, every write the client has
+// already seen completed is durable.
+type Flush struct {
+	Header
+	ReqID  uint64
+	Volume uint32
+}
+
+// FlushResp completes a Flush.
+type FlushResp struct {
+	Header
+	ReqID   uint64
+	Status  Status
+	Credits uint16
+}
+
 // Message is implemented by every protocol message.
 type Message interface {
 	// Hdr returns the embedded header.
@@ -218,6 +242,8 @@ func (*CreditGrant) kind() MsgType { return TCreditGrant }
 func (*Ping) kind() MsgType        { return TPing }
 func (*Pong) kind() MsgType        { return TPong }
 func (*Disconnect) kind() MsgType  { return TDisconnect }
+func (*Flush) kind() MsgType       { return TFlush }
+func (*FlushResp) kind() MsgType   { return TFlushResp }
 
 // TypeOf returns the wire type of m.
 func TypeOf(m Message) MsgType { return m.kind() }
