@@ -1,5 +1,8 @@
-// Command v3cli is a client for a v3d storage daemon: single reads and
-// writes plus a small throughput/latency bench mode.
+// Command v3cli is a client for v3d storage daemons: single reads and
+// writes plus a small throughput/latency bench mode. Pointed at one
+// server with -addr it speaks netv3 directly; pointed at several with
+// -servers it assembles them into one logical cluster volume (the V3
+// "volume vault"), striped for throughput or mirrored for availability.
 //
 // Usage:
 //
@@ -8,6 +11,10 @@
 //	v3cli -addr host:9300 flush
 //	v3cli -addr host:9300 bench -n 1000 -size 8192 -depth 8
 //	v3cli -addr host:9300 bench -n 100000 -size 8192 -window 16   # async pipeline
+//
+//	v3cli -servers a:9300,b:9300 -stripe -size 67108864 bench -n 100000
+//	v3cli -servers a:9300,b:9300 -mirror -size 67108864 write 4096 "hello"
+//	v3cli -servers a:9300,b:9300 -mirror -size 67108864 status
 package main
 
 import (
@@ -16,27 +23,77 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/v3storage/v3/internal/netv3"
+	"github.com/v3storage/v3/internal/vvault"
 )
 
+// blockIO is the slice of the client surface the subcommands need; both
+// a single netv3 session and a cluster vault provide it.
+type blockIO interface {
+	Read(off int64, buf []byte) error
+	Write(off int64, data []byte) error
+	Flush() error
+}
+
+// singleIO adapts one netv3 client to blockIO.
+type singleIO struct {
+	c   *netv3.Client
+	vol uint32
+}
+
+func (s singleIO) Read(off int64, buf []byte) error   { return s.c.Read(s.vol, off, buf) }
+func (s singleIO) Write(off int64, data []byte) error { return s.c.Write(s.vol, off, data) }
+func (s singleIO) Flush() error                       { return s.c.Flush(s.vol) }
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9300", "v3d address")
+	addr := flag.String("addr", "127.0.0.1:9300", "v3d address (single-server mode)")
+	servers := flag.String("servers", "", "comma-separated v3d addresses (cluster mode)")
+	mirror := flag.Bool("mirror", false, "cluster mode: mirror the volume on every server (RAID-1)")
+	stripe := flag.Bool("stripe", false, "cluster mode: stripe the volume across the servers (RAID-0)")
+	stripeSize := flag.Int64("stripesize", 64<<10, "cluster stripe unit in bytes")
+	memberSize := flag.Int64("size", 64<<20, "cluster mode: bytes used on each server")
 	vol := flag.Uint("vol", 1, "volume id")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "v3cli: need a command: read | write | flush | bench")
+		fmt.Fprintln(os.Stderr, "v3cli: need a command: read | write | flush | status | bench")
 		os.Exit(2)
 	}
-	c, err := netv3.Dial(*addr, netv3.DefaultClientConfig())
-	if err != nil {
-		log.Fatalf("v3cli: %v", err)
+
+	var io blockIO
+	var vault *vvault.Vault
+	var client *netv3.Client
+	if *servers != "" {
+		if *mirror == *stripe {
+			log.Fatal("v3cli: cluster mode needs exactly one of -mirror or -stripe")
+		}
+		mode := vvault.ModeStripe
+		if *mirror {
+			mode = vvault.ModeMirror
+		}
+		cfg := vvault.DefaultConfig(mode)
+		cfg.Volume = uint32(*vol)
+		cfg.MemberSize = *memberSize
+		cfg.StripeSize = *stripeSize
+		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags)
+		v, err := vvault.Open(strings.Split(*servers, ","), cfg)
+		if err != nil {
+			log.Fatalf("v3cli: %v", err)
+		}
+		defer v.Close()
+		vault, io = v, v
+	} else {
+		c, err := netv3.Dial(*addr, netv3.DefaultClientConfig())
+		if err != nil {
+			log.Fatalf("v3cli: %v", err)
+		}
+		defer c.Close()
+		client, io = c, singleIO{c, uint32(*vol)}
 	}
-	defer c.Close()
-	v := uint32(*vol)
 
 	switch args[0] {
 	case "read":
@@ -46,7 +103,7 @@ func main() {
 		off, _ := strconv.ParseInt(args[1], 10, 64)
 		n, _ := strconv.Atoi(args[2])
 		buf := make([]byte, n)
-		if err := c.Read(v, off, buf); err != nil {
+		if err := io.Read(off, buf); err != nil {
 			log.Fatalf("v3cli: %v", err)
 		}
 		os.Stdout.Write(buf)
@@ -56,31 +113,59 @@ func main() {
 			log.Fatal("v3cli: write <offset> <data>")
 		}
 		off, _ := strconv.ParseInt(args[1], 10, 64)
-		if err := c.Write(v, off, []byte(args[2])); err != nil {
+		if err := io.Write(off, []byte(args[2])); err != nil {
 			log.Fatalf("v3cli: %v", err)
 		}
 		fmt.Println("ok")
 	case "flush":
-		if err := c.Flush(v); err != nil {
+		if err := io.Flush(); err != nil {
 			log.Fatalf("v3cli: %v", err)
 		}
 		fmt.Println("ok")
+	case "status":
+		if vault == nil {
+			log.Fatal("v3cli: status needs cluster mode (-servers)")
+		}
+		printStatus(vault)
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
 		n := fs.Int("n", 1000, "I/Os")
 		size := fs.Int("size", 8192, "request size")
 		depth := fs.Int("depth", 8, "concurrent streams")
-		window := fs.Int("window", 0, "async pipeline depth (0 = sync goroutine bench)")
+		window := fs.Int("window", 0, "async pipeline depth (single-server mode only; 0 = sync goroutine bench)")
 		writes := fs.Bool("writes", false, "write instead of read")
 		_ = fs.Parse(args[1:])
+		region := int64(1 << 20)
+		if vault != nil {
+			region = vault.Size()
+		}
 		if *window > 0 {
-			runAsyncBench(c, v, *n, *size, *window, *writes)
+			if client == nil {
+				log.Fatal("v3cli: -window bench needs single-server mode (the vault pipelines internally)")
+			}
+			runAsyncBench(client, uint32(*vol), *n, *size, *window, *writes)
 		} else {
-			runBench(c, v, *n, *size, *depth, *writes)
+			runBench(io, *n, *size, *depth, region, *writes)
 		}
 	default:
 		log.Fatalf("v3cli: unknown command %q", args[0])
 	}
+}
+
+// printStatus renders the vault's per-backend health table.
+func printStatus(v *vvault.Vault) {
+	fmt.Printf("mode=%s size=%d\n", v.Mode(), v.Size())
+	for i, st := range v.Status() {
+		fmt.Printf("backend %d %-21s %-7s consec=%d trips=%d reconnects=%d",
+			i, st.Addr, st.State, st.Consecutive, st.Trips, st.Reconnects)
+		if st.DirtyBytes > 0 {
+			fmt.Printf(" dirty=%dB/%d ranges", st.DirtyBytes, st.DirtyRanges)
+		}
+		fmt.Println()
+	}
+	s := v.Stats()
+	fmt.Printf("degraded_reads=%d degraded_writes=%d resyncs=%d resynced_bytes=%d\n",
+		s.DegradedReads, s.DegradedWrites, s.Resyncs, s.ResyncedBytes)
 }
 
 // runAsyncBench drives the async API from one goroutine, keeping up to
@@ -127,7 +212,10 @@ func runAsyncBench(c *netv3.Client, vol uint32, n, size, window int, writes bool
 		float64(n)*float64(size)/elapsed.Seconds()/1e6)
 }
 
-func runBench(c *netv3.Client, vol uint32, n, size, depth int, writes bool) {
+// runBench fans `depth` synchronous streams over the target; against a
+// vault each stream's requests pipeline through the async extent fan-out
+// underneath, so depth is the cluster's outstanding-I/O count.
+func runBench(io blockIO, n, size, depth int, region int64, writes bool) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var total time.Duration
@@ -140,13 +228,14 @@ func runBench(c *netv3.Client, vol uint32, n, size, depth int, writes bool) {
 			defer wg.Done()
 			buf := make([]byte, size)
 			for i := 0; i < per; i++ {
-				off := int64((d*per+i)*size) % (1 << 20)
+				off := int64((d*per+i)*size) % (region - int64(size))
+				off -= off % int64(size)
 				s := time.Now()
 				var err error
 				if writes {
-					err = c.Write(vol, off, buf)
+					err = io.Write(off, buf)
 				} else {
-					err = c.Read(vol, off, buf)
+					err = io.Read(off, buf)
 				}
 				if err != nil {
 					log.Printf("v3cli: %v", err)

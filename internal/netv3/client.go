@@ -2,6 +2,7 @@ package netv3
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +44,16 @@ func DefaultClientConfig() ClientConfig {
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("netv3: client closed")
 
+// ErrWaitTimeout is returned by Pending.WaitTimeout when the bound
+// expires before the request completes.
+var ErrWaitTimeout = errors.New("netv3: wait timed out")
+
+// ErrConnLost is the completion status of requests that were outstanding
+// when the connection broke and could not be replayed (reconnection
+// exhausted its attempts). Callers such as cluster layers use it to tell
+// a dead backend from an I/O error the backend itself reported.
+var ErrConnLost = errors.New("netv3: connection lost and reconnection failed")
+
 // Pending is one in-flight request and its completion handle — the TCP
 // counterpart of the cDSA API's async calls plus Poll/Wait
 // (internal/core/api.go calls 5, 6, 9, 10).
@@ -72,6 +83,40 @@ func (h *Pending) Done() bool {
 func (h *Pending) Wait() error {
 	<-h.done
 	return h.err
+}
+
+// WaitTimeout blocks until the request completes or d elapses, returning
+// ErrWaitTimeout in the latter case. Timing out does NOT cancel the
+// request: it stays in flight (and holds its credit slot) until the
+// server responds or the client is closed, and the buffers passed to
+// ReadAsync/WriteAsync must stay untouched until Done reports true.
+// Health probes use this to bound completion waits on a hung backend.
+func (h *Pending) WaitTimeout(d time.Duration) error {
+	select {
+	case <-h.done:
+		return h.err
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-h.done:
+		return h.err
+	case <-t.C:
+		return ErrWaitTimeout
+	}
+}
+
+// WaitContext is the context-aware variant of WaitTimeout: it returns
+// ctx.Err() if the context ends first. The same non-cancellation caveat
+// applies — the request itself keeps running.
+func (h *Pending) WaitContext(ctx context.Context) error {
+	select {
+	case <-h.done:
+		return h.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Client is a DSA-style block client for a netv3 server. It is safe for
@@ -110,7 +155,7 @@ type Client struct {
 	senders atomic.Int32
 	scratch [wire.ControlSize]byte // frame staging; guarded by sendMu
 
-	reconnects int64
+	reconnects atomic.Int64
 }
 
 // Dial connects to a netv3 server.
@@ -195,7 +240,9 @@ func (c *Client) KillConnForTest() {
 }
 
 // Reconnects returns how many times the session has been re-established.
-func (c *Client) Reconnects() int64 { return c.reconnects }
+// The counter is written by the reader goroutine's reconnection path, so
+// the load is atomic — callers may poll it concurrently with I/O.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
 
 // Close tears the session down; outstanding requests fail.
 func (c *Client) Close() error {
@@ -516,7 +563,7 @@ func (c *Client) connectionBroken() {
 			continue
 		}
 		c.reconn.AttemptSucceeded()
-		c.reconnects++
+		c.reconnects.Add(1)
 		c.tracker.Reset(time.Since(c.start))
 		// Replay unacknowledged requests in order on the new session.
 		for _, seq := range c.tracker.Unacked() {
@@ -540,6 +587,6 @@ func (c *Client) connectionBroken() {
 	c.pending = map[uint64]*Pending{}
 	c.closed = true
 	for _, p := range failed {
-		c.finish(p, fmt.Errorf("netv3: connection lost and reconnection failed"))
+		c.finish(p, ErrConnLost)
 	}
 }

@@ -110,6 +110,12 @@ type Server struct {
 	nextSess atomic.Uint64
 	closed   atomic.Bool
 	done     chan struct{} // closed by Close; stops background goroutines
+
+	// connMu/conns track live session sockets so Close can sever them;
+	// without this a closed server would keep serving established
+	// sessions and peers would never observe the shutdown.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // NewServer returns a server with no volumes; add them with AddVolume.
@@ -120,7 +126,7 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxXfer == 0 {
 		cfg.MaxXfer = 1 << 20
 	}
-	s := &Server{cfg: cfg, done: make(chan struct{})}
+	s := &Server{cfg: cfg, done: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 	if !cfg.NoPool {
 		s.pool = bufpool.New()
 	}
@@ -213,6 +219,14 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
+		s.connMu.Lock()
+		if s.closed.Load() {
+			s.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.sessions.Add(1)
 		go s.session(conn)
 	}
@@ -227,7 +241,8 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Close stops accepting, stops the background disk-path goroutines
-// (workers drain their queues first), and closes the listener.
+// (workers drain their queues first), severs every live session, and
+// closes the listener.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
@@ -238,10 +253,17 @@ func (s *Server) Close() error {
 			v.pipe.shutdown()
 		}
 	}
+	var err error
 	if s.ln != nil {
-		return s.ln.Close()
+		err = s.ln.Close()
 	}
-	return nil
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.connMu.Unlock()
+	return err
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -377,7 +399,12 @@ func (w *respWriter) flushPending() error {
 // request runs in its own goroutine and each response is written
 // unbuffered, the seed's dispatch.
 func (s *Server) session(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
 	inline := !s.cfg.NoBatch
 	br := bufio.NewReaderSize(conn, readBufSize(s.cfg.NoBatch))
 	var frame [wire.ControlSize]byte

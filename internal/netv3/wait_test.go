@@ -1,0 +1,191 @@
+package netv3
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/wire"
+)
+
+// startHungServer speaks just enough protocol to complete the handshake,
+// then swallows every request without answering — the shape of a wedged
+// (not dead) backend, which only bounded waits can detect.
+func startHungServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var mu sync.Mutex
+	var conns []net.Conn
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+			go func(conn net.Conn) {
+				if _, err := wire.ReadFrom(conn); err != nil {
+					return
+				}
+				wire.WriteTo(conn, &wire.ConnectResp{
+					Status: wire.StatusOK, Credits: 8, MaxXfer: 1 << 20, SessionID: 1,
+				})
+				// Keep reading so the client's writes never block, but
+				// never respond.
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestPendingWaitTimeout(t *testing.T) {
+	addr := startHungServer(t)
+	cfg := DefaultClientConfig()
+	cfg.ReconnectBackoff = 10 * time.Millisecond
+	cfg.MaxReconnects = 1
+	c, err := Dial(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h, err := c.ReadAsync(1, 0, make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := h.WaitTimeout(50 * time.Millisecond); !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("err=%v, want ErrWaitTimeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("WaitTimeout took %v", d)
+	}
+	// The request is still outstanding; a second bounded wait times out
+	// again rather than panicking or completing.
+	if err := h.WaitTimeout(10 * time.Millisecond); !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("second wait: err=%v, want ErrWaitTimeout", err)
+	}
+}
+
+func TestPendingWaitContext(t *testing.T) {
+	addr := startHungServer(t)
+	c, err := Dial(addr, DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h, err := c.ReadAsync(1, 0, make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if err := h.WaitContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+// TestPendingWaitTimeoutCompleted pins that WaitTimeout on a finished
+// request returns its result immediately, even with a zero bound.
+func TestPendingWaitTimeoutCompleted(t *testing.T) {
+	_, addr := startServer(t, DefaultServerConfig(), 1<<20)
+	c, err := Dial(addr, DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h, err := c.ReadAsync(1, 0, make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitTimeout(0); err != nil {
+		t.Fatalf("completed request reported %v through WaitTimeout", err)
+	}
+	if err := h.WaitContext(context.Background()); err != nil {
+		t.Fatalf("completed request reported %v through WaitContext", err)
+	}
+}
+
+// TestZeroLengthRead pins the health-probe op the cluster vault relies
+// on: a zero-length read is a legal request that completes successfully
+// end-to-end.
+func TestZeroLengthRead(t *testing.T) {
+	_, addr := startServer(t, DefaultServerConfig(), 1<<20)
+	c, err := Dial(addr, DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Read(1, 0, nil); err != nil {
+		t.Fatalf("zero-length read (nil buf): %v", err)
+	}
+	if err := c.Read(1, 0, []byte{}); err != nil {
+		t.Fatalf("zero-length read (empty buf): %v", err)
+	}
+	h, err := c.ReadAsync(1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitTimeout(5 * time.Second); err != nil {
+		t.Fatalf("async zero-length read: %v", err)
+	}
+}
+
+// TestReconnectsCounterConcurrent exercises the Reconnects read path
+// while the connection is being torn down repeatedly; under -race this
+// pins that the counter is accessed atomically.
+func TestReconnectsCounterConcurrent(t *testing.T) {
+	_, addr := startServer(t, DefaultServerConfig(), 1<<20)
+	cfg := DefaultClientConfig()
+	cfg.ReconnectBackoff = 5 * time.Millisecond
+	c, err := Dial(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			_ = c.Reconnects()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		c.KillConnForTest()
+		if err := c.Read(1, 0, make([]byte, 64)); err != nil {
+			t.Fatalf("read after kill %d: %v", i, err)
+		}
+	}
+	<-done
+	if c.Reconnects() < 3 {
+		t.Fatalf("reconnects=%d, want >=3", c.Reconnects())
+	}
+}

@@ -12,6 +12,7 @@ package volume
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Extent is a contiguous byte range on a member device.
@@ -160,13 +161,27 @@ func (s *Stripe) MapWrite(off int64, length int) ([]Extent, error) {
 	return s.MapRead(off, length)
 }
 
+// ErrNoReplica reports a mirror read with every replica masked out.
+var ErrNoReplica = errors.New("volume: every mirror replica is masked")
+
 // Mirror replicates an inner layout n times (RAID-1). Reads rotate over
 // replicas; writes fan out to all of them. Member indices are
 // replica*inner.Members() + innerDisk.
+//
+// A replica may be masked (SetMask) to take it out of the read rotation
+// while it is failed or resynchronizing. Masking affects reads only:
+// MapWrite keeps fanning out to every replica, masked or not, so a
+// cluster layer can see exactly which extents it is *not* sending to the
+// dead replica and record them in its dirty log for resync. Rotation and
+// mask state are guarded by a mutex, so a Mirror is safe for concurrent
+// mapping calls.
 type Mirror struct {
 	inner    Layout
 	replicas int
-	next     int // read rotation
+
+	mu     sync.Mutex
+	next   int // read rotation
+	masked []bool
 }
 
 // NewMirror mirrors inner across replicas copies.
@@ -174,8 +189,45 @@ func NewMirror(inner Layout, replicas int) (*Mirror, error) {
 	if inner == nil || replicas < 2 {
 		return nil, errors.New("volume: mirror needs an inner layout and >= 2 replicas")
 	}
-	return &Mirror{inner: inner, replicas: replicas}, nil
+	return &Mirror{inner: inner, replicas: replicas, masked: make([]bool, replicas)}, nil
 }
+
+// SetMask marks replica as masked (excluded from read rotation) or
+// unmasked. Out-of-range replicas are ignored.
+func (m *Mirror) SetMask(replica int, masked bool) {
+	if replica < 0 || replica >= m.replicas {
+		return
+	}
+	m.mu.Lock()
+	m.masked[replica] = masked
+	m.mu.Unlock()
+}
+
+// Masked reports whether replica is currently masked.
+func (m *Mirror) Masked(replica int) bool {
+	if replica < 0 || replica >= m.replicas {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.masked[replica]
+}
+
+// MaskedCount returns how many replicas are masked.
+func (m *Mirror) MaskedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, v := range m.masked {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Replicas returns the replica count.
+func (m *Mirror) Replicas() int { return m.replicas }
 
 // Size implements Layout.
 func (m *Mirror) Size() int64 { return m.inner.Size() }
@@ -183,15 +235,30 @@ func (m *Mirror) Size() int64 { return m.inner.Size() }
 // Members implements Layout.
 func (m *Mirror) Members() int { return m.inner.Members() * m.replicas }
 
-// MapRead implements Layout: one replica serves the read, chosen
-// round-robin to spread load.
+// MapRead implements Layout: one unmasked replica serves the read,
+// chosen round-robin to spread load. With every replica masked it
+// returns ErrNoReplica.
 func (m *Mirror) MapRead(off int64, length int) ([]Extent, error) {
 	ext, err := m.inner.MapRead(off, length)
 	if err != nil {
 		return nil, err
 	}
-	r := m.next
-	m.next = (m.next + 1) % m.replicas
+	m.mu.Lock()
+	r := -1
+	for i := 0; i < m.replicas; i++ {
+		cand := (m.next + i) % m.replicas
+		if !m.masked[cand] {
+			r = cand
+			break
+		}
+	}
+	if r >= 0 {
+		m.next = (r + 1) % m.replicas
+	}
+	m.mu.Unlock()
+	if r < 0 {
+		return nil, ErrNoReplica
+	}
 	out := make([]Extent, len(ext))
 	for i, e := range ext {
 		e.Disk += r * m.inner.Members()
@@ -200,7 +267,9 @@ func (m *Mirror) MapRead(off int64, length int) ([]Extent, error) {
 	return out, nil
 }
 
-// MapWrite implements Layout: every replica is written.
+// MapWrite implements Layout: every replica is written, including masked
+// ones — the caller owns routing around a failed replica and must track
+// the extents it skips (the dirty log a later resync replays).
 func (m *Mirror) MapWrite(off int64, length int) ([]Extent, error) {
 	ext, err := m.inner.MapWrite(off, length)
 	if err != nil {

@@ -156,6 +156,95 @@ func TestMirrorOverStripe(t *testing.T) {
 	}
 }
 
+// TestMirrorMaskedMemberReads pins the degraded-mode read contract the
+// cluster vault (internal/vvault) relies on: with replica 1 masked,
+// every read maps to replica 0 — rotation never lands on the dead
+// member — and unmasking restores the rotation.
+func TestMirrorMaskedMemberReads(t *testing.T) {
+	inner, _ := NewConcat(100)
+	m, _ := NewMirror(inner, 2)
+	m.SetMask(1, true)
+	if !m.Masked(1) || m.Masked(0) || m.MaskedCount() != 1 {
+		t.Fatalf("mask state wrong: %v %v %d", m.Masked(0), m.Masked(1), m.MaskedCount())
+	}
+	for i := 0; i < 4; i++ {
+		ext, err := m.MapRead(10, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []Extent{{Disk: 0, Offset: 10, Length: 20}}
+		if len(ext) != 1 || ext[0] != want[0] {
+			t.Fatalf("read %d under mask: ext=%v, want %v", i, ext, want)
+		}
+	}
+	m.SetMask(1, false)
+	r1, _ := m.MapRead(0, 10)
+	r2, _ := m.MapRead(0, 10)
+	if r1[0].Disk == r2[0].Disk {
+		t.Fatalf("rotation did not resume after unmask: %v then %v", r1, r2)
+	}
+}
+
+// TestMirrorAllMaskedFails pins the fail-fast contract: a mirror with
+// every replica masked cannot serve reads.
+func TestMirrorAllMaskedFails(t *testing.T) {
+	inner, _ := NewConcat(100)
+	m, _ := NewMirror(inner, 2)
+	m.SetMask(0, true)
+	m.SetMask(1, true)
+	if _, err := m.MapRead(0, 10); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("err=%v, want ErrNoReplica", err)
+	}
+}
+
+// TestMirrorMaskedMemberWrites pins the write fan-out under a mask:
+// MapWrite still returns the masked replica's extents (here replica 1's
+// copy of [30,+20)), which is exactly the extent set vvault records in
+// the dead replica's dirty log and later replays during resync.
+func TestMirrorMaskedMemberWrites(t *testing.T) {
+	inner, _ := NewConcat(100)
+	m, _ := NewMirror(inner, 2)
+	m.SetMask(1, true)
+	w, err := m.MapWrite(30, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Extent{{Disk: 0, Offset: 30, Length: 20}, {Disk: 1, Offset: 30, Length: 20}}
+	if len(w) != 2 || w[0] != want[0] || w[1] != want[1] {
+		t.Fatalf("masked write fan-out: ext=%v, want %v", w, want)
+	}
+}
+
+// TestMirrorOverStripeMasked pins the member-index arithmetic with a
+// nested layout: masking replica 1 of a mirror-over-stripe keeps reads
+// on members 0..1 and writes still cover members 2..3.
+func TestMirrorOverStripeMasked(t *testing.T) {
+	inner, _ := NewStripe(2, 10, 100)
+	m, _ := NewMirror(inner, 2)
+	m.SetMask(1, true)
+	for i := 0; i < 3; i++ {
+		ext, err := m.MapRead(5, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ext {
+			if e.Disk >= 2 {
+				t.Fatalf("read hit masked replica's member: %v", ext)
+			}
+		}
+	}
+	w, _ := m.MapWrite(5, 10)
+	disks := map[int]bool{}
+	for _, e := range w {
+		disks[e.Disk] = true
+	}
+	for _, d := range []int{0, 1, 2, 3} {
+		if !disks[d] {
+			t.Fatalf("write fan-out missing member %d: %v", d, w)
+		}
+	}
+}
+
 func TestMirrorValidation(t *testing.T) {
 	inner, _ := NewConcat(10)
 	if _, err := NewMirror(inner, 1); err == nil {

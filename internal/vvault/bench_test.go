@@ -1,0 +1,208 @@
+package vvault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/netv3"
+)
+
+// benchRecord mirrors the netv3 bench schema so cluster rows land in the
+// same BENCH_JSON file. The netv3 package owns the file (its TestMain
+// rewrites it); this TestMain appends, so `make bench-netv3` runs netv3
+// first and vvault second.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	MeanMicros  float64 `json:"mean_us,omitempty"`
+	BytesPerOp  float64 `json:"alloc_bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchRecords []benchRecord
+)
+
+func record(r benchRecord) {
+	benchMu.Lock()
+	benchRecords = append(benchRecords, r)
+	benchMu.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecords) > 0 {
+		var rows []json.RawMessage
+		if data, err := os.ReadFile(path); err == nil {
+			_ = json.Unmarshal(data, &rows)
+		}
+		for _, r := range benchRecords {
+			if raw, err := json.Marshal(r); err == nil {
+				rows = append(rows, raw)
+			}
+		}
+		if data, err := json.MarshalIndent(rows, "", "  "); err == nil {
+			_ = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
+}
+
+// benchDelay is the injected per-I/O store latency on every backend.
+// The default server config dispatches inline (one request at a time per
+// session), so with a fixed service time the backend count is the
+// concurrency ceiling — exactly what the cluster rows are meant to show.
+const benchDelay = 100 * time.Microsecond
+
+// benchMember is each backend's contribution.
+const benchMember int64 = 32 << 20
+
+type benchSlowStore struct {
+	netv3.BlockStore
+	delay time.Duration
+}
+
+func (s *benchSlowStore) ReadAt(b []byte, off int64) error {
+	time.Sleep(s.delay)
+	return s.BlockStore.ReadAt(b, off)
+}
+
+func (s *benchSlowStore) WriteAt(b []byte, off int64) error {
+	time.Sleep(s.delay)
+	return s.BlockStore.WriteAt(b, off)
+}
+
+// benchCluster starts n delay-injected backends and a vault over them.
+func benchCluster(b *testing.B, mode Mode, n int) (*Vault, []*netv3.Server) {
+	b.Helper()
+	servers := make([]*netv3.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := netv3.NewServer(netv3.DefaultServerConfig())
+		srv.AddVolume(1, &benchSlowStore{BlockStore: netv3.NewMemStore(benchMember), delay: benchDelay})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve()
+		b.Cleanup(func() { srv.Close() })
+		servers[i] = srv
+		addrs[i] = addr.String()
+	}
+	cfg := DefaultConfig(mode)
+	cfg.MemberSize = benchMember
+	cfg.StripeSize = 8192
+	cfg.Client.DialTimeout = time.Second
+	cfg.Client.ReconnectBackoff = 10 * time.Millisecond
+	cfg.Client.MaxReconnects = 1
+	v, err := Open(addrs, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { v.Close() })
+	return v, servers
+}
+
+// clusterReads drives b.N size-aligned reads through the vault from
+// `outstanding` goroutines and returns ops/s. Aligned 8 KB requests on an
+// 8 KB stripe touch exactly one backend each, so striped throughput
+// scales with the member count instead of splitting every request.
+func clusterReads(b *testing.B, v *Vault, size, outstanding int) float64 {
+	b.Helper()
+	region := v.Size()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	t0 := time.Now()
+	for g := 0; g < outstanding; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, size)
+			for {
+				n := next.Add(1) - 1
+				if n >= int64(b.N) {
+					return
+				}
+				off := (n * int64(size)) % (region - int64(size))
+				off -= off % int64(size)
+				if err := v.Read(off, buf); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	b.StopTimer()
+	return float64(b.N) / elapsed.Seconds()
+}
+
+// BenchmarkNetv3ClusterStripe shows RAID-0 scale-out over real TCP
+// backends: the same 8 KB × 16-outstanding workload over 1, 2 and 4
+// members — the paper's case for spanning V3 volumes across nodes.
+func BenchmarkNetv3ClusterStripe(b *testing.B) {
+	const size, outstanding = 8192, 16
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends=%d", n), func(b *testing.B) {
+			v, _ := benchCluster(b, ModeStripe, n)
+			ops := clusterReads(b, v, size, outstanding)
+			b.ReportMetric(ops, "ops/s")
+			b.ReportMetric(ops*size/1e6, "MB/s")
+			record(benchRecord{
+				Name:      fmt.Sprintf("Netv3ClusterStripe/backends=%d/8192x16", n),
+				OpsPerSec: ops, MBPerSec: ops * size / 1e6,
+			})
+		})
+	}
+}
+
+// BenchmarkNetv3ClusterMirrorRead shows RAID-1 read scaling: the rotation
+// spreads reads over the replicas, so read throughput grows with the
+// replica count even though every replica holds the same data.
+func BenchmarkNetv3ClusterMirrorRead(b *testing.B) {
+	const size, outstanding = 8192, 16
+	for _, n := range []int{2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			v, _ := benchCluster(b, ModeMirror, n)
+			ops := clusterReads(b, v, size, outstanding)
+			b.ReportMetric(ops, "ops/s")
+			b.ReportMetric(ops*size/1e6, "MB/s")
+			record(benchRecord{
+				Name:      fmt.Sprintf("Netv3ClusterMirrorRead/replicas=%d/8192x16", n),
+				OpsPerSec: ops, MBPerSec: ops * size / 1e6,
+			})
+		})
+	}
+}
+
+// BenchmarkNetv3ClusterDegraded measures a 2-way mirror serving the read
+// workload with one replica down — the failover overhead: all traffic on
+// the survivor plus the health machinery's bookkeeping.
+func BenchmarkNetv3ClusterDegraded(b *testing.B) {
+	const size, outstanding = 8192, 16
+	v, servers := benchCluster(b, ModeMirror, 2)
+	servers[1].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for v.Status()[1].State != "down" {
+		if time.Now().After(deadline) {
+			b.Fatalf("backend 1 never tripped: %+v", v.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ops := clusterReads(b, v, size, outstanding)
+	b.ReportMetric(ops, "ops/s")
+	b.ReportMetric(ops*size/1e6, "MB/s")
+	record(benchRecord{
+		Name:      "Netv3ClusterDegraded/mirror2-1down/8192x16",
+		OpsPerSec: ops, MBPerSec: ops * size / 1e6,
+	})
+}

@@ -1,0 +1,142 @@
+package vvault
+
+import (
+	"errors"
+	"time"
+
+	"github.com/v3storage/v3/internal/netv3"
+)
+
+// fatalErr reports errors that mean the backend session is gone (as
+// opposed to an I/O status the backend itself returned): connection loss
+// after exhausted reconnects, a closed client, or a completion wait that
+// timed out. These trip the backend immediately instead of counting
+// toward the threshold.
+func fatalErr(err error) bool {
+	return errors.Is(err, netv3.ErrConnLost) ||
+		errors.Is(err, netv3.ErrClosed) ||
+		errors.Is(err, netv3.ErrWaitTimeout)
+}
+
+// recordError charges one failure against a backend: fatal errors trip
+// it at once, others trip after ErrorThreshold consecutive failures.
+func (v *Vault) recordError(b *backend, err error) {
+	if fatalErr(err) {
+		v.trip(b, err)
+		return
+	}
+	if int(b.consec.Add(1)) >= v.cfg.ErrorThreshold {
+		v.trip(b, err)
+	}
+}
+
+// recordSuccess resets the consecutive-error count.
+func (v *Vault) recordSuccess(b *backend) {
+	b.consec.Store(0)
+}
+
+// trip takes a backend out of service: state Down, replica masked out of
+// the mirror read rotation, and the client closed so everything blocked
+// on it (including submitters waiting for credit slots) fails fast. The
+// probe loop owns recovery.
+func (v *Vault) trip(b *backend, cause error) {
+	b.mu.Lock()
+	if b.state.Load() == stateDown {
+		b.mu.Unlock()
+		return
+	}
+	b.state.Store(stateDown)
+	b.trips.Add(1)
+	if v.mirror != nil {
+		v.mirror.SetMask(b.idx, true)
+	}
+	c := b.client
+	b.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	v.logf("vvault: backend %s tripped: %v", b.addr, cause)
+}
+
+// probeLoop is one backend's health driver. While the backend is up it
+// issues a zero-length read of block 0 — the cheapest request the wire
+// protocol can express — and bounds the completion wait, so a hung (not
+// just dead) backend also trips. While the backend is down it attempts a
+// fresh dial; success hands a mirror replica to the resync worker and
+// returns a striped member straight to service (striping has no
+// redundancy to resync from — the backend returns with whatever its
+// store holds, which is intact for a restarted file-backed v3d).
+func (v *Vault) probeLoop(b *backend) {
+	defer v.wg.Done()
+	t := time.NewTicker(v.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-v.done:
+			return
+		case <-t.C:
+		}
+		switch b.state.Load() {
+		case stateUp:
+			v.probeOnce(b)
+		case stateDown:
+			v.tryRecover(b)
+		case stateResync:
+			// The resync worker owns the backend until it finishes or
+			// trips it back to Down.
+		}
+	}
+}
+
+// probeOnce issues the zero-length health read.
+func (v *Vault) probeOnce(b *backend) {
+	c := b.getClient()
+	if c == nil {
+		v.trip(b, errors.New("no client"))
+		return
+	}
+	h, err := c.ReadAsync(v.cfg.Volume, 0, nil)
+	if err != nil {
+		v.recordError(b, err)
+		return
+	}
+	if err := h.WaitTimeout(v.cfg.ProbeTimeout); err != nil {
+		v.recordError(b, err)
+		return
+	}
+	v.recordSuccess(b)
+}
+
+// tryRecover dials a fresh session to a down backend and, on success,
+// puts it back on the road to service.
+func (v *Vault) tryRecover(b *backend) {
+	c, err := netv3.Dial(b.addr, v.cfg.Client)
+	if err != nil {
+		return // still down; next tick retries
+	}
+	b.mu.Lock()
+	if b.state.Load() != stateDown || v.closed.Load() {
+		b.mu.Unlock()
+		c.Close()
+		return
+	}
+	old := b.client
+	b.client = c
+	b.consec.Store(0)
+	if v.mirror != nil {
+		b.state.Store(stateResync)
+	} else {
+		b.state.Store(stateUp)
+	}
+	b.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if v.mirror != nil {
+		v.logf("vvault: backend %s reachable again; resyncing", b.addr)
+		v.wg.Add(1)
+		go v.resyncLoop(b)
+	} else {
+		v.logf("vvault: backend %s back in service", b.addr)
+	}
+}

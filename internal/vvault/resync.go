@@ -1,0 +1,210 @@
+package vvault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxDirtyRanges caps the per-replica dirty log. Past the cap the two
+// ranges with the smallest gap between them are merged — the log loses
+// precision (resync copies the gap too), never data.
+const maxDirtyRanges = 512
+
+// xrange is a half-open dirty byte range [off, end) in the logical
+// volume's address space (which, for a mirror replica, is also the
+// member's address space).
+type xrange struct {
+	off, end int64
+}
+
+// extentLog tracks the ranges written while a replica was out of
+// service: sorted, non-overlapping, adjacent runs merged.
+type extentLog struct {
+	mu     sync.Mutex
+	ranges []xrange
+}
+
+func newExtentLog() *extentLog { return &extentLog{} }
+
+// Add merges [off, off+length) into the log.
+func (l *extentLog) Add(off, length int64) {
+	if length <= 0 {
+		return
+	}
+	end := off + length
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// First range that could touch the new one (its end reaches off).
+	i := sort.Search(len(l.ranges), func(i int) bool { return l.ranges[i].end >= off })
+	j := i
+	for j < len(l.ranges) && l.ranges[j].off <= end {
+		if l.ranges[j].off < off {
+			off = l.ranges[j].off
+		}
+		if l.ranges[j].end > end {
+			end = l.ranges[j].end
+		}
+		j++
+	}
+	l.ranges = append(l.ranges[:i], append([]xrange{{off, end}}, l.ranges[j:]...)...)
+	if len(l.ranges) > maxDirtyRanges {
+		// Merge the pair with the smallest gap; precision for bounded size.
+		best, gap := 0, int64(1)<<62
+		for k := 0; k+1 < len(l.ranges); k++ {
+			if g := l.ranges[k+1].off - l.ranges[k].end; g < gap {
+				best, gap = k, g
+			}
+		}
+		l.ranges[best].end = l.ranges[best+1].end
+		l.ranges = append(l.ranges[:best+1], l.ranges[best+2:]...)
+	}
+}
+
+// take removes and returns every logged range. Ranges added concurrently
+// with or after the call stay for the next take.
+func (l *extentLog) take() []xrange {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := l.ranges
+	l.ranges = nil
+	return out
+}
+
+// empty reports whether the log holds no ranges.
+func (l *extentLog) empty() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ranges) == 0
+}
+
+// stats returns the range count and total dirty bytes.
+func (l *extentLog) stats() (int, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var bytes int64
+	for _, r := range l.ranges {
+		bytes += r.end - r.off
+	}
+	return len(l.ranges), bytes
+}
+
+// resyncLoop replays a recovered replica's dirty ranges from the live
+// replicas, then returns it to service. It runs while the backend is in
+// the Resync state and exits when the replica is clean (→ Up) or fails
+// again (→ Down; the probe loop restarts recovery, and the dirty log —
+// re-stocked with whatever was not replayed — persists across attempts).
+//
+// Convergence under concurrent writes: writes that cannot reach the
+// replica log their extent *after* completing on the live replicas,
+// holding the replica's ioMu read lock across check→complete→log. The
+// final clean check here takes the ioMu write lock, so it cannot pass
+// while such a write is still in flight; any write that completes later
+// must have logged before the check, forcing another replay round.
+func (v *Vault) resyncLoop(b *backend) {
+	defer v.wg.Done()
+	v.resyncs.Add(1)
+	buf := make([]byte, v.cfg.ResyncChunk)
+	for {
+		if v.closed.Load() || b.state.Load() != stateResync {
+			return
+		}
+		ranges := b.dirty.take()
+		if len(ranges) == 0 {
+			// Everything replayed so far: make it durable, then try to
+			// declare the replica clean.
+			if err := v.flushBackend(b); err != nil {
+				v.trip(b, fmt.Errorf("resync flush: %w", err))
+				return
+			}
+			b.ioMu.Lock()
+			done := b.dirty.empty() && b.state.Load() == stateResync
+			if done {
+				b.mu.Lock()
+				b.state.Store(stateUp)
+				b.mu.Unlock()
+				v.mirror.SetMask(b.idx, false)
+			}
+			b.ioMu.Unlock()
+			if done {
+				v.logf("vvault: backend %s resynced and back in rotation", b.addr)
+				return
+			}
+			continue // new writes arrived during the flush; another round
+		}
+	replay:
+		for ri, r := range ranges {
+			cur := r.off
+			for cur < r.end {
+				n := min(r.end-cur, int64(len(buf)))
+				if err := v.readMirror(cur, buf[:n]); err != nil {
+					// No live replica could source the data. The recovered
+					// backend is fine — requeue the tail and retry the whole
+					// pass after a beat.
+					v.requeue(b, ranges[ri+1:], xrange{cur, r.end})
+					v.logf("vvault: resync of %s stalled (source read: %v); will retry", b.addr, err)
+					select {
+					case <-v.done:
+						return
+					case <-time.After(v.cfg.ProbeInterval):
+					}
+					break replay
+				}
+				if err := v.writeBackend(b, cur, buf[:n]); err != nil {
+					v.requeue(b, ranges[ri+1:], xrange{cur, r.end})
+					v.trip(b, fmt.Errorf("resync write [%d,+%d): %w", cur, n, err))
+					return
+				}
+				v.resyncedBytes.Add(n)
+				cur += n
+			}
+		}
+	}
+}
+
+// requeue puts the unreplayed tail of a failed pass back in the log.
+func (v *Vault) requeue(b *backend, rest []xrange, cur xrange) {
+	if cur.off < cur.end {
+		b.dirty.Add(cur.off, cur.end-cur.off)
+	}
+	for _, r := range rest {
+		b.dirty.Add(r.off, r.end-r.off)
+	}
+}
+
+// writeBackend writes data straight to one backend (resync path),
+// chunked to the transfer cap.
+func (v *Vault) writeBackend(b *backend, off int64, data []byte) error {
+	c := b.getClient()
+	if c == nil {
+		return fmt.Errorf("backend %s has no client", b.addr)
+	}
+	deadline := time.Now().Add(v.cfg.IOTimeout)
+	for len(data) > 0 {
+		n := min(len(data), v.maxio)
+		h, err := c.WriteAsync(v.cfg.Volume, off, data[:n])
+		if err != nil {
+			return err
+		}
+		if err := waitUntil(h, deadline); err != nil {
+			return err
+		}
+		data = data[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// flushBackend runs the durability barrier on one backend.
+func (v *Vault) flushBackend(b *backend) error {
+	c := b.getClient()
+	if c == nil {
+		return fmt.Errorf("backend %s has no client", b.addr)
+	}
+	h, err := c.FlushAsync(v.cfg.Volume)
+	if err != nil {
+		return err
+	}
+	return h.WaitTimeout(v.cfg.IOTimeout)
+}

@@ -24,6 +24,10 @@ func FuzzUnmarshal(f *testing.F) {
 		&Disconnect{Header: Header{Seq: 10}, Reason: 1},
 		&Flush{Header: Header{Seq: 11, Ack: 4}, ReqID: 13, Volume: 3},
 		&FlushResp{Header: Header{Seq: 12}, ReqID: 13, Status: StatusOK, Credits: 1},
+		// Zero-length read and its response: the cluster vault's health
+		// probe is exactly this frame, so the codec must keep accepting it.
+		&Read{Header: Header{Seq: 13}, ReqID: 14, Volume: 1, Offset: 0, Length: 0},
+		&ReadResp{Header: Header{Seq: 14}, ReqID: 14, Status: StatusOK, Credits: 1, Length: 0},
 	}
 	for _, m := range seeds {
 		f.Add(Marshal(m))
