@@ -18,8 +18,9 @@ func fatalErr(err error) bool {
 		errors.Is(err, netv3.ErrWaitTimeout)
 }
 
-// recordError charges one failure against a backend: fatal errors trip
-// it at once, others trip after ErrorThreshold consecutive failures.
+// recordError charges one data-path failure against a backend: fatal
+// errors trip it at once, others trip after ErrorThreshold consecutive
+// failures.
 func (v *Vault) recordError(b *backend, err error) {
 	if fatalErr(err) {
 		v.trip(b, err)
@@ -30,9 +31,27 @@ func (v *Vault) recordError(b *backend, err error) {
 	}
 }
 
-// recordSuccess resets the consecutive-error count.
+// recordSuccess resets the data-path consecutive-error count.
 func (v *Vault) recordSuccess(b *backend) {
 	b.consec.Store(0)
+}
+
+// recordProbeError / recordProbeSuccess are the probe loop's versions of
+// the pair above, on a separate counter: a backend can answer probes
+// while failing real I/O, and a passing probe must not keep resetting
+// the count that sporadic data-path errors are accumulating.
+func (v *Vault) recordProbeError(b *backend, err error) {
+	if fatalErr(err) {
+		v.trip(b, err)
+		return
+	}
+	if int(b.probeConsec.Add(1)) >= v.cfg.ErrorThreshold {
+		v.trip(b, err)
+	}
+}
+
+func (v *Vault) recordProbeSuccess(b *backend) {
+	b.probeConsec.Store(0)
 }
 
 // trip takes a backend out of service: state Down, replica masked out of
@@ -52,6 +71,16 @@ func (v *Vault) trip(b *backend, cause error) {
 	}
 	c := b.client
 	b.mu.Unlock()
+	// The backend destages write-behind, so writes it acknowledged since
+	// its last successful flush may not have reached stable storage; if it
+	// crashed it can come back without them. Move them to the dirty log so
+	// resync replays them instead of declaring the replica clean while it
+	// silently diverges from the live copy.
+	if b.unflushed != nil {
+		for _, r := range b.unflushed.take() {
+			b.dirty.Add(r.off, r.end-r.off)
+		}
+	}
 	if c != nil {
 		c.Close()
 	}
@@ -97,14 +126,14 @@ func (v *Vault) probeOnce(b *backend) {
 	}
 	h, err := c.ReadAsync(v.cfg.Volume, 0, nil)
 	if err != nil {
-		v.recordError(b, err)
+		v.recordProbeError(b, err)
 		return
 	}
 	if err := h.WaitTimeout(v.cfg.ProbeTimeout); err != nil {
-		v.recordError(b, err)
+		v.recordProbeError(b, err)
 		return
 	}
-	v.recordSuccess(b)
+	v.recordProbeSuccess(b)
 }
 
 // tryRecover dials a fresh session to a down backend and, on success,
@@ -123,6 +152,10 @@ func (v *Vault) tryRecover(b *backend) {
 	old := b.client
 	b.client = c
 	b.consec.Store(0)
+	b.probeConsec.Store(0)
+	// A backend that was unreachable at Open never contributed its
+	// MaxTransfer; honour it now, before any I/O is chunked for it.
+	v.clampMaxIO(c.MaxTransfer())
 	if v.mirror != nil {
 		b.state.Store(stateResync)
 	} else {

@@ -113,11 +113,14 @@ func (v *Vault) resyncLoop(b *backend) {
 		ranges := b.dirty.take()
 		if len(ranges) == 0 {
 			// Everything replayed so far: make it durable, then try to
-			// declare the replica clean.
+			// declare the replica clean. On flush failure the trip moves
+			// the replayed-but-unflushed ranges back to the dirty log, so
+			// the next recovery attempt replays them again.
 			if err := v.flushBackend(b); err != nil {
 				v.trip(b, fmt.Errorf("resync flush: %w", err))
 				return
 			}
+			b.unflushed.take() // the barrier covered every replay so far
 			b.ioMu.Lock()
 			done := b.dirty.empty() && b.state.Load() == stateResync
 			if done {
@@ -156,6 +159,10 @@ func (v *Vault) resyncLoop(b *backend) {
 					v.trip(b, fmt.Errorf("resync write [%d,+%d): %w", cur, n, err))
 					return
 				}
+				// Replayed but not yet durable: like any acked write, the
+				// range sits in the unflushed log until the resync flush
+				// covers it, so a crash in between re-dirties it.
+				b.unflushed.Add(cur, n)
 				v.resyncedBytes.Add(n)
 				cur += n
 			}
@@ -181,8 +188,9 @@ func (v *Vault) writeBackend(b *backend, off int64, data []byte) error {
 		return fmt.Errorf("backend %s has no client", b.addr)
 	}
 	deadline := time.Now().Add(v.cfg.IOTimeout)
+	maxio := v.maxIO()
 	for len(data) > 0 {
-		n := min(len(data), v.maxio)
+		n := min(len(data), maxio)
 		h, err := c.WriteAsync(v.cfg.Volume, off, data[:n])
 		if err != nil {
 			return err

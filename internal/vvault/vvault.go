@@ -137,8 +137,13 @@ type backend struct {
 	client *netv3.Client
 	state  atomic.Int32
 
-	consec atomic.Int32 // consecutive errors toward the trip threshold
-	trips  atomic.Int64
+	// consec counts consecutive data-path errors, probeConsec consecutive
+	// probe errors. They are separate on purpose: a passing probe says
+	// nothing about the data path, so it must not be able to keep resetting
+	// the counter while sporadic I/O failures accumulate underneath it.
+	consec      atomic.Int32
+	probeConsec atomic.Int32
+	trips       atomic.Int64
 
 	// ioMu orders mirror writes against resync completion: a write holds
 	// the read side from the moment it observes this backend's state
@@ -148,6 +153,13 @@ type backend struct {
 	// clean while a write that will log to it is still in flight.
 	ioMu  sync.RWMutex
 	dirty *extentLog // mirror mode only; nil for stripe
+
+	// unflushed tracks ranges this replica has acknowledged since its last
+	// successful flush (mirror mode only). v3d destages write-behind, so an
+	// acked write is not durable until a flush covers it; if the replica
+	// trips, these ranges move to the dirty log and resync replays them
+	// instead of trusting a possibly-crashed cache.
+	unflushed *extentLog
 }
 
 func (b *backend) getClient() *netv3.Client {
@@ -164,7 +176,10 @@ type Vault struct {
 	mirror   *volume.Mirror // non-nil in mirror mode
 	backends []*backend
 	size     int64
-	maxio    int // per-request transfer cap across backends
+	// maxio is the per-request transfer cap across backends. Atomic because
+	// tryRecover may shrink it when a backend that was unreachable at Open
+	// (so never contributed its MaxTransfer) comes back with a smaller cap.
+	maxio atomic.Int64
 
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -213,7 +228,8 @@ func Open(addrs []string, cfg Config) (*Vault, error) {
 		return nil, errors.New("vvault: mirror mode needs at least two backends")
 	}
 
-	v := &Vault{cfg: cfg, done: make(chan struct{}), maxio: 1 << 20}
+	v := &Vault{cfg: cfg, done: make(chan struct{})}
+	v.maxio.Store(1 << 20)
 	switch cfg.Mode {
 	case ModeStripe:
 		if cfg.MemberSize%cfg.StripeSize != 0 {
@@ -248,15 +264,14 @@ func Open(addrs []string, cfg Config) (*Vault, error) {
 		b := &backend{idx: i, addr: addr}
 		if cfg.Mode == ModeMirror {
 			b.dirty = newExtentLog()
+			b.unflushed = newExtentLog()
 		}
 		c, err := netv3.Dial(addr, cfg.Client)
 		switch {
 		case err == nil:
 			b.client = c
 			b.state.Store(stateUp)
-			if mt := c.MaxTransfer(); mt > 0 && mt < v.maxio {
-				v.maxio = mt
-			}
+			v.clampMaxIO(c.MaxTransfer())
 			live++
 		case cfg.Mode == ModeMirror:
 			// Come up degraded: the replica's content is unknown, so the
@@ -278,8 +293,8 @@ func Open(addrs []string, cfg Config) (*Vault, error) {
 	if live == 0 {
 		return nil, fmt.Errorf("%w: no backend reachable", ErrDegraded)
 	}
-	if v.cfg.ResyncChunk > v.maxio {
-		v.cfg.ResyncChunk = v.maxio
+	if mio := v.maxIO(); v.cfg.ResyncChunk > mio {
+		v.cfg.ResyncChunk = mio
 	}
 
 	for _, b := range v.backends {
@@ -314,6 +329,23 @@ func (v *Vault) Close() error {
 func (v *Vault) logf(format string, args ...any) {
 	if v.cfg.Logger != nil {
 		v.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (v *Vault) maxIO() int { return int(v.maxio.Load()) }
+
+// clampMaxIO shrinks the cluster transfer cap to mt so requests chunked
+// at the cap are never rejected by the smallest backend, including one
+// that joined (or rejoined) after Open.
+func (v *Vault) clampMaxIO(mt int) {
+	if mt <= 0 {
+		return
+	}
+	for {
+		cur := v.maxio.Load()
+		if int64(mt) >= cur || v.maxio.CompareAndSwap(cur, int64(mt)) {
+			return
+		}
 	}
 }
 
@@ -352,16 +384,19 @@ func (v *Vault) Write(off int64, data []byte) error {
 
 // Flush is the cluster-wide durability barrier: it fans out the netv3
 // Flush to every live backend and succeeds only when all of them do.
-// A replica that fails its flush is tripped and (in mirror mode)
-// conservatively marked fully dirty, because which of its acknowledged
-// writes reached stable storage is unknown.
+// A replica that fails its flush is tripped, and the acknowledged writes
+// the barrier was meant to cover go to its dirty log for resync. In
+// mirror mode, replicas that are out of service are routine (their dirty
+// logs carry the debt), but a barrier that reaches no live replica at
+// all guaranteed nothing and returns ErrDegraded.
 func (v *Vault) Flush() error {
 	if v.closed.Load() {
 		return ErrClosed
 	}
 	type inflight struct {
-		b *backend
-		h *netv3.Pending
+		b    *backend
+		h    *netv3.Pending
+		snap []xrange
 	}
 	var issued []inflight
 	var firstErr error
@@ -376,37 +411,54 @@ func (v *Vault) Flush() error {
 		if c == nil {
 			continue
 		}
+		// Snapshot the ranges this barrier covers before issuing it: a
+		// write acked after the snapshot may miss the flush, so it stays
+		// in the unflushed log for the next barrier.
+		var snap []xrange
+		if b.unflushed != nil {
+			snap = b.unflushed.take()
+		}
 		h, err := c.FlushAsync(v.cfg.Volume)
 		if err != nil {
-			v.flushFailed(b, err)
+			v.flushFailed(b, snap, err)
 			if firstErr == nil {
 				firstErr = fmt.Errorf("vvault: flush backend %s: %w", b.addr, err)
 			}
 			continue
 		}
-		issued = append(issued, inflight{b, h})
+		issued = append(issued, inflight{b, h, snap})
 	}
 	deadline := time.Now().Add(v.cfg.IOTimeout)
+	completed := 0
 	for _, f := range issued {
 		if err := waitUntil(f.h, deadline); err != nil {
-			v.flushFailed(f.b, err)
+			v.flushFailed(f.b, f.snap, err)
 			if firstErr == nil {
 				firstErr = fmt.Errorf("vvault: flush backend %s: %w", f.b.addr, err)
 			}
+			continue
 		}
+		completed++
+	}
+	if v.mirror != nil && completed == 0 && firstErr == nil {
+		firstErr = fmt.Errorf("%w: flush reached no live replica", ErrDegraded)
 	}
 	return firstErr
 }
 
-// flushFailed handles a failed durability barrier on one backend: trip
-// it, and in mirror mode mark it fully dirty.
-func (v *Vault) flushFailed(b *backend, cause error) {
-	v.trip(b, fmt.Errorf("flush failed: %w", cause))
+// flushFailed handles a failed durability barrier on one backend: the
+// acked-but-unflushed ranges the barrier should have covered go to the
+// dirty log so resync replays them, then the backend is tripped (which
+// also moves over anything acked after the snapshot).
+func (v *Vault) flushFailed(b *backend, snap []xrange, cause error) {
 	if b.dirty != nil {
 		b.ioMu.RLock()
-		b.dirty.Add(0, v.size)
+		for _, r := range snap {
+			b.dirty.Add(r.off, r.end-r.off)
+		}
 		b.ioMu.RUnlock()
 	}
+	v.trip(b, fmt.Errorf("flush failed: %w", cause))
 }
 
 // readStripe reads one striped request: all covered backends must be up,
@@ -461,6 +513,7 @@ type extentIO struct {
 func (v *Vault) issueExtents(ext []volume.Extent, buf []byte, write bool) ([]extentIO, map[*backend]error, error) {
 	handles := make([]extentIO, 0, len(ext))
 	berrs := make(map[*backend]error)
+	maxio := v.maxIO()
 	cur := 0
 	for _, e := range ext {
 		b := v.backends[e.Disk]
@@ -475,8 +528,8 @@ func (v *Vault) issueExtents(ext []volume.Extent, buf []byte, write bool) ([]ext
 		memberOff := e.Offset
 		for len(part) > 0 {
 			n := len(part)
-			if n > v.maxio {
-				n = v.maxio
+			if n > maxio {
+				n = maxio
 			}
 			var h *netv3.Pending
 			var err error
@@ -562,8 +615,11 @@ func (v *Vault) readMirror(off int64, buf []byte) error {
 // bytes in parallel; down or resyncing replicas have the extent recorded
 // in their dirty log — after the live writes complete, under the ioMu
 // read lock, so the resync worker cannot declare the replica clean while
-// this write still owes it a log entry. The write succeeds when at least
-// one replica accepted every byte.
+// this write still owes it a log entry. A live replica that fails its
+// write is tripped on the spot: its copy of the extent is suspect, and
+// it must leave the read rotation before it can serve that staleness
+// back. The write succeeds when at least one replica accepted every
+// byte.
 func (v *Vault) writeMirror(off int64, data []byte) error {
 	ext, err := v.layout.MapWrite(off, len(data))
 	if err != nil {
@@ -602,13 +658,21 @@ func (v *Vault) writeMirror(off int64, data []byte) error {
 	for _, b := range issuedTo {
 		if berrs[b] == nil {
 			succeeded++
+			// Acked is not durable: the backend destages write-behind, so
+			// the range stays in the unflushed log until a flush covers it.
+			b.unflushed.Add(off, int64(len(data)))
 			b.ioMu.RUnlock()
 			continue
 		}
 		// The replica failed mid-write: its copy of the extent is suspect,
-		// so it owes a resync of the full range, like a skipped replica.
+		// so it owes a resync of the full range, like a skipped replica —
+		// and it cannot stay in the read rotation with unreplayed dirty
+		// extents, or a rotated read could return stale data after this
+		// write reported success. Trip it now rather than waiting for the
+		// error threshold (which a passing probe must not outpace).
 		b.dirty.Add(off, int64(len(data)))
 		b.ioMu.RUnlock()
+		v.trip(b, fmt.Errorf("mirror write [%d,+%d): %w", off, len(data), berrs[b]))
 	}
 	for _, b := range skipped {
 		b.dirty.Add(off, int64(len(data)))
@@ -658,7 +722,7 @@ func (v *Vault) Stats() Stats {
 type BackendStatus struct {
 	Addr        string
 	State       string
-	Consecutive int   // consecutive errors toward the trip threshold
+	Consecutive int   // consecutive errors toward the trip threshold (worse of data path and probe)
 	Trips       int64 // times this backend went Down
 	Reconnects  int64 // netv3 session re-establishments on the current client
 	DirtyRanges int   // extents awaiting resync (mirror mode)
@@ -669,10 +733,14 @@ type BackendStatus struct {
 func (v *Vault) Status() []BackendStatus {
 	out := make([]BackendStatus, len(v.backends))
 	for i, b := range v.backends {
+		consec := b.consec.Load()
+		if p := b.probeConsec.Load(); p > consec {
+			consec = p
+		}
 		s := BackendStatus{
 			Addr:        b.addr,
 			State:       stateName(b.state.Load()),
-			Consecutive: int(b.consec.Load()),
+			Consecutive: int(consec),
 			Trips:       b.trips.Load(),
 		}
 		if c := b.getClient(); c != nil {

@@ -19,7 +19,14 @@ import (
 // it back with the replica's data intact.
 func startBackend(t *testing.T, store netv3.BlockStore, addr string) (*netv3.Server, string) {
 	t.Helper()
-	srv := netv3.NewServer(netv3.DefaultServerConfig())
+	return startBackendCfg(t, store, addr, netv3.DefaultServerConfig())
+}
+
+// startBackendCfg is startBackend with a custom server config, for tests
+// that need a backend with e.g. a smaller transfer bound.
+func startBackendCfg(t *testing.T, store netv3.BlockStore, addr string, cfg netv3.ServerConfig) (*netv3.Server, string) {
+	t.Helper()
+	srv := netv3.NewServer(cfg)
 	srv.AddVolume(1, store)
 	a, err := srv.Listen(addr)
 	if err != nil {
@@ -28,6 +35,21 @@ func startBackend(t *testing.T, store netv3.BlockStore, addr string) (*netv3.Ser
 	go srv.Serve()
 	t.Cleanup(func() { srv.Close() })
 	return srv, a.String()
+}
+
+// faultStore wraps a MemStore with switchable write failures, so a
+// backend can stay reachable (probes pass) while its data path fails —
+// the exact shape of fault the error accounting must not be blind to.
+type faultStore struct {
+	*netv3.MemStore
+	failWrites atomic.Bool
+}
+
+func (f *faultStore) WriteAt(b []byte, off int64) error {
+	if f.failWrites.Load() {
+		return errors.New("injected write fault")
+	}
+	return f.MemStore.WriteAt(b, off)
 }
 
 // testConfig returns a Config with failover timings tightened for tests.
@@ -343,6 +365,11 @@ func TestMirrorAllReplicasDown(t *testing.T) {
 	if err := v.Write(0, make([]byte, 512)); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("write with all replicas down: err=%v, want ErrDegraded", err)
 	}
+	// The durability barrier must not report success when it reached no
+	// replica at all.
+	if err := v.Flush(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("flush with all replicas down: err=%v, want ErrDegraded", err)
+	}
 }
 
 // TestMirrorOpenWithDeadReplica: the vault comes up degraded when a
@@ -458,6 +485,156 @@ func TestVaultUsesMirrorMapping(t *testing.T) {
 		t.Fatalf("rotation did not spread reads: A=%d B=%d", srvA.Served(), srvB.Served())
 	}
 	_ = volume.Extent{} // keep the volume import honest about intent
+}
+
+// TestMirrorWriteFailureTripsReplica pins the no-stale-reads contract: a
+// replica whose mirror write fails keeps answering probes, but it now
+// holds stale data for an extent the vault acknowledged — so it must
+// leave the read rotation immediately, not linger Up until an error
+// threshold that passing probes keep resetting.
+func TestMirrorWriteFailureTripsReplica(t *testing.T) {
+	const member = 1 << 20
+	storeA := netv3.NewMemStore(member)
+	storeB := &faultStore{MemStore: netv3.NewMemStore(member)}
+	_, addrA := startBackend(t, storeA, "127.0.0.1:0")
+	_, addrB := startBackend(t, storeB, "127.0.0.1:0")
+	v, err := Open([]string{addrA, addrB}, testConfig(ModeMirror, member))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	const off = 65536
+	stale := pattern(off, 1, 8192)
+	if err := v.Write(off, stale); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One write fails on B (which keeps serving reads and probes). The
+	// vault write still succeeds — A took it — but B is now stale there.
+	storeB.failWrites.Store(true)
+	fresh := pattern(off, 2, 8192)
+	if err := v.Write(off, fresh); err != nil {
+		t.Fatalf("mirror write with one faulty replica: %v", err)
+	}
+	waitForState(t, v, 1, "down", 10*time.Second)
+
+	// Every read must serve the acknowledged data; a rotation onto B
+	// would hand back the stale generation.
+	got := make([]byte, len(fresh))
+	for i := 0; i < 16; i++ {
+		if err := v.Read(off, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fresh) {
+			t.Fatalf("read %d returned stale data after acknowledged write", i)
+		}
+	}
+
+	// Heal the store: resync replays the dirty extent and the replicas
+	// converge again.
+	storeB.failWrites.Store(false)
+	waitForState(t, v, 1, "up", 20*time.Second)
+	if err := v.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bufA, bufB := make([]byte, 8192), make([]byte, 8192)
+	if err := storeA.ReadAt(bufA, off); err != nil {
+		t.Fatal(err)
+	}
+	if err := storeB.ReadAt(bufB, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA, bufB) || !bytes.Equal(bufA, fresh) {
+		t.Fatal("replicas did not converge on the acknowledged write after resync")
+	}
+}
+
+// TestTripMarksUnflushedWritesDirty pins the write-behind hazard: v3d
+// acknowledges writes before destaging them, so a write acked by a
+// replica that then crashes may be lost — the trip must leave it in the
+// dirty log for resync even though the write itself never failed.
+func TestTripMarksUnflushedWritesDirty(t *testing.T) {
+	const member = 1 << 20
+	storeA, storeB := netv3.NewMemStore(member), netv3.NewMemStore(member)
+	_, addrA := startBackend(t, storeA, "127.0.0.1:0")
+	srvB, addrB := startBackend(t, storeB, "127.0.0.1:0")
+	v, err := Open([]string{addrA, addrB}, testConfig(ModeMirror, member))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	// A flushed write is durable everywhere: it must NOT come back dirty.
+	if err := v.Write(0, pattern(0, 1, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// An acked-but-unflushed write is durable nowhere on B if B crashes.
+	const off = 131072
+	if err := v.Write(off, pattern(off, 2, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	srvB.Close()
+	waitForState(t, v, 1, "down", 10*time.Second)
+	st := v.Status()[1]
+	if st.DirtyBytes != 8192 || st.DirtyRanges != 1 {
+		t.Fatalf("dirty log after crash = %d bytes in %d ranges, want exactly the unflushed write (8192 in 1)", st.DirtyBytes, st.DirtyRanges)
+	}
+}
+
+// TestRecoveredBackendClampsMaxTransfer pins recovery against a backend
+// whose transfer bound is smaller than the cluster's: a replica that was
+// unreachable at Open must contribute its MaxTransfer when it joins, or
+// resync and mirror writes chunked at the old cap would be rejected and
+// wedge recovery.
+func TestRecoveredBackendClampsMaxTransfer(t *testing.T) {
+	const member = 256 << 10
+	storeA, storeB := netv3.NewMemStore(member), netv3.NewMemStore(member)
+	_, addrA := startBackend(t, storeA, "127.0.0.1:0")
+	addrB := deadAddr(t)
+	v, err := Open([]string{addrA, addrB}, testConfig(ModeMirror, member))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if err := v.Write(0, pattern(0, 1, member)); err != nil {
+		t.Fatal(err)
+	}
+
+	// B joins late with a 64 KB bound; the whole volume is pre-dirtied,
+	// so resync itself must already honour the smaller cap.
+	smallCfg := netv3.DefaultServerConfig()
+	smallCfg.MaxXfer = 64 << 10
+	startBackendCfg(t, storeB, addrB, smallCfg)
+	waitForState(t, v, 1, "up", 20*time.Second)
+	if got := v.maxIO(); got != 64<<10 {
+		t.Fatalf("maxIO after recovery = %d, want %d", got, 64<<10)
+	}
+
+	// A transfer above B's bound still succeeds, chunked at the new cap.
+	data := pattern(0, 3, 128<<10)
+	if err := v.Write(0, data); err != nil {
+		t.Fatalf("large write after clamp: %v", err)
+	}
+	if err := v.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bufA, bufB := make([]byte, len(data)), make([]byte, len(data))
+	if err := storeA.ReadAt(bufA, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := storeB.ReadAt(bufB, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA, data) || !bytes.Equal(bufB, data) {
+		t.Fatal("replicas diverged after clamped large write")
+	}
 }
 
 func TestZeroLengthProbeOp(t *testing.T) {
