@@ -11,6 +11,7 @@
 //	v3cli -addr host:9300 flush
 //	v3cli -addr host:9300 bench -n 1000 -size 8192 -depth 8
 //	v3cli -addr host:9300 bench -n 100000 -size 8192 -window 16   # async pipeline
+//	v3cli -addr host:9300 breakdown -n 20000 -size 8192 -window 16
 //
 //	v3cli -servers a:9300,b:9300 -stripe -size 67108864 bench -n 100000
 //	v3cli -servers a:9300,b:9300 -mirror -size 67108864 write 4096 "hello"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"github.com/v3storage/v3/internal/netv3"
+	"github.com/v3storage/v3/internal/obs"
 	"github.com/v3storage/v3/internal/vvault"
 )
 
@@ -60,13 +62,14 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "v3cli: need a command: read | write | flush | status | bench")
+		fmt.Fprintln(os.Stderr, "v3cli: need a command: read | write | flush | status | bench | breakdown")
 		os.Exit(2)
 	}
 
 	var io blockIO
 	var vault *vvault.Vault
 	var client *netv3.Client
+	var clientReg *obs.Registry
 	if *servers != "" {
 		if *mirror == *stripe {
 			log.Fatal("v3cli: cluster mode needs exactly one of -mirror or -stripe")
@@ -87,12 +90,20 @@ func main() {
 		defer v.Close()
 		vault, io = v, v
 	} else {
-		c, err := netv3.Dial(*addr, netv3.DefaultClientConfig())
+		ccfg := netv3.DefaultClientConfig()
+		// The breakdown command needs the client's stage trace enabled
+		// from the first request, so the registry attaches before Dial.
+		var reg *obs.Registry
+		if args[0] == "breakdown" {
+			reg = obs.New()
+			ccfg.Metrics = reg
+		}
+		c, err := netv3.Dial(*addr, ccfg)
 		if err != nil {
 			log.Fatalf("v3cli: %v", err)
 		}
 		defer c.Close()
-		client, io = c, singleIO{c, uint32(*vol)}
+		client, clientReg, io = c, reg, singleIO{c, uint32(*vol)}
 	}
 
 	switch args[0] {
@@ -147,9 +158,84 @@ func main() {
 		} else {
 			runBench(io, *n, *size, *depth, region, *writes)
 		}
+	case "breakdown":
+		if client == nil {
+			log.Fatal("v3cli: breakdown needs single-server mode (-addr)")
+		}
+		fs := flag.NewFlagSet("breakdown", flag.ExitOnError)
+		n := fs.Int("n", 20000, "I/Os")
+		size := fs.Int("size", 8192, "request size")
+		window := fs.Int("window", 16, "async pipeline depth")
+		writes := fs.Bool("writes", false, "write instead of read")
+		_ = fs.Parse(args[1:])
+		runBreakdown(client, clientReg, uint32(*vol), *n, *size, *window, *writes)
 	default:
 		log.Fatalf("v3cli: unknown command %q", args[0])
 	}
+}
+
+// runBreakdown drives the async-window workload with the client's stage
+// trace enabled and prints the paper-style per-stage latency table. Each
+// traced request's end-to-end time is also measured at the call site
+// (submit → Wait return), so the table's stage-sum row can be checked
+// against an independently measured mean over the same sampled
+// population.
+func runBreakdown(c *netv3.Client, reg *obs.Registry, vol uint32, n, size, window int, writes bool) {
+	if window < 1 {
+		window = 1
+	}
+	bufs := make([][]byte, window)
+	for i := range bufs {
+		bufs[i] = make([]byte, size)
+	}
+	handles := make([]*netv3.Pending, window)
+	starts := make([]time.Time, window)
+	var e2e time.Duration
+	count, done := 0, 0
+	reap := func(s int) {
+		if handles[s] == nil {
+			return
+		}
+		if err := handles[s].Wait(); err != nil {
+			log.Fatalf("v3cli: %v", err)
+		}
+		if handles[s].Traced() {
+			e2e += time.Since(starts[s])
+			count++
+		}
+		done++
+		handles[s] = nil
+	}
+	for i := 0; i < n; i++ {
+		s := i % window
+		reap(s)
+		off := int64(i*size) % (1 << 20)
+		starts[s] = time.Now()
+		var h *netv3.Pending
+		var err error
+		if writes {
+			h, err = c.WriteAsync(vol, off, bufs[s])
+		} else {
+			h, err = c.ReadAsync(vol, off, bufs[s])
+		}
+		if err != nil {
+			log.Fatalf("v3cli: %v", err)
+		}
+		handles[s] = h
+	}
+	for s := range handles {
+		reap(s)
+	}
+	if count == 0 {
+		log.Fatal("v3cli: no traced I/Os completed")
+	}
+	op := "reads"
+	if writes {
+		op = "writes"
+	}
+	fmt.Printf("%d %s of %d bytes, window %d (%d stage-traced)\n", done, op, size, window, count)
+	rows := obs.Breakdown(reg, netv3.ClientStageDefs())
+	fmt.Print(obs.FormatBreakdown(rows, float64(e2e.Nanoseconds())/float64(count)))
 }
 
 // printStatus renders the vault's per-backend health table.
@@ -158,14 +244,17 @@ func printStatus(v *vvault.Vault) {
 	for i, st := range v.Status() {
 		fmt.Printf("backend %d %-21s %-7s consec=%d trips=%d reconnects=%d",
 			i, st.Addr, st.State, st.Consecutive, st.Trips, st.Reconnects)
+		if st.LastProbeRTT > 0 {
+			fmt.Printf(" probe_rtt=%v", st.LastProbeRTT)
+		}
 		if st.DirtyBytes > 0 {
-			fmt.Printf(" dirty=%dB/%d ranges", st.DirtyBytes, st.DirtyRanges)
+			fmt.Printf(" resync_remaining=%dB/%d ranges", st.DirtyBytes, st.DirtyRanges)
 		}
 		fmt.Println()
 	}
 	s := v.Stats()
-	fmt.Printf("degraded_reads=%d degraded_writes=%d resyncs=%d resynced_bytes=%d\n",
-		s.DegradedReads, s.DegradedWrites, s.Resyncs, s.ResyncedBytes)
+	fmt.Printf("degraded_reads=%d degraded_writes=%d degraded_seconds=%.1f resyncs=%d resynced_bytes=%d\n",
+		s.DegradedReads, s.DegradedWrites, s.DegradedSeconds, s.Resyncs, s.ResyncedBytes)
 }
 
 // runAsyncBench drives the async API from one goroutine, keeping up to

@@ -8,19 +8,25 @@
 //	v3d -addr :9300 -cache 4096 -shards 32 -stats 10s
 //	v3d -addr :9300 -file /data/vol.img -size 1G -cache 4096 -workers 8
 //	v3d -addr :9300 -cache 4096 -workers 8 -nowritebehind -noprefetch
+//	v3d -addr :9300 -metrics :9400             # Prometheus text + JSON snapshot
 //	v3d -addr :9300 -nopool -nobatch           # seed-equivalent baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/v3storage/v3/internal/netv3"
+	"github.com/v3storage/v3/internal/obs"
 )
 
 func parseSize(s string) (int64, error) {
@@ -55,6 +61,7 @@ func main() {
 	noPrefetch := flag.Bool("noprefetch", false, "disable sequential read-ahead")
 	dirtyMax := flag.Int("dirtymax", 0, "dirty-block high-watermark before write-through fallback (0 = cache/2)")
 	stats := flag.Duration("stats", 0, "log served/cache/pool counters at this interval (0 = off)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus text and JSON metrics on this address (e.g. :9400; empty = off)")
 	flag.Parse()
 
 	size, err := parseSize(*sizeStr)
@@ -73,6 +80,11 @@ func main() {
 	cfg.NoPrefetch = *noPrefetch
 	cfg.DirtyHighWater = *dirtyMax
 	cfg.Logger = log.New(os.Stderr, "v3d: ", log.LstdFlags)
+	var reg *obs.Registry
+	if *metricsAddr != "" || *stats > 0 {
+		reg = obs.New()
+	}
+	cfg.Metrics = reg
 	srv := netv3.NewServer(cfg)
 
 	var store netv3.BlockStore
@@ -92,26 +104,55 @@ func main() {
 		log.Fatalf("v3d: %v", err)
 	}
 	log.Printf("v3d: serving volume 1 (%d bytes) on %s", size, bound)
+
+	// done is closed once Serve returns so the stats ticker goroutine
+	// exits instead of leaking (time.Tick can never be stopped).
+	done := make(chan struct{})
+	if *metricsAddr != "" {
+		msrv := &http.Server{Addr: *metricsAddr, Handler: obs.Handler(reg)}
+		go func() {
+			log.Printf("v3d: metrics on http://%s/metrics (add ?format=json for the snapshot)", *metricsAddr)
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("v3d: metrics server: %v", err)
+			}
+		}()
+		go func() {
+			<-done
+			msrv.Close()
+		}()
+	}
 	if *stats > 0 {
 		go func() {
-			for range time.Tick(*stats) {
-				hits, misses := srv.CacheStats()
-				ps := srv.PoolStats()
-				log.Printf("v3d: served=%d sessions=%d cache=%d/%d hit/miss pool=%d/%d get/alloc",
-					srv.Served(), srv.Sessions(), hits, misses, ps.Gets, ps.Allocs)
-				ds := srv.DiskStats()
-				hitPct := 0.0
-				if ds.PrefetchFills > 0 {
-					hitPct = 100 * float64(ds.PrefetchHits) / float64(ds.PrefetchFills)
+			t := time.NewTicker(*stats)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
 				}
-				log.Printf("v3d: disk dirty=%d orphans=%d destage=%d runs/%d blks hist(1,2,4,8,16,32,64)=%v wt-fallback=%d prefetch=%d/%d fills/hits (%.1f%%) dropped=%d inline=%d",
-					ds.DirtyBlocks, ds.OrphanBlocks, ds.DestageRuns, ds.DestagedBlocks,
-					ds.DestageBatchHist, ds.WriteThroughFallbacks,
-					ds.PrefetchFills, ds.PrefetchHits, hitPct, ds.PrefetchDropped, ds.InlineFallbacks)
+				snap := reg.Snapshot()
+				line, err := json.Marshal(snap)
+				if err != nil {
+					log.Printf("v3d: stats snapshot: %v", err)
+					continue
+				}
+				log.Printf("v3d: stats %s", line)
 			}
 		}()
 	}
-	if err := srv.Serve(); err != nil {
+	// SIGINT/SIGTERM stop the server cleanly so deferred destage passes
+	// run and the stats/metrics goroutines wind down.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("v3d: %v; shutting down", s)
+		srv.Close()
+	}()
+	err = srv.Serve()
+	close(done)
+	if err != nil {
 		log.Fatalf("v3d: %v", err)
 	}
 }

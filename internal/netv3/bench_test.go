@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/v3storage/v3/internal/obs"
 	"github.com/v3storage/v3/internal/wire"
 )
 
@@ -240,6 +241,50 @@ func BenchmarkNetv3Ablation(b *testing.B) {
 			record(benchRecord{
 				Name: "Netv3Ablation/" + dc.name + "/8192seq", OpsPerSec: ops,
 				MBPerSec: ops * 8192 / 1e6,
+			})
+		})
+	}
+}
+
+// BenchmarkNetv3Obs is the observability ablation: the standard
+// 8 KB × 16 pipelined read workload with the full metrics stack enabled
+// (client stage trace + server histograms and gauges) against the
+// nil-registry fast path. The acceptance bar for the obs layer is that
+// "on" stays within 3% ops/s of "off".
+func BenchmarkNetv3Obs(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultServerConfig()
+			cfg.CacheBlocks = 4096
+			ccfg := DefaultClientConfig()
+			if on {
+				cfg.Metrics = obs.New()
+				ccfg.Metrics = obs.New()
+			}
+			srv := NewServer(cfg)
+			srv.AddVolume(1, NewMemStore(64<<20))
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve()
+			b.Cleanup(func() { srv.Close() })
+			c, err := Dial(addr.String(), ccfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			elapsed, bpo, _ := pipelineReads(b, c, 8192, 16)
+			ops := float64(b.N) / elapsed.Seconds()
+			b.ReportMetric(ops, "ops/s")
+			b.ReportMetric(bpo, "alloc-B/op")
+			record(benchRecord{
+				Name: "Netv3Obs/" + name + "/8192x16", OpsPerSec: ops,
+				MBPerSec: ops * 8192 / 1e6, BytesPerOp: bpo,
 			})
 		})
 	}

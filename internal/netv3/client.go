@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/v3storage/v3/internal/flow"
+	"github.com/v3storage/v3/internal/obs"
 	"github.com/v3storage/v3/internal/reliable"
 	"github.com/v3storage/v3/internal/wire"
 )
@@ -30,6 +31,12 @@ type ClientConfig struct {
 	// NoBatch disables submission frame batching (ablation: every request
 	// is flushed to the socket individually).
 	NoBatch bool
+	// Metrics, when non-nil, enables the client's stage trace: every
+	// request's submit → frame-stage → wire-write → server+net →
+	// delivery → wakeup timestamps aggregate into per-stage histograms
+	// (see ClientStageDefs) on this registry. Nil is the disabled fast
+	// path — capture sites cost one branch.
+	Metrics *obs.Registry
 }
 
 // DefaultClientConfig returns production defaults.
@@ -58,6 +65,7 @@ var ErrConnLost = errors.New("netv3: connection lost and reconnection failed")
 // counterpart of the cDSA API's async calls plus Poll/Wait
 // (internal/core/api.go calls 5, 6, 9, 10).
 type Pending struct {
+	c    *Client
 	seq  uint64
 	slot uint32       // credit slot held until completion
 	msg  wire.Message // for replay after reconnection
@@ -65,6 +73,30 @@ type Pending struct {
 	buf  []byte       // read destination
 	err  error        // completion status; valid once done is closed
 	done chan struct{}
+
+	// Stage-trace timestamps (obs.Now nanos), populated only when the
+	// client has a metrics registry: t0 submit entry, t1 frame staged,
+	// t2 socket write done, t3 response frame decoded, t4 completion
+	// published. The wakeup stamp is taken by whichever Wait/Done call
+	// first observes the completion; recorded makes the trace fold into
+	// the histograms exactly once.
+	t0, t1, t2, t3, t4 int64
+	recorded           atomic.Bool
+}
+
+// finishTrace folds the request's stage trace into the client's
+// histograms, once, from the first waiter to observe completion. A
+// request without a full trace (metrics disabled, or failed before a
+// response arrived) records nothing.
+func (h *Pending) finishTrace() {
+	c := h.c
+	if c == nil || c.om == nil || h.t0 == 0 || h.t3 == 0 {
+		return
+	}
+	if !h.recorded.CompareAndSwap(false, true) {
+		return
+	}
+	c.om.recordTrace(h.t0, h.t1, h.t2, h.t3, h.t4, obs.Now())
 }
 
 // Done reports without blocking whether the request has completed — the
@@ -72,6 +104,7 @@ type Pending struct {
 func (h *Pending) Done() bool {
 	select {
 	case <-h.done:
+		h.finishTrace()
 		return true
 	default:
 		return false
@@ -82,6 +115,7 @@ func (h *Pending) Done() bool {
 // be called any number of times, from any goroutine.
 func (h *Pending) Wait() error {
 	<-h.done
+	h.finishTrace()
 	return h.err
 }
 
@@ -94,6 +128,7 @@ func (h *Pending) Wait() error {
 func (h *Pending) WaitTimeout(d time.Duration) error {
 	select {
 	case <-h.done:
+		h.finishTrace()
 		return h.err
 	default:
 	}
@@ -101,8 +136,12 @@ func (h *Pending) WaitTimeout(d time.Duration) error {
 	defer t.Stop()
 	select {
 	case <-h.done:
+		h.finishTrace()
 		return h.err
 	case <-t.C:
+		if h.c != nil {
+			h.c.waitTimeouts.Add(1)
+		}
 		return ErrWaitTimeout
 	}
 }
@@ -113,6 +152,7 @@ func (h *Pending) WaitTimeout(d time.Duration) error {
 func (h *Pending) WaitContext(ctx context.Context) error {
 	select {
 	case <-h.done:
+		h.finishTrace()
 		return h.err
 	case <-ctx.Done():
 		return ctx.Err()
@@ -155,7 +195,12 @@ type Client struct {
 	senders atomic.Int32
 	scratch [wire.ControlSize]byte // frame staging; guarded by sendMu
 
-	reconnects atomic.Int64
+	om       *clientObs    // stage-trace histograms; nil when Metrics is unset
+	traceCtr atomic.Uint64 // submit counter driving 1-in-traceSample tracing
+
+	reconnects   atomic.Int64
+	retries      atomic.Int64 // requests replayed after a reconnect
+	waitTimeouts atomic.Int64 // WaitTimeout expiries observed by callers
 }
 
 // Dial connects to a netv3 server.
@@ -170,6 +215,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		tracker: reliable.NewTracker(0, 0),
 		reconn:  reliable.NewReconnector(cfg.ReconnectBackoff, cfg.MaxReconnects),
 		start:   time.Now(),
+		om:      newClientObs(cfg.Metrics),
 	}
 	if err := c.connectLocked(); err != nil {
 		return nil, err
@@ -243,6 +289,35 @@ func (c *Client) KillConnForTest() {
 // The counter is written by the reader goroutine's reconnection path, so
 // the load is atomic — callers may poll it concurrently with I/O.
 func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// ClientStats is a point-in-time snapshot of the client's health
+// counters — the submission-side visibility the server has always had.
+type ClientStats struct {
+	// InFlight is the number of requests submitted but not yet completed
+	// (each holds a credit slot).
+	InFlight int
+	// Retries counts requests replayed onto a fresh session after a
+	// reconnect; Reconnects counts the sessions themselves.
+	Retries    int64
+	Reconnects int64
+	// WaitTimeouts counts Pending.WaitTimeout expiries observed by
+	// callers (the request itself stays in flight).
+	WaitTimeouts int64
+}
+
+// Stats snapshots the client's counters; safe to call concurrently with
+// I/O.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	inflight := len(c.pending)
+	c.mu.Unlock()
+	return ClientStats{
+		InFlight:     inflight,
+		Retries:      c.retries.Load(),
+		Reconnects:   c.reconnects.Load(),
+		WaitTimeouts: c.waitTimeouts.Load(),
+	}
+}
 
 // Close tears the session down; outstanding requests fail.
 func (c *Client) Close() error {
@@ -333,8 +408,16 @@ const (
 )
 
 func (c *Client) submit(op int, vol uint32, off int64, buf, data []byte) (*Pending, error) {
+	// Stage trace starts at API entry, so the submission stage includes
+	// any credit-window wait — the cost a caller actually experiences.
+	// Only every traceSample-th request is traced; the rest pay one
+	// counter increment here and zero-value branches downstream.
+	var t0 int64
+	if c.om != nil && c.traceCtr.Add(1)%traceSample == 0 {
+		t0 = obs.Now()
+	}
 	slot := <-c.creditC
-	p := &Pending{slot: slot, done: make(chan struct{})}
+	p := &Pending{c: c, slot: slot, done: make(chan struct{}), t0: t0}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -369,7 +452,7 @@ func (c *Client) submit(op int, vol uint32, off int64, buf, data []byte) (*Pendi
 	// The network write happens outside mu: a slow or blocking send no
 	// longer stalls other submitters' bookkeeping or the reader's
 	// completion path.
-	if err := c.send(gen, p.msg, p.body); err != nil {
+	if err := c.send(gen, p, p.msg, p.body); err != nil {
 		c.connectionBroken()
 	}
 	// Even on a send error the request is tracked: reconnection replay
@@ -387,7 +470,7 @@ func (c *Client) submit(op int, vol uint32, off int64, buf, data []byte) (*Pendi
 // With NoBatch the submission reproduces the seed exactly: a freshly
 // allocated frame and an immediate flush per write, so frame and body
 // reach the kernel as separate unbatched syscalls.
-func (c *Client) send(gen int, m wire.Message, body []byte) error {
+func (c *Client) send(gen int, p *Pending, m wire.Message, body []byte) error {
 	c.senders.Add(1)
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -398,6 +481,14 @@ func (c *Client) send(gen int, m wire.Message, body []byte) error {
 			_ = c.bw.Flush()
 		}
 		return nil
+	}
+	// Stage trace: the frame is about to enter the submission batch. The
+	// wire-write stamp below lands after our own write (and flush, when
+	// this sender drains the batch) returns; a frame flushed later by
+	// another sender accounts that wait to the server+net stage instead.
+	trace := p != nil && p.t0 != 0
+	if trace {
+		p.t1 = obs.Now()
 	}
 	if c.cfg.NoBatch {
 		if _, err := c.bw.Write(wire.Marshal(m)); err != nil {
@@ -411,7 +502,11 @@ func (c *Client) send(gen int, m wire.Message, body []byte) error {
 				return err
 			}
 		}
-		return c.bw.Flush()
+		err := c.bw.Flush()
+		if trace {
+			p.t2 = obs.Now()
+		}
+		return err
 	}
 	wire.MarshalInto(c.scratch[:], m)
 	if _, err := c.bw.Write(c.scratch[:]); err != nil {
@@ -422,10 +517,14 @@ func (c *Client) send(gen int, m wire.Message, body []byte) error {
 			return err
 		}
 	}
+	var err error
 	if c.senders.Load() == 0 {
-		return c.bw.Flush()
+		err = c.bw.Flush()
 	}
-	return nil
+	if trace {
+		p.t2 = obs.Now()
+	}
+	return err
 }
 
 // reader demultiplexes responses for one connection generation. Frames
@@ -519,9 +618,22 @@ func (c *Client) complete(seq uint64, err error) {
 	c.tracker.Ack(seq)
 	c.mu.Unlock()
 	if p != nil {
+		// Stage trace: the response (payload included) has arrived;
+		// everything from the submitter's wire write to here is the
+		// server+net stage. Untraced requests (t0 == 0) skip the clock.
+		if p.t0 != 0 {
+			p.t3 = obs.Now()
+		}
 		c.finish(p, err)
 	}
 }
+
+// Traced reports whether this request carries the sampled stage trace
+// (1 in traceSample requests on a metrics-enabled client). Callers
+// comparing the breakdown table against their own end-to-end timing
+// should average over traced requests only, so both sides describe the
+// same population.
+func (h *Pending) Traced() bool { return h.t0 != 0 }
 
 // finish publishes the completion and returns the credit slot. Each
 // Pending reaches finish exactly once: complete, Close, and permanent
@@ -529,6 +641,9 @@ func (c *Client) complete(seq uint64, err error) {
 // before calling here.
 func (c *Client) finish(p *Pending, err error) {
 	p.err = err
+	if p.t3 != 0 {
+		p.t4 = obs.Now()
+	}
 	close(p.done)
 	c.creditC <- p.slot
 }
@@ -571,7 +686,8 @@ func (c *Client) connectionBroken() {
 			if !ok {
 				continue
 			}
-			if err := c.send(c.genID, p.msg, p.body); err != nil {
+			c.retries.Add(1)
+			if err := c.send(c.genID, p, p.msg, p.body); err != nil {
 				// New connection failed immediately; loop again.
 				c.reconn.ConnectionBroken(time.Since(c.start))
 				c.conn.Close()

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/v3storage/v3/internal/obs"
 )
 
 // maxDestageRun caps one coalesced destage write at 64 blocks (512 KB
@@ -132,11 +134,18 @@ func (d *destager) takeErr() error {
 // acked bytes), then the dirty set coalesced into contiguous runs, then
 // orphans created by evictions during the pass.
 func (d *destager) destageAll() {
+	var t0 int64
+	if d.s.om != nil {
+		t0 = obs.Now()
+	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.drainOrphansLocked()
 	d.passLocked()
 	d.drainOrphansLocked()
+	d.mu.Unlock()
+	if t0 != 0 {
+		d.s.om.destageRun.Observe(obs.Now() - t0)
+	}
 }
 
 // passLocked commits the dirty snapshot as coalesced contiguous writes.

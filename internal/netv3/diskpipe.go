@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/v3storage/v3/internal/flow"
+	"github.com/v3storage/v3/internal/obs"
 	"github.com/v3storage/v3/internal/wire"
 )
 
@@ -24,6 +25,7 @@ type diskTask struct {
 	off   int64
 	body  []byte // read: response buffer; write: payload (owned by the task)
 	slot  uint32 // write only: flow-control slot to release on completion
+	enq   int64  // enqueue timestamp; zero when metrics are off
 }
 
 // diskPipe is a per-volume pool of disk worker goroutines, the
@@ -66,6 +68,9 @@ func (p *diskPipe) trySubmit(t diskTask) bool {
 	if p.closed {
 		return false
 	}
+	if p.s.om != nil {
+		t.enq = obs.Now()
+	}
 	select {
 	case p.tasks <- t:
 		return true
@@ -98,6 +103,11 @@ func (p *diskPipe) worker() {
 func (p *diskPipe) runTask(t diskTask) {
 	s := p.s
 	defer t.sc.wg.Done()
+	var svc0 int64
+	if t.enq != 0 {
+		svc0 = obs.Now()
+		s.om.queueWait.Observe(svc0 - t.enq)
+	}
 	switch t.kind {
 	case taskRead:
 		rr := &wire.ReadResp{Header: wire.Header{Ack: uint32(t.seq)}, ReqID: t.reqID, Credits: 1, Status: wire.StatusOK}
@@ -108,6 +118,9 @@ func (p *diskPipe) runTask(t diskTask) {
 			s.pool.Put(body)
 			body = nil
 		}
+		if svc0 != 0 {
+			s.om.diskRead.Observe(obs.Now() - svc0)
+		}
 		rr.Length = uint32(len(body))
 		s.served.Add(1)
 		t.sc.complete(completion{msg: rr, body: body})
@@ -116,6 +129,9 @@ func (p *diskPipe) runTask(t diskTask) {
 		if err := p.v.write(t.body, t.off); err != nil {
 			wr.Status = wire.StatusEIO
 			s.logf("netv3: worker write [%d,+%d): %v", t.off, len(t.body), err)
+		}
+		if svc0 != 0 {
+			s.om.diskWrite.Observe(obs.Now() - svc0)
 		}
 		s.pool.Put(t.body)
 		s.served.Add(1)

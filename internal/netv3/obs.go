@@ -1,0 +1,156 @@
+package netv3
+
+import (
+	"github.com/v3storage/v3/internal/obs"
+)
+
+// Client-side stage indices. The five stages tile a request's lifetime
+// exactly — submit-entry to waiter-wakeup — so the per-stage means of a
+// workload column-sum to its end-to-end mean, which is how the paper's
+// breakdown tables are laid out (each DSA variant's I/O decomposed into
+// submission, transfer, server and completion costs that add up to the
+// measured round trip).
+const (
+	// stSubmit: ReadAsync/WriteAsync/FlushAsync entry → frame staged in
+	// the submission batch (credit wait, bookkeeping, sendMu wait).
+	stSubmit = iota
+	// stWire: frame staged → socket write returned (bufio copy, plus the
+	// flush syscall when this sender drains the batch).
+	stWire
+	// stServer: socket write → response decoded and its payload landed in
+	// the caller's buffer — kernel, network, all server-side processing,
+	// and the inbound data transfer. The remote half of this stage is
+	// broken down further by the server's own histograms.
+	stServer
+	// stDeliver: response received → completion published (pending-map
+	// removal, error mapping, handle close).
+	stDeliver
+	// stWake: completion published → the waiter observing it (scheduler
+	// latency — the paper's completion-notification cost).
+	stWake
+	nStages
+)
+
+// traceSample is the stage-trace sampling interval: every traceSample-th
+// request submitted on an instrumented client carries the full
+// six-timestamp trace; the rest pay one counter increment. The workloads
+// the breakdown table describes are homogeneous streams, so a 1-in-4
+// systematic sample leaves the per-stage means unbiased while keeping
+// the instrumented data path within a few hundred ns/op of the
+// uninstrumented one.
+const traceSample = 4
+
+// clientStageMetrics are the registry histogram names, index-aligned
+// with the stage constants.
+var clientStageMetrics = [nStages]string{
+	"netv3_client_stage_submit_ns",
+	"netv3_client_stage_wire_ns",
+	"netv3_client_stage_server_ns",
+	"netv3_client_stage_deliver_ns",
+	"netv3_client_stage_wake_ns",
+}
+
+// ClientStageDefs returns the breakdown-table schema of the client's
+// stage trace, for obs.Breakdown over the registry passed in
+// ClientConfig.Metrics.
+func ClientStageDefs() []obs.StageDef {
+	return []obs.StageDef{
+		{Display: "submission", Metric: clientStageMetrics[stSubmit]},
+		{Display: "wire write", Metric: clientStageMetrics[stWire]},
+		{Display: "server+net", Metric: clientStageMetrics[stServer]},
+		{Display: "delivery", Metric: clientStageMetrics[stDeliver]},
+		{Display: "wakeup", Metric: clientStageMetrics[stWake]},
+	}
+}
+
+// clientObs is a client's stage-histogram set; nil when no registry is
+// configured, which gates every timestamp capture down to one branch.
+type clientObs struct {
+	stages [nStages]*obs.Hist
+}
+
+func newClientObs(r *obs.Registry) *clientObs {
+	if r == nil {
+		return nil
+	}
+	co := &clientObs{}
+	for i, name := range clientStageMetrics {
+		co.stages[i] = r.Hist(name)
+	}
+	return co
+}
+
+// recordTrace folds one completed request's timestamps into the stage
+// histograms. Stages are clamped at zero so a replayed request (whose
+// send-side stamps were overwritten mid-flight) cannot record a negative
+// duration.
+func (co *clientObs) recordTrace(t0, t1, t2, t3, t4, t5 int64) {
+	co.stages[stSubmit].Observe(maxNS(t1 - t0))
+	co.stages[stWire].Observe(maxNS(t2 - t1))
+	co.stages[stServer].Observe(maxNS(t3 - t2))
+	co.stages[stDeliver].Observe(maxNS(t4 - t3))
+	co.stages[stWake].Observe(maxNS(t5 - t4))
+}
+
+func maxNS(ns int64) int64 {
+	if ns < 0 {
+		return 0
+	}
+	return ns
+}
+
+// serverObs is a server's histogram set plus the gauge-func exports of
+// its existing counters; nil when no registry is configured.
+type serverObs struct {
+	// dispatch is the session loop's inline handling time per request:
+	// decode → response buffered (or task queued) — the server half of
+	// the paper's "server processing" column that the client can only see
+	// folded into its server+net stage.
+	dispatch *obs.Hist
+	// queueWait is a disk task's time between session-loop enqueue and
+	// worker pickup — the disk-pipeline backlog signal.
+	queueWait *obs.Hist
+	// diskRead/diskWrite are store I/O service times inside the workers.
+	diskRead  *obs.Hist
+	diskWrite *obs.Hist
+	// destageRun is one background destage pass; flushDur one wire-level
+	// Flush barrier; prefetchFill one read-ahead fill.
+	destageRun   *obs.Hist
+	flushDur     *obs.Hist
+	prefetchFill *obs.Hist
+}
+
+// newServerObs builds the histogram set and registers gauge funcs that
+// export the server's existing atomic counters (served, sessions, cache,
+// pool, disk pipeline) without double bookkeeping — the counters the old
+// v3d -stats loop logged, folded into the snapshot.
+func newServerObs(r *obs.Registry, s *Server) *serverObs {
+	if r == nil {
+		return nil
+	}
+	so := &serverObs{
+		dispatch:     r.Hist("netv3_srv_dispatch_ns"),
+		queueWait:    r.Hist("netv3_srv_disk_queue_wait_ns"),
+		diskRead:     r.Hist("netv3_srv_disk_read_ns"),
+		diskWrite:    r.Hist("netv3_srv_disk_write_ns"),
+		destageRun:   r.Hist("netv3_srv_destage_run_ns"),
+		flushDur:     r.Hist("netv3_srv_flush_ns"),
+		prefetchFill: r.Hist("netv3_srv_prefetch_fill_ns"),
+	}
+	r.GaugeFunc("netv3_srv_served_total", s.Served)
+	r.GaugeFunc("netv3_srv_sessions_total", s.Sessions)
+	r.GaugeFunc("netv3_srv_cache_hits_total", func() int64 { h, _ := s.CacheStats(); return h })
+	r.GaugeFunc("netv3_srv_cache_misses_total", func() int64 { _, m := s.CacheStats(); return m })
+	r.GaugeFunc("netv3_srv_pool_gets_total", func() int64 { return s.PoolStats().Gets })
+	r.GaugeFunc("netv3_srv_pool_allocs_total", func() int64 { return s.PoolStats().Allocs })
+	r.GaugeFunc("netv3_srv_dirty_blocks", func() int64 { return s.DiskStats().DirtyBlocks })
+	r.GaugeFunc("netv3_srv_orphan_blocks", func() int64 { return s.DiskStats().OrphanBlocks })
+	r.GaugeFunc("netv3_srv_destage_runs_total", func() int64 { return s.DiskStats().DestageRuns })
+	r.GaugeFunc("netv3_srv_destaged_blocks_total", func() int64 { return s.DiskStats().DestagedBlocks })
+	r.GaugeFunc("netv3_srv_write_through_fallbacks_total", func() int64 { return s.DiskStats().WriteThroughFallbacks })
+	r.GaugeFunc("netv3_srv_prefetch_fills_total", func() int64 { return s.DiskStats().PrefetchFills })
+	r.GaugeFunc("netv3_srv_prefetch_hits_total", func() int64 { return s.DiskStats().PrefetchHits })
+	r.GaugeFunc("netv3_srv_prefetch_dropped_total", func() int64 { return s.DiskStats().PrefetchDropped })
+	r.GaugeFunc("netv3_srv_inline_fallbacks_total", func() int64 { return s.DiskStats().InlineFallbacks })
+	return so
+}

@@ -1,6 +1,10 @@
 package netv3
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"github.com/v3storage/v3/internal/obs"
+)
 
 // Read-ahead sizing: a detected sequential stream starts at
 // minPrefetchBlocks of read-ahead and doubles per trigger up to
@@ -100,10 +104,17 @@ func (w *prefetchWorker) run(s *Server, done <-chan struct{}) {
 		case <-done:
 			return
 		case r := <-w.reqs:
+			var t0 int64
+			if s.om != nil {
+				t0 = obs.Now()
+			}
 			if err := w.v.cache.prefetchFill(w.v, r.start, r.n); err != nil {
 				// Best-effort: log and move on; the demand path will
 				// surface a persistent store error to the client.
 				s.logf("netv3: prefetch blocks [%d,+%d): %v", r.start, r.n, err)
+			}
+			if t0 != 0 {
+				s.om.prefetchFill.Observe(obs.Now() - t0)
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/v3storage/v3/internal/bufpool"
 	"github.com/v3storage/v3/internal/flow"
+	"github.com/v3storage/v3/internal/obs"
 	"github.com/v3storage/v3/internal/wire"
 )
 
@@ -54,6 +55,11 @@ type ServerConfig struct {
 	DirtyHighWater int
 	// DestageInterval is the background destage period. 0 selects 5ms.
 	DestageInterval time.Duration
+	// Metrics, when non-nil, enables server-side instrumentation on this
+	// registry: dispatch/queue-wait/disk-service/destage/flush/prefetch
+	// latency histograms plus gauge exports of the served/cache/pool/disk
+	// counters. Nil is the disabled fast path.
+	Metrics *obs.Registry
 	// Logger receives connection-level errors; nil silences them.
 	Logger *log.Logger
 }
@@ -97,6 +103,7 @@ type volume struct {
 type Server struct {
 	cfg  ServerConfig
 	pool *bufpool.Pool // nil when cfg.NoPool: Get/Put degrade to make/no-op
+	om   *serverObs    // nil when cfg.Metrics is unset
 
 	// volumes is a copy-on-write map: lookups on the request hot path are
 	// a single atomic load, with no lock shared across sessions. addMu
@@ -131,6 +138,7 @@ func NewServer(cfg ServerConfig) *Server {
 		s.pool = bufpool.New()
 	}
 	s.volumes.Store(&map[uint32]*volume{})
+	s.om = newServerObs(cfg.Metrics, s)
 	return s
 }
 
@@ -269,6 +277,16 @@ func (s *Server) Close() error {
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// obsDispatch folds one inline dispatch — frame decoded → response
+// buffered or disk task queued — into the dispatch histogram. t0 is zero
+// when metrics are off (or the request took the goroutine ablation
+// path), making the disabled case a single branch.
+func (s *Server) obsDispatch(t0 int64) {
+	if t0 != 0 {
+		s.om.dispatch.Observe(obs.Now() - t0)
 	}
 }
 
@@ -445,6 +463,7 @@ func (s *Server) session(conn net.Conn) {
 	var pf prefetcher    // per-session sequential-read detector
 	var rdMsg wire.Read  // reused by inline dispatch
 	var wrMsg wire.Write // reused by inline dispatch
+	var obsTick uint     // drives 1-in-traceSample dispatch timing
 	for {
 		// Adaptive flush: if no complete request frame is already
 		// buffered, the burst is over — push the batched responses out
@@ -461,6 +480,15 @@ func (s *Server) session(conn net.Conn) {
 			}
 			return
 		}
+		// Inline-dispatch start stamp; zero when metrics are off or this
+		// request falls outside the 1-in-traceSample sample.
+		var dt0 int64
+		if s.om != nil {
+			if obsTick%traceSample == 0 {
+				dt0 = obs.Now()
+			}
+			obsTick++
+		}
 		switch t {
 		case wire.TRead:
 			// Reads reserve no server-side slot: flow-control slots name
@@ -476,10 +504,12 @@ func (s *Server) session(conn net.Conn) {
 				return
 			}
 			if s.fastRead(m, w, sc, &pf, inline) {
+				s.obsDispatch(dt0)
 				continue
 			}
 			if inline {
 				s.handleRead(m, w, true)
+				s.obsDispatch(dt0)
 				continue
 			}
 			go s.handleRead(m, w, false)
@@ -534,6 +564,7 @@ func (s *Server) session(conn net.Conn) {
 					fcMu.Lock()
 					_ = fc.Release(m.Slot)
 					fcMu.Unlock()
+					s.obsDispatch(dt0)
 					continue
 				}
 				// Over the dirty high-watermark: this write goes through
@@ -545,6 +576,7 @@ func (s *Server) session(conn net.Conn) {
 					off: int64(m.Offset), body: body, slot: m.Slot}
 				sc.wg.Add(1)
 				if v.pipe.trySubmit(t) {
+					s.obsDispatch(dt0)
 					continue
 				}
 				sc.wg.Done()
@@ -555,6 +587,7 @@ func (s *Server) session(conn net.Conn) {
 				fcMu.Lock()
 				_ = fc.Release(m.Slot)
 				fcMu.Unlock()
+				s.obsDispatch(dt0)
 				continue
 			}
 			go func() {
@@ -706,6 +739,10 @@ func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetch
 // volume's write-behind state and fsync the store. Writes acknowledged
 // before the Flush was received are durable once it succeeds.
 func (s *Server) handleFlush(m *wire.Flush, w *respWriter) {
+	var t0 int64
+	if s.om != nil {
+		t0 = obs.Now()
+	}
 	fr := &wire.FlushResp{Header: wire.Header{Ack: uint32(m.Seq)},
 		ReqID: m.ReqID, Status: wire.StatusOK, Credits: 1}
 	v := s.lookup(m.Volume)
@@ -714,6 +751,9 @@ func (s *Server) handleFlush(m *wire.Flush, w *respWriter) {
 	} else if err := v.flush(); err != nil {
 		fr.Status = wire.StatusEIO
 		s.logf("netv3: flush vol %d: %v", m.Volume, err)
+	}
+	if t0 != 0 {
+		s.om.flushDur.Observe(obs.Now() - t0)
 	}
 	s.served.Add(1)
 	_ = w.send(fr, nil)

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of every histogram: bucket b
+// holds observations v (nanoseconds) with 2^(b-1) <= v < 2^b, bucket 0
+// holds v <= 0, and the last bucket absorbs everything from ~9 minutes
+// up. Fixed log2 bucketing keeps Observe branch-free and allocation-free
+// and makes histograms from different processes mergeable by index.
+const HistBuckets = 40
+
+// Hist is a fixed-bucket log2 latency histogram. Observe is lock-free:
+// one atomic add for the bucket, one for the running sum, and a
+// usually-skipped CAS for the max. Count is derived from the buckets at
+// snapshot time, so the hot path pays for exactly two adds.
+type Hist struct {
+	buckets [HistBuckets]atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketOf maps a nanosecond value to its log2 bucket.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration in nanoseconds. No-op on a nil receiver.
+func (h *Hist) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot captures a consistent-enough copy for reporting (individual
+// loads are atomic; the histogram may move between loads, which skews a
+// live snapshot by at most the in-flight observations).
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Hist, mergeable with others
+// (same fixed buckets) — the primitive behind cluster-wide aggregation.
+type HistSnapshot struct {
+	Buckets [HistBuckets]int64 `json:"buckets"`
+	Sum     int64              `json:"sum_ns"`
+	Max     int64              `json:"max_ns"`
+}
+
+// Merge folds o into s bucket-by-bucket.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Count is the number of observations.
+func (s HistSnapshot) Count() int64 {
+	var n int64
+	for _, b := range s.Buckets {
+		n += b
+	}
+	return n
+}
+
+// Mean returns the exact mean in nanoseconds (sum-based, not
+// bucket-estimated), or 0 for an empty snapshot.
+func (s HistSnapshot) Mean() float64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(n)
+}
+
+// bucketMid returns the representative value of bucket b: the geometric
+// middle of [2^(b-1), 2^b), clamped so estimates never exceed the
+// tracked exact max.
+func bucketMid(b int, max int64) float64 {
+	var mid float64
+	switch {
+	case b == 0:
+		mid = 0
+	case b == 1:
+		mid = 1
+	default:
+		mid = 1.5 * float64(int64(1)<<(b-1))
+	}
+	if max > 0 && mid > float64(max) {
+		mid = float64(max)
+	}
+	return mid
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in nanoseconds with
+// log2 bucket resolution: the answer is the representative value of the
+// bucket containing the q-rank, so it is within a factor of ~1.5 of the
+// true quantile. Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var cum int64
+	for b, c := range s.Buckets {
+		cum += c
+		if cum > rank {
+			return bucketMid(b, s.Max)
+		}
+	}
+	return bucketMid(HistBuckets-1, s.Max)
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// StageDef names one stage of a request's life: Display is the
+// human-facing row label, Metric the registry histogram that accumulates
+// the stage's durations. An ordered []StageDef is the schema of a
+// paper-style latency breakdown table — each instrumented layer exports
+// its own (netv3 exports the client stages; servers export theirs).
+type StageDef struct {
+	Display string
+	Metric  string
+}
+
+// BreakdownRow is one stage's aggregate in a breakdown table.
+type BreakdownRow struct {
+	Stage  string
+	Count  int64
+	MeanNS float64
+	P50NS  float64
+	P99NS  float64
+	MaxNS  int64
+}
+
+// Breakdown renders the named stage histograms of r into table rows, in
+// stage order. Missing histograms yield zero rows, so a table can be
+// asked for before traffic has flowed.
+func Breakdown(r *Registry, defs []StageDef) []BreakdownRow {
+	rows := make([]BreakdownRow, 0, len(defs))
+	for _, d := range defs {
+		s := r.Hist(d.Metric).Snapshot()
+		rows = append(rows, BreakdownRow{
+			Stage:  d.Display,
+			Count:  s.Count(),
+			MeanNS: s.Mean(),
+			P50NS:  s.Quantile(0.50),
+			P99NS:  s.Quantile(0.99),
+			MaxNS:  s.Max,
+		})
+	}
+	return rows
+}
+
+// SumMeanNS sums the per-stage means — the table's column total, which
+// for stages that tile a request's lifetime equals the end-to-end mean.
+func SumMeanNS(rows []BreakdownRow) float64 {
+	var t float64
+	for _, r := range rows {
+		t += r.MeanNS
+	}
+	return t
+}
+
+func fmtNS(ns float64) string {
+	return time.Duration(int64(ns)).Round(10 * time.Nanosecond).String()
+}
+
+// FormatBreakdown renders rows as the paper-style per-stage latency
+// table. If e2eMeanNS > 0 it appends the independently measured
+// end-to-end mean and the deviation of the stage-sum from it — the
+// consistency check that the stages actually tile the request.
+func FormatBreakdown(rows []BreakdownRow, e2eMeanNS float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %12s %12s %12s %12s\n", "stage", "count", "mean", "p50", "p99", "max")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %8d %12s %12s %12s %12s\n",
+			r.Stage, r.Count, fmtNS(r.MeanNS), fmtNS(r.P50NS), fmtNS(r.P99NS), fmtNS(float64(r.MaxNS)))
+	}
+	sum := SumMeanNS(rows)
+	fmt.Fprintf(&b, "%-16s %8s %12s\n", "stage sum", "", fmtNS(sum))
+	if e2eMeanNS > 0 {
+		dev := 100 * (sum - e2eMeanNS) / e2eMeanNS
+		fmt.Fprintf(&b, "%-16s %8s %12s %+11.1f%%\n", "measured e2e", "", fmtNS(e2eMeanNS), dev)
+	}
+	return b.String()
+}

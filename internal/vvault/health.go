@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/v3storage/v3/internal/netv3"
+	"github.com/v3storage/v3/internal/obs"
 )
 
 // fatalErr reports errors that mean the backend session is gone (as
@@ -68,6 +69,7 @@ func (v *Vault) trip(b *backend, cause error) {
 	b.trips.Add(1)
 	if v.mirror != nil {
 		v.mirror.SetMask(b.idx, true)
+		v.noteMaskChange()
 	}
 	c := b.client
 	b.mu.Unlock()
@@ -117,13 +119,14 @@ func (v *Vault) probeLoop(b *backend) {
 	}
 }
 
-// probeOnce issues the zero-length health read.
+// probeOnce issues the zero-length health read, timing its round trip.
 func (v *Vault) probeOnce(b *backend) {
 	c := b.getClient()
 	if c == nil {
 		v.trip(b, errors.New("no client"))
 		return
 	}
+	t0 := obs.Now()
 	h, err := c.ReadAsync(v.cfg.Volume, 0, nil)
 	if err != nil {
 		v.recordProbeError(b, err)
@@ -133,6 +136,9 @@ func (v *Vault) probeOnce(b *backend) {
 		v.recordProbeError(b, err)
 		return
 	}
+	rtt := obs.Now() - t0
+	b.lastProbeRTT.Store(rtt)
+	v.probeRTT.Observe(rtt)
 	v.recordProbeSuccess(b)
 }
 

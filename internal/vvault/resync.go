@@ -128,6 +128,7 @@ func (v *Vault) resyncLoop(b *backend) {
 				b.state.Store(stateUp)
 				b.mu.Unlock()
 				v.mirror.SetMask(b.idx, false)
+				v.noteMaskChange()
 			}
 			b.ioMu.Unlock()
 			if done {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/v3storage/v3/internal/netv3"
+	"github.com/v3storage/v3/internal/obs"
 	"github.com/v3storage/v3/internal/volume"
 )
 
@@ -79,6 +80,11 @@ type Config struct {
 	// replica and replays onto a recovered one (default 256 KB, capped
 	// at the backends' max transfer).
 	ResyncChunk int
+	// Metrics, when non-nil, enables cluster-level instrumentation on
+	// this registry: per-backend health/dirty gauges, probe RTT
+	// histogram, degraded-time and resync counters. Nil is the disabled
+	// fast path.
+	Metrics *obs.Registry
 	// Logger receives health transitions and resync progress; nil
 	// silences them.
 	Logger *log.Logger
@@ -145,6 +151,10 @@ type backend struct {
 	probeConsec atomic.Int32
 	trips       atomic.Int64
 
+	// lastProbeRTT is the most recent successful health probe's round
+	// trip in nanoseconds (0 before the first success).
+	lastProbeRTT atomic.Int64
+
 	// ioMu orders mirror writes against resync completion: a write holds
 	// the read side from the moment it observes this backend's state
 	// until its dirty extents (if any) are logged, and the resync worker
@@ -189,6 +199,48 @@ type Vault struct {
 	degradedWrites atomic.Int64
 	resyncs        atomic.Int64
 	resyncedBytes  atomic.Int64
+
+	// probeRTT is the health-probe round-trip histogram; nil when
+	// Config.Metrics is unset.
+	probeRTT *obs.Hist
+
+	// Degraded-time accounting (mirror mode): degSince is non-zero while
+	// at least one replica is masked out of rotation, degAccum the closed
+	// intervals already summed. Guarded by degMu; maintained by
+	// noteMaskChange after every mask transition.
+	degMu    sync.Mutex
+	degSince time.Time
+	degAccum time.Duration
+}
+
+// noteMaskChange re-derives the degraded interval state from the mirror
+// mask; call after any SetMask.
+func (v *Vault) noteMaskChange() {
+	if v.mirror == nil {
+		return
+	}
+	deg := v.mirror.MaskedCount() > 0
+	v.degMu.Lock()
+	switch {
+	case deg && v.degSince.IsZero():
+		v.degSince = time.Now()
+	case !deg && !v.degSince.IsZero():
+		v.degAccum += time.Since(v.degSince)
+		v.degSince = time.Time{}
+	}
+	v.degMu.Unlock()
+}
+
+// degradedTime is the cumulative wall time spent with at least one
+// replica out of rotation, including the currently open interval.
+func (v *Vault) degradedTime() time.Duration {
+	v.degMu.Lock()
+	d := v.degAccum
+	if !v.degSince.IsZero() {
+		d += time.Since(v.degSince)
+	}
+	v.degMu.Unlock()
+	return d
 }
 
 // Open dials every backend and assembles the logical volume. In stripe
@@ -296,12 +348,58 @@ func Open(addrs []string, cfg Config) (*Vault, error) {
 	if mio := v.maxIO(); v.cfg.ResyncChunk > mio {
 		v.cfg.ResyncChunk = mio
 	}
+	v.noteMaskChange() // a replica may have started masked
+	v.registerMetrics(cfg.Metrics)
 
+	// Seed each live backend's probe RTT synchronously so Status reports
+	// it immediately after Open — one-shot consumers (v3cli status) exit
+	// before the first ticker-driven probe would land.
+	for _, b := range v.backends {
+		if b.state.Load() == stateUp {
+			v.probeOnce(b)
+		}
+	}
 	for _, b := range v.backends {
 		v.wg.Add(1)
 		go v.probeLoop(b)
 	}
 	return v, nil
+}
+
+// registerMetrics exports the vault's existing health state and counters
+// as gauge funcs plus the probe-RTT histogram — no double bookkeeping;
+// no-op when r is nil.
+func (v *Vault) registerMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	v.probeRTT = r.Hist("vvault_probe_rtt_ns")
+	r.GaugeFunc("vvault_degraded_reads_total", v.degradedReads.Load)
+	r.GaugeFunc("vvault_degraded_writes_total", v.degradedWrites.Load)
+	r.GaugeFunc("vvault_resyncs_total", v.resyncs.Load)
+	r.GaugeFunc("vvault_resynced_bytes_total", v.resyncedBytes.Load)
+	r.GaugeFunc("vvault_degraded_ms", func() int64 {
+		return v.degradedTime().Milliseconds()
+	})
+	for _, b := range v.backends {
+		b := b
+		lbl := fmt.Sprintf(`{backend="%d",addr=%q}`, b.idx, b.addr)
+		r.GaugeFunc("vvault_backend_state"+lbl, func() int64 {
+			return int64(b.state.Load())
+		})
+		r.GaugeFunc("vvault_backend_trips_total"+lbl, b.trips.Load)
+		r.GaugeFunc("vvault_backend_probe_rtt_ns"+lbl, b.lastProbeRTT.Load)
+		if b.dirty != nil {
+			r.GaugeFunc("vvault_backend_dirty_ranges"+lbl, func() int64 {
+				n, _ := b.dirty.stats()
+				return int64(n)
+			})
+			r.GaugeFunc("vvault_backend_dirty_bytes"+lbl, func() int64 {
+				_, bytes := b.dirty.stats()
+				return bytes
+			})
+		}
+	}
 }
 
 // Size returns the logical volume size in bytes.
@@ -706,15 +804,19 @@ type Stats struct {
 	// replayed onto recovered replicas.
 	Resyncs       int64
 	ResyncedBytes int64
+	// DegradedSeconds is cumulative wall time with at least one replica
+	// out of the rotation (mirror mode), including any open interval.
+	DegradedSeconds float64
 }
 
 // Stats returns cumulative counters.
 func (v *Vault) Stats() Stats {
 	return Stats{
-		DegradedReads:  v.degradedReads.Load(),
-		DegradedWrites: v.degradedWrites.Load(),
-		Resyncs:        v.resyncs.Load(),
-		ResyncedBytes:  v.resyncedBytes.Load(),
+		DegradedReads:   v.degradedReads.Load(),
+		DegradedWrites:  v.degradedWrites.Load(),
+		Resyncs:         v.resyncs.Load(),
+		ResyncedBytes:   v.resyncedBytes.Load(),
+		DegradedSeconds: v.degradedTime().Seconds(),
 	}
 }
 
@@ -727,6 +829,9 @@ type BackendStatus struct {
 	Reconnects  int64 // netv3 session re-establishments on the current client
 	DirtyRanges int   // extents awaiting resync (mirror mode)
 	DirtyBytes  int64 // bytes awaiting resync (mirror mode)
+	// LastProbeRTT is the most recent successful health probe's round
+	// trip (0 before the first success).
+	LastProbeRTT time.Duration
 }
 
 // Status snapshots every backend's health, in address order.
@@ -738,10 +843,11 @@ func (v *Vault) Status() []BackendStatus {
 			consec = p
 		}
 		s := BackendStatus{
-			Addr:        b.addr,
-			State:       stateName(b.state.Load()),
-			Consecutive: int(consec),
-			Trips:       b.trips.Load(),
+			Addr:         b.addr,
+			State:        stateName(b.state.Load()),
+			Consecutive:  int(consec),
+			Trips:        b.trips.Load(),
+			LastProbeRTT: time.Duration(b.lastProbeRTT.Load()),
 		}
 		if c := b.getClient(); c != nil {
 			s.Reconnects = c.Reconnects()
