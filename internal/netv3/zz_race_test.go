@@ -1,0 +1,40 @@
+package netv3
+
+import (
+	"testing"
+
+	"github.com/v3storage/v3/internal/obs"
+)
+
+// Submit from one goroutine, Wait from another, metrics enabled.
+func TestCrossGoroutineWaitTrace(t *testing.T) {
+	_, addr := startMemServer(t, ServerConfig{CacheBlocks: 64})
+	ccfg := DefaultClientConfig()
+	ccfg.Metrics = obs.New()
+	c, err := Dial(addr, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hs := make(chan *Pending, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for h := range hs {
+			if err := h.Wait(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 512)
+	for i := 0; i < 2000; i++ {
+		h, err := c.WriteAsync(1, 0, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs <- h
+	}
+	close(hs)
+	<-done
+}
