@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race vet verify bench bench-netv3 clean
+# Every test invocation carries a global timeout: a reintroduced wedge
+# (hung waiter, blocked probe loop, lock held across a dial) fails the
+# run instead of hanging it.
+TEST_TIMEOUT ?= 10m
+
+.PHONY: all build test race vet verify chaos bench bench-netv3 clean
 
 all: build
 
@@ -8,16 +13,22 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./...
 
 vet:
 	$(GO) vet ./...
 
 # verify is the gate every change must pass.
 verify: vet build race
+
+# chaos runs the deterministic fault-injection e2e suites (blackholed
+# peers, cancel storms, partitions) under the race detector, twice.
+chaos:
+	$(GO) test -race -run Chaos -count=2 -timeout $(TEST_TIMEOUT) \
+		./internal/netv3/ ./internal/vvault/
 
 # bench regenerates the netv3 fast-path numbers (BENCH_netv3.json) and
 # runs the paper-figure benchmarks once.

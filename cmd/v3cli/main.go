@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -43,13 +44,38 @@ type blockIO interface {
 
 // singleIO adapts one netv3 client to blockIO.
 type singleIO struct {
-	c   *netv3.Client
-	vol uint32
+	c       *netv3.Client
+	vol     uint32
+	timeout time.Duration
 }
 
-func (s singleIO) Read(off int64, buf []byte) error   { return s.c.Read(s.vol, off, buf) }
-func (s singleIO) Write(off int64, data []byte) error { return s.c.Write(s.vol, off, data) }
-func (s singleIO) Flush() error                       { return s.c.Flush(s.vol) }
+// ctx returns the per-request bound: Background when -iotimeout is 0.
+// The context-aware client calls cancel the request on expiry, so the
+// CLI's buffers are reusable the moment an error returns.
+func (s singleIO) ctx() (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), s.timeout)
+}
+
+func (s singleIO) Read(off int64, buf []byte) error {
+	ctx, cancel := s.ctx()
+	defer cancel()
+	return s.c.ReadCtx(ctx, s.vol, off, buf)
+}
+
+func (s singleIO) Write(off int64, data []byte) error {
+	ctx, cancel := s.ctx()
+	defer cancel()
+	return s.c.WriteCtx(ctx, s.vol, off, data)
+}
+
+func (s singleIO) Flush() error {
+	ctx, cancel := s.ctx()
+	defer cancel()
+	return s.c.FlushCtx(ctx, s.vol)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9300", "v3d address (single-server mode)")
@@ -59,6 +85,10 @@ func main() {
 	stripeSize := flag.Int64("stripesize", 64<<10, "cluster stripe unit in bytes")
 	memberSize := flag.Int64("size", 64<<20, "cluster mode: bytes used on each server")
 	vol := flag.Uint("vol", 1, "volume id")
+	keepalive := flag.Duration("keepalive", netv3.DefaultClientConfig().KeepaliveInterval,
+		"hung-peer probe interval on idle links (0 disables); a silent server is declared dead within 2x this")
+	iotimeout := flag.Duration("iotimeout", 0,
+		"per-request bound (0 = wait forever); an expired request is canceled and its buffer returned")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -82,6 +112,10 @@ func main() {
 		cfg.Volume = uint32(*vol)
 		cfg.MemberSize = *memberSize
 		cfg.StripeSize = *stripeSize
+		cfg.Client.KeepaliveInterval = *keepalive
+		if *iotimeout > 0 {
+			cfg.IOTimeout = *iotimeout
+		}
 		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags)
 		v, err := vvault.Open(strings.Split(*servers, ","), cfg)
 		if err != nil {
@@ -91,6 +125,7 @@ func main() {
 		vault, io = v, v
 	} else {
 		ccfg := netv3.DefaultClientConfig()
+		ccfg.KeepaliveInterval = *keepalive
 		// The breakdown command needs the client's stage trace enabled
 		// from the first request, so the registry attaches before Dial.
 		var reg *obs.Registry
@@ -103,7 +138,7 @@ func main() {
 			log.Fatalf("v3cli: %v", err)
 		}
 		defer c.Close()
-		client, clientReg, io = c, reg, singleIO{c, uint32(*vol)}
+		client, clientReg, io = c, reg, singleIO{c, uint32(*vol), *iotimeout}
 	}
 
 	switch args[0] {

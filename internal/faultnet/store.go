@@ -1,0 +1,142 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error surfaced by scheduled store faults.
+var ErrInjected = errors.New("faultnet: injected I/O error")
+
+// BlockStore is the structural mirror of netv3.BlockStore, so Store
+// satisfies that interface without importing the package (tests wire the
+// two together; production code never imports faultnet).
+type BlockStore interface {
+	ReadAt(b []byte, off int64) error
+	WriteAt(b []byte, off int64) error
+	Sync() error
+	Size() int64
+	Close() error
+}
+
+// StoreConfig schedules a Store's faults. All counters are in operations
+// (reads + writes), making the schedule deterministic under concurrency:
+// exactly one op out of every ErrEvery fails, whichever goroutine draws
+// it.
+type StoreConfig struct {
+	// Latency is added to every read and write — a slow disk.
+	Latency time.Duration
+	// ErrEvery fails every Nth operation with ErrInjected (0 disables).
+	ErrEvery int64
+	// ShortEvery makes every Nth operation a short transfer: half the
+	// requested bytes move, and the op reports a short-I/O error naming
+	// the byte counts, like FileStore does (0 disables).
+	ShortEvery int64
+}
+
+// Store wraps a BlockStore with scheduled faults. The zero schedule is a
+// transparent pass-through; FailAll flips every operation to ErrInjected
+// until cleared (a dead disk).
+type Store struct {
+	inner BlockStore
+	cfg   StoreConfig
+	ops   atomic.Int64
+	fail  atomic.Bool
+
+	mu      sync.Mutex
+	syncErr error // next Sync returns this once, then clears
+}
+
+// NewStore wraps inner with the given fault schedule.
+func NewStore(inner BlockStore, cfg StoreConfig) *Store {
+	return &Store{inner: inner, cfg: cfg}
+}
+
+// FailAll makes every operation fail with ErrInjected while on — the
+// disk died (as opposed to the scheduled intermittent faults).
+func (s *Store) FailAll(on bool) { s.fail.Store(on) }
+
+// FailNextSync makes the next Sync call return err (one-shot) — for
+// exercising flush-barrier failure paths.
+func (s *Store) FailNextSync(err error) {
+	s.mu.Lock()
+	s.syncErr = err
+	s.mu.Unlock()
+}
+
+// Ops returns the number of reads+writes observed.
+func (s *Store) Ops() int64 { return s.ops.Load() }
+
+// fault decides this operation's fate: nil (run it), ErrInjected, or a
+// short transfer (shortN >= 0 means transfer only shortN bytes and
+// report a short-I/O error).
+func (s *Store) fault(reqLen int) (shortN int, err error) {
+	if s.cfg.Latency > 0 {
+		time.Sleep(s.cfg.Latency)
+	}
+	if s.fail.Load() {
+		return -1, ErrInjected
+	}
+	n := s.ops.Add(1)
+	if s.cfg.ErrEvery > 0 && n%s.cfg.ErrEvery == 0 {
+		return -1, ErrInjected
+	}
+	if s.cfg.ShortEvery > 0 && n%s.cfg.ShortEvery == 0 && reqLen > 1 {
+		return reqLen / 2, nil
+	}
+	return -1, nil
+}
+
+// ReadAt implements BlockStore with scheduled faults.
+func (s *Store) ReadAt(b []byte, off int64) error {
+	shortN, err := s.fault(len(b))
+	if err != nil {
+		return fmt.Errorf("faultnet: read [%d,+%d): %w", off, len(b), err)
+	}
+	if shortN >= 0 {
+		if err := s.inner.ReadAt(b[:shortN], off); err != nil {
+			return err
+		}
+		return fmt.Errorf("faultnet: short read [%d,+%d): got %d bytes: %w", off, len(b), shortN, ErrInjected)
+	}
+	return s.inner.ReadAt(b, off)
+}
+
+// WriteAt implements BlockStore with scheduled faults.
+func (s *Store) WriteAt(b []byte, off int64) error {
+	shortN, err := s.fault(len(b))
+	if err != nil {
+		return fmt.Errorf("faultnet: write [%d,+%d): %w", off, len(b), err)
+	}
+	if shortN >= 0 {
+		if err := s.inner.WriteAt(b[:shortN], off); err != nil {
+			return err
+		}
+		return fmt.Errorf("faultnet: short write [%d,+%d): wrote %d bytes: %w", off, len(b), shortN, ErrInjected)
+	}
+	return s.inner.WriteAt(b, off)
+}
+
+// Sync implements BlockStore, honoring FailNextSync and FailAll.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	serr := s.syncErr
+	s.syncErr = nil
+	s.mu.Unlock()
+	if serr != nil {
+		return serr
+	}
+	if s.fail.Load() {
+		return fmt.Errorf("faultnet: sync: %w", ErrInjected)
+	}
+	return s.inner.Sync()
+}
+
+// Size implements BlockStore.
+func (s *Store) Size() int64 { return s.inner.Size() }
+
+// Close implements BlockStore.
+func (s *Store) Close() error { return s.inner.Close() }

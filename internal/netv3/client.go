@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,34 +27,53 @@ type ClientConfig struct {
 	// machine after a connection failure.
 	ReconnectBackoff time.Duration
 	MaxReconnects    int
-	// DialTimeout bounds each dial attempt.
+	// DialTimeout bounds each dial attempt, including the handshake: a
+	// peer that accepts the TCP connection but never answers the Connect
+	// (blackholed, wedged) fails the attempt within this bound instead of
+	// hanging the reconnection loop.
 	DialTimeout time.Duration
+	// KeepaliveInterval arms the idle-link hung-peer detector. When no
+	// frame has arrived for a full interval, the client sends a TPing and
+	// sets a read deadline one more interval out; a peer that stays
+	// silent — socket open, nothing moving — fails the reader within
+	// 2×interval and enters reconnection exactly like a closed peer.
+	// While traffic flows the detector costs one atomic store per inbound
+	// frame. 0 disables.
+	KeepaliveInterval time.Duration
 	// NoBatch disables submission frame batching (ablation: every request
 	// is flushed to the socket individually).
 	NoBatch bool
 	// Metrics, when non-nil, enables the client's stage trace: every
 	// request's submit → frame-stage → wire-write → server+net →
 	// delivery → wakeup timestamps aggregate into per-stage histograms
-	// (see ClientStageDefs) on this registry. Nil is the disabled fast
-	// path — capture sites cost one branch.
+	// (see ClientStageDefs) on this registry, plus the failure-path
+	// counters (cancels, deadline expiries, hung-peer detections) and the
+	// keepalive RTT histogram. Nil is the disabled fast path — capture
+	// sites cost one branch.
 	Metrics *obs.Registry
 }
 
 // DefaultClientConfig returns production defaults.
 func DefaultClientConfig() ClientConfig {
 	return ClientConfig{
-		ReconnectBackoff: 100 * time.Millisecond,
-		MaxReconnects:    8,
-		DialTimeout:      5 * time.Second,
+		ReconnectBackoff:  100 * time.Millisecond,
+		MaxReconnects:     8,
+		DialTimeout:       5 * time.Second,
+		KeepaliveInterval: 2 * time.Second,
 	}
 }
 
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("netv3: client closed")
 
-// ErrWaitTimeout is returned by Pending.WaitTimeout when the bound
-// expires before the request completes.
+// ErrWaitTimeout is the completion status of a request whose bounded
+// wait expired: the request is canceled (buffer detached, credit slot
+// returned) and this error is published on the handle.
 var ErrWaitTimeout = errors.New("netv3: wait timed out")
+
+// ErrCanceled is the completion status of a request canceled via
+// Pending.Cancel.
+var ErrCanceled = errors.New("netv3: request canceled")
 
 // ErrConnLost is the completion status of requests that were outstanding
 // when the connection broke and could not be replayed (reconnection
@@ -119,12 +139,15 @@ func (h *Pending) Wait() error {
 	return h.err
 }
 
-// WaitTimeout blocks until the request completes or d elapses, returning
-// ErrWaitTimeout in the latter case. Timing out does NOT cancel the
-// request: it stays in flight (and holds its credit slot) until the
-// server responds or the client is closed, and the buffers passed to
-// ReadAsync/WriteAsync must stay untouched until Done reports true.
-// Health probes use this to bound completion waits on a hung backend.
+// WaitTimeout blocks until the request completes or d elapses. An
+// expired wait CANCELS the request: the buffers passed to
+// ReadAsync/WriteAsync are detached (the caller owns them again the
+// moment this returns) and the credit slot goes back to the window
+// immediately — an abandoned handle can no longer pin a slot until the
+// server deigns to answer. ErrWaitTimeout is both the return value and
+// the handle's published completion status, so later waiters see it too.
+// If the completion races the expiry, the request's real status wins and
+// is returned instead.
 func (h *Pending) WaitTimeout(d time.Duration) error {
 	select {
 	case <-h.done:
@@ -139,25 +162,86 @@ func (h *Pending) WaitTimeout(d time.Duration) error {
 		h.finishTrace()
 		return h.err
 	case <-t.C:
-		if h.c != nil {
-			h.c.waitTimeouts.Add(1)
+		if c := h.c; c != nil {
+			c.waitTimeouts.Add(1)
+			c.om.noteDeadline()
 		}
-		return ErrWaitTimeout
+		if h.cancel(ErrWaitTimeout) {
+			return ErrWaitTimeout
+		}
+		<-h.done
+		h.finishTrace()
+		return h.err
 	}
 }
 
-// WaitContext is the context-aware variant of WaitTimeout: it returns
-// ctx.Err() if the context ends first. The same non-cancellation caveat
-// applies — the request itself keeps running.
+// WaitContext is the context-aware WaitTimeout: if ctx ends first the
+// request is canceled the same way (buffer detached, slot returned) and
+// ctx.Err() is published and returned.
 func (h *Pending) WaitContext(ctx context.Context) error {
 	select {
 	case <-h.done:
 		h.finishTrace()
 		return h.err
 	case <-ctx.Done():
-		return ctx.Err()
+		if c := h.c; c != nil {
+			c.waitTimeouts.Add(1)
+			c.om.noteDeadline()
+		}
+		if h.cancel(ctx.Err()) {
+			return ctx.Err()
+		}
+		<-h.done
+		h.finishTrace()
+		return h.err
 	}
 }
+
+// Cancel detaches the request from its caller: the handle completes with
+// ErrCanceled, the credit slot returns to the window immediately, and
+// the read/write buffers are released — the caller owns them again the
+// moment Cancel returns true. The request itself may still reach the
+// server; a late response is recognized by its stale sequence number and
+// drained without touching caller memory (the server releases a write's
+// staging slot in frame order, so a canceled slot reused on the same
+// session cannot collide). Cancel reports false when the request already
+// completed — or its payload delivery had begun — in which case the
+// handle carries the real status and the caller must Wait before
+// touching the buffers.
+func (h *Pending) Cancel() bool { return h.cancel(ErrCanceled) }
+
+// cancel completes the handle with cause if the request is still
+// pending. Removal from the pending map under mu is the exclusion point
+// against the reader's claim (see reader): whichever side removes the
+// request owns its buffers.
+func (h *Pending) cancel(cause error) bool {
+	c := h.c
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	if c.pending[h.seq] != h {
+		c.mu.Unlock()
+		return false
+	}
+	delete(c.pending, h.seq)
+	c.tracker.Ack(h.seq)
+	h.buf = nil
+	h.body = nil
+	h.msg = nil
+	c.mu.Unlock()
+	c.cancels.Add(1)
+	c.om.noteCancel()
+	c.finish(h, cause)
+	return true
+}
+
+// Traced reports whether this request carries the sampled stage trace
+// (1 in traceSample requests on a metrics-enabled client). Callers
+// comparing the breakdown table against their own end-to-end timing
+// should average over traced requests only, so both sides describe the
+// same population.
+func (h *Pending) Traced() bool { return h.t0 != 0 }
 
 // Client is a DSA-style block client for a netv3 server. It is safe for
 // concurrent use; requests overlap up to the credit window.
@@ -167,24 +251,27 @@ func (h *Pending) WaitContext(ctx context.Context) error {
 // transmission happens under the separate sendMu, so concurrent
 // submitters and the completion path never wait behind a blocking
 // network write — the lock-minimization lesson of Section 3.3 applied to
-// the client.
+// the client. Reconnection dials run under NEITHER lock (see recover):
+// a 5-second dial to a dead peer must not freeze Stats, Close, cancels,
+// or other submitters' bookkeeping.
 type Client struct {
 	cfg  ClientConfig
 	addr string
 
-	mu      sync.Mutex
-	conn    net.Conn
-	fc      *flow.Client
-	creditC chan uint32 // available slot ids (buffered = window)
-	pending map[uint64]*Pending
-	tracker *reliable.Tracker
-	reconn  *reliable.Reconnector
-	nextSeq uint64
-	nextReq uint64
-	maxXfer uint32
-	closed  bool
-	genID   int // bumps on every reconnect; stale readers exit
-	start   time.Time
+	mu         sync.Mutex
+	conn       net.Conn
+	fc         *flow.Client
+	creditC    chan uint32 // available slot ids (buffered = window)
+	pending    map[uint64]*Pending
+	tracker    *reliable.Tracker
+	reconn     *reliable.Reconnector
+	recovering bool // single-flight guard: one goroutine owns the reconnect loop
+	nextSeq    uint64
+	nextReq    uint64
+	maxXfer    uint32
+	closed     bool
+	genID      int // bumps on every reconnect; stale readers exit
+	start      time.Time
 
 	// Submission path, guarded by sendMu. bw wraps the generation-bwGen
 	// connection; senders counts goroutines queued for sendMu, driving
@@ -198,9 +285,21 @@ type Client struct {
 	om       *clientObs    // stage-trace histograms; nil when Metrics is unset
 	traceCtr atomic.Uint64 // submit counter driving 1-in-traceSample tracing
 
+	// Keepalive state. lastRecv is the obs.Now() stamp of the last
+	// inbound frame; kaArmed is set while a ping is outstanding with a
+	// read deadline armed on the connection (the reader clears both on
+	// the next frame); kaPingAt times the outstanding ping for the RTT
+	// histogram.
+	lastRecv atomic.Int64
+	kaArmed  atomic.Bool
+	kaPingAt atomic.Int64
+
 	reconnects   atomic.Int64
 	retries      atomic.Int64 // requests replayed after a reconnect
-	waitTimeouts atomic.Int64 // WaitTimeout expiries observed by callers
+	waitTimeouts atomic.Int64 // bounded-wait expiries observed by callers
+	cancels      atomic.Int64 // requests canceled (explicitly or by expired waits)
+	kaPings      atomic.Int64 // keepalive pings sent
+	hungPeers    atomic.Int64 // connections declared dead by deadline enforcement
 }
 
 // Dial connects to a netv3 server.
@@ -217,33 +316,46 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		start:   time.Now(),
 		om:      newClientObs(cfg.Metrics),
 	}
-	if err := c.connectLocked(); err != nil {
+	conn, resp, err := c.dialSession()
+	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
+	c.installConn(conn, resp)
+	c.mu.Unlock()
 	return c, nil
 }
 
-// connectLocked dials and handshakes; call with mu held (or before the
-// client is shared).
-func (c *Client) connectLocked() error {
+// dialSession dials and handshakes one session without holding any
+// client lock. The whole exchange runs under a DialTimeout deadline: a
+// peer that accepts the connection and then goes silent must fail the
+// attempt, not hang it.
+func (c *Client) dialSession() (net.Conn, *wire.ConnectResp, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
+	_ = conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
 	if err := wire.WriteTo(conn, &wire.Connect{ClientID: 1, WantCreds: uint16(c.cfg.WantCredits)}); err != nil {
 		conn.Close()
-		return err
+		return nil, nil, err
 	}
 	msg, err := wire.ReadFrom(conn)
 	if err != nil {
 		conn.Close()
-		return err
+		return nil, nil, err
 	}
 	resp, ok := msg.(*wire.ConnectResp)
 	if !ok || resp.Status != wire.StatusOK {
 		conn.Close()
-		return fmt.Errorf("netv3: handshake rejected: %v", msg)
+		return nil, nil, fmt.Errorf("netv3: handshake rejected: %v", msg)
 	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, resp, nil
+}
+
+// installConn adopts a freshly handshaken connection; call with mu held.
+func (c *Client) installConn(conn net.Conn, resp *wire.ConnectResp) {
 	c.conn = conn
 	c.maxXfer = resp.MaxXfer
 	// The credit window is created once; it survives reconnections (the
@@ -263,12 +375,17 @@ func (c *Client) connectLocked() error {
 		}
 	}
 	c.genID++
+	c.lastRecv.Store(obs.Now())
+	c.kaArmed.Store(false)
+	c.kaPingAt.Store(0)
 	c.sendMu.Lock()
 	c.bw = bufio.NewWriterSize(conn, sockBufSize)
 	c.bwGen = c.genID
 	c.sendMu.Unlock()
 	go c.reader(conn, c.genID)
-	return nil
+	if c.cfg.KeepaliveInterval > 0 {
+		go c.keepalive(conn, c.genID)
+	}
 }
 
 // MaxTransfer returns the server's per-request transfer bound.
@@ -286,8 +403,8 @@ func (c *Client) KillConnForTest() {
 }
 
 // Reconnects returns how many times the session has been re-established.
-// The counter is written by the reader goroutine's reconnection path, so
-// the load is atomic — callers may poll it concurrently with I/O.
+// The counter is written by the reconnection path, so the load is atomic
+// — callers may poll it concurrently with I/O.
 func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
 
 // ClientStats is a point-in-time snapshot of the client's health
@@ -300,22 +417,35 @@ type ClientStats struct {
 	// reconnect; Reconnects counts the sessions themselves.
 	Retries    int64
 	Reconnects int64
-	// WaitTimeouts counts Pending.WaitTimeout expiries observed by
-	// callers (the request itself stays in flight).
+	// WaitTimeouts counts bounded-wait expiries (WaitTimeout/WaitContext);
+	// each also cancels its request, counted under Cancels.
 	WaitTimeouts int64
+	// Cancels counts requests canceled before completion — explicitly or
+	// by an expired bounded wait. Every cancel returned its credit slot
+	// to the window immediately.
+	Cancels int64
+	// KeepalivePings counts TPing probes sent on idle links;
+	// HungDetections counts connections declared dead because the probe's
+	// read deadline expired with the peer silent.
+	KeepalivePings int64
+	HungDetections int64
 }
 
 // Stats snapshots the client's counters; safe to call concurrently with
-// I/O.
+// I/O — including while a reconnect storm is dialing, which no longer
+// holds the bookkeeping lock.
 func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	inflight := len(c.pending)
 	c.mu.Unlock()
 	return ClientStats{
-		InFlight:     inflight,
-		Retries:      c.retries.Load(),
-		Reconnects:   c.reconnects.Load(),
-		WaitTimeouts: c.waitTimeouts.Load(),
+		InFlight:       inflight,
+		Retries:        c.retries.Load(),
+		Reconnects:     c.reconnects.Load(),
+		WaitTimeouts:   c.waitTimeouts.Load(),
+		Cancels:        c.cancels.Load(),
+		KeepalivePings: c.kaPings.Load(),
+		HungDetections: c.hungPeers.Load(),
 	}
 }
 
@@ -380,22 +510,73 @@ func (c *Client) Flush(vol uint32) error {
 	return h.Wait()
 }
 
+// ReadCtx is the cancelable synchronous read: ctx bounds both the
+// credit-slot wait and the completion. If ctx ends first the request is
+// canceled — buf is the caller's again the moment this returns — and
+// ctx.Err() comes back.
+func (c *Client) ReadCtx(ctx context.Context, vol uint32, off int64, buf []byte) error {
+	h, err := c.ReadAsyncCtx(ctx, vol, off, buf)
+	if err != nil {
+		return err
+	}
+	return h.WaitContext(ctx)
+}
+
+// WriteCtx is the cancelable synchronous write; see ReadCtx.
+func (c *Client) WriteCtx(ctx context.Context, vol uint32, off int64, data []byte) error {
+	h, err := c.WriteAsyncCtx(ctx, vol, off, data)
+	if err != nil {
+		return err
+	}
+	return h.WaitContext(ctx)
+}
+
+// FlushCtx is the cancelable durability barrier; see ReadCtx. A canceled
+// flush guarantees nothing — reissue it after the window drains.
+func (c *Client) FlushCtx(ctx context.Context, vol uint32) error {
+	h, err := c.FlushAsyncCtx(ctx, vol)
+	if err != nil {
+		return err
+	}
+	return h.WaitContext(ctx)
+}
+
 // FlushAsync submits a flush barrier and returns a completion handle.
 func (c *Client) FlushAsync(vol uint32) (*Pending, error) {
-	return c.submit(opFlush, vol, 0, nil, nil)
+	return c.submit(nil, opFlush, vol, 0, nil, nil)
+}
+
+// FlushAsyncCtx is FlushAsync with a cancelable credit-slot wait.
+func (c *Client) FlushAsyncCtx(ctx context.Context, vol uint32) (*Pending, error) {
+	return c.submit(ctx, opFlush, vol, 0, nil, nil)
 }
 
 // ReadAsync submits a read and returns immediately with a completion
-// handle; buf must stay untouched until the handle reports completion.
-// Submission blocks only while the credit window is exhausted.
+// handle; buf must stay untouched until the handle reports completion
+// (or is canceled, which hands buf back to the caller). Submission
+// blocks only while the credit window is exhausted.
 func (c *Client) ReadAsync(vol uint32, off int64, buf []byte) (*Pending, error) {
-	return c.submit(opRead, vol, off, buf, nil)
+	return c.submit(nil, opRead, vol, off, buf, nil)
+}
+
+// ReadAsyncCtx is ReadAsync with a cancelable credit-slot wait: if ctx
+// ends while the window is exhausted — say, wedged by hung data-path
+// requests — submission returns ctx.Err() instead of joining the wedge.
+// Health probes depend on this bound.
+func (c *Client) ReadAsyncCtx(ctx context.Context, vol uint32, off int64, buf []byte) (*Pending, error) {
+	return c.submit(ctx, opRead, vol, off, buf, nil)
 }
 
 // WriteAsync submits a write and returns immediately with a completion
-// handle; data must stay untouched until the handle reports completion.
+// handle; data must stay untouched until the handle reports completion
+// (or is canceled).
 func (c *Client) WriteAsync(vol uint32, off int64, data []byte) (*Pending, error) {
-	return c.submit(opWrite, vol, off, nil, data)
+	return c.submit(nil, opWrite, vol, off, nil, data)
+}
+
+// WriteAsyncCtx is WriteAsync with a cancelable credit-slot wait.
+func (c *Client) WriteAsyncCtx(ctx context.Context, vol uint32, off int64, data []byte) (*Pending, error) {
+	return c.submit(ctx, opWrite, vol, off, nil, data)
 }
 
 // Client-side op kinds for submit. All three occupy a credit slot while
@@ -407,7 +588,29 @@ const (
 	opFlush
 )
 
-func (c *Client) submit(op int, vol uint32, off int64, buf, data []byte) (*Pending, error) {
+// acquireSlot takes a credit slot, blocking while the window is
+// exhausted. A nil ctx is the uncancelable fast path (one channel
+// receive, identical to the pre-context behavior); with a ctx the wait
+// ends early with ctx.Err() — the primitive that keeps health probes
+// out of a wedged window.
+func (c *Client) acquireSlot(ctx context.Context) (uint32, error) {
+	if ctx == nil {
+		return <-c.creditC, nil
+	}
+	select {
+	case slot := <-c.creditC:
+		return slot, nil
+	default:
+	}
+	select {
+	case slot := <-c.creditC:
+		return slot, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func (c *Client) submit(ctx context.Context, op int, vol uint32, off int64, buf, data []byte) (*Pending, error) {
 	// Stage trace starts at API entry, so the submission stage includes
 	// any credit-window wait — the cost a caller actually experiences.
 	// Only every traceSample-th request is traced; the rest pay one
@@ -416,7 +619,10 @@ func (c *Client) submit(op int, vol uint32, off int64, buf, data []byte) (*Pendi
 	if c.om != nil && c.traceCtr.Add(1)%traceSample == 0 {
 		t0 = obs.Now()
 	}
-	slot := <-c.creditC
+	slot, err := c.acquireSlot(ctx)
+	if err != nil {
+		return nil, err
+	}
 	p := &Pending{c: c, slot: slot, done: make(chan struct{}), t0: t0}
 	c.mu.Lock()
 	if c.closed {
@@ -527,6 +733,61 @@ func (c *Client) send(gen int, p *Pending, m wire.Message, body []byte) error {
 	return err
 }
 
+// keepalive is one connection generation's hung-peer detector. It wakes
+// twice per interval and, whenever the link has been silent for a full
+// interval, sends a TPing and arms a read deadline one interval out. A
+// live peer answers with TPong (the reader clears the deadline and logs
+// the RTT); a hung peer lets the deadline fire, which fails the reader
+// and enters reconnection — the same path a closed peer takes, which is
+// the whole point: "dead peer ⇒ silent" becomes as detectable as
+// "dead peer ⇒ closed conn". While traffic flows, the hot path pays one
+// atomic store per inbound frame and this goroutine never sends.
+func (c *Client) keepalive(conn net.Conn, gen int) {
+	iv := c.cfg.KeepaliveInterval
+	tick := time.NewTicker(iv / 2)
+	defer tick.Stop()
+	for range tick.C {
+		c.mu.Lock()
+		stale := gen != c.genID || c.closed
+		c.mu.Unlock()
+		if stale {
+			return
+		}
+		if c.kaArmed.Load() {
+			// Ping outstanding; the armed read deadline owns detection.
+			continue
+		}
+		if time.Duration(obs.Now()-c.lastRecv.Load()) < iv {
+			continue
+		}
+		// Idle a full interval: probe. Arm the deadline before sending so
+		// a pong can never race an unarmed state.
+		c.kaPingAt.Store(obs.Now())
+		c.kaArmed.Store(true)
+		_ = conn.SetReadDeadline(time.Now().Add(iv))
+		c.kaPings.Add(1)
+		c.om.notePing()
+		c.sendPing(gen)
+	}
+}
+
+// sendPing pushes one TPing through the submission stream (respecting
+// generation and batching discipline).
+func (c *Client) sendPing(gen int) {
+	c.senders.Add(1)
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.senders.Add(-1)
+	if gen != c.bwGen {
+		return
+	}
+	wire.MarshalInto(c.scratch[:], &wire.Ping{})
+	if _, err := c.bw.Write(c.scratch[:]); err != nil {
+		return
+	}
+	_ = c.bw.Flush()
+}
+
 // reader demultiplexes responses for one connection generation. Frames
 // decode into two reusable structs (one per response type), so steady
 // state reads allocate nothing on the completion path.
@@ -536,29 +797,52 @@ func (c *Client) reader(conn net.Conn, gen int) {
 	var rr wire.ReadResp
 	var wr wire.WriteResp
 	var fr wire.FlushResp
-	fail := func() {
+	fail := func(err error) {
 		c.mu.Lock()
 		stale := gen != c.genID || c.closed
 		c.mu.Unlock()
-		if !stale {
-			c.connectionBroken()
+		if stale {
+			return
 		}
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			// The keepalive's armed deadline expired with the peer silent:
+			// a hung, not closed, connection — count it distinctly, then
+			// recover exactly like a break.
+			c.hungPeers.Add(1)
+			c.om.noteHung()
+		}
+		c.connectionBroken()
 	}
 	for {
 		t, err := wire.ReadFrame(br, &frame)
 		if err != nil {
-			fail()
+			fail(err)
 			return
+		}
+		// Frame arrived: feed the keepalive. Clearing the armed deadline
+		// costs a syscall only when a ping was outstanding.
+		c.lastRecv.Store(obs.Now())
+		if c.kaArmed.CompareAndSwap(true, false) {
+			_ = conn.SetReadDeadline(time.Time{})
 		}
 		switch t {
 		case wire.TReadResp:
 			m := &rr
 			if err := wire.UnmarshalInto(frame[:], m); err != nil {
-				fail()
+				fail(err)
 				return
 			}
+			// Claim the pending before touching its buffer: removal from
+			// the map under mu is the exclusion point against Cancel —
+			// whichever side removes the request owns the buffers. A
+			// canceled (absent) request's payload is drained blind, never
+			// written into memory the caller got back.
 			c.mu.Lock()
 			p := c.pending[uint64(m.Ack)]
+			if p != nil {
+				delete(c.pending, uint64(m.Ack))
+				c.tracker.Ack(uint64(m.Ack))
+			}
 			c.mu.Unlock()
 			n := int64(m.Length)
 			var ioErr error
@@ -573,42 +857,66 @@ func (c *Client) reader(conn net.Conn, gen int) {
 			case p != nil && int64(len(p.buf)) == n:
 				_, err = io.ReadFull(br, p.buf)
 			default:
-				// Unknown or stale seq, or a length mismatch. The payload
-				// must still leave the stream — otherwise its bytes would be
-				// parsed as the next control frame and every subsequent
-				// response on this connection would be corrupted.
+				// Unknown, stale or canceled seq, or a length mismatch. The
+				// payload must still leave the stream — otherwise its bytes
+				// would be parsed as the next control frame and every
+				// subsequent response on this connection would be corrupted.
 				_, err = io.CopyN(io.Discard, br, n)
 				if p != nil {
 					ioErr = fmt.Errorf("netv3: read response length %d != buffer %d", n, len(p.buf))
 				}
 			}
 			if err != nil { // stream died mid-payload
-				fail()
+				if p != nil {
+					c.unclaim(p)
+				}
+				fail(err)
 				return
 			}
 			if p != nil {
-				c.complete(uint64(m.Ack), ioErr)
+				if p.t0 != 0 {
+					p.t3 = obs.Now()
+				}
+				c.finish(p, ioErr)
 			}
 		case wire.TWriteResp:
 			if err := wire.UnmarshalInto(frame[:], &wr); err != nil {
-				fail()
+				fail(err)
 				return
 			}
 			c.complete(uint64(wr.Ack), wr.Status.Err())
 		case wire.TFlushResp:
 			if err := wire.UnmarshalInto(frame[:], &fr); err != nil {
-				fail()
+				fail(err)
 				return
 			}
 			c.complete(uint64(fr.Ack), fr.Status.Err())
 		case wire.TPong:
-			// liveness only
+			// Keepalive answer: log the round trip of the outstanding ping.
+			if at := c.kaPingAt.Swap(0); at != 0 {
+				c.om.noteKeepaliveRTT(obs.Now() - at)
+			}
 		default:
 			// Unexpected frame: treat as protocol failure.
 			c.connectionBroken()
 			return
 		}
 	}
+}
+
+// unclaim returns a claimed-but-undelivered request to the pending set
+// (the stream died mid-payload) so reconnection replays it — or fails it
+// with ErrClosed when the client is already gone.
+func (c *Client) unclaim(p *Pending) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.finish(p, ErrClosed)
+		return
+	}
+	c.pending[p.seq] = p
+	c.tracker.Track(p.seq, time.Since(c.start))
+	c.mu.Unlock()
 }
 
 func (c *Client) complete(seq uint64, err error) {
@@ -618,9 +926,9 @@ func (c *Client) complete(seq uint64, err error) {
 	c.tracker.Ack(seq)
 	c.mu.Unlock()
 	if p != nil {
-		// Stage trace: the response (payload included) has arrived;
-		// everything from the submitter's wire write to here is the
-		// server+net stage. Untraced requests (t0 == 0) skip the clock.
+		// Stage trace: the response has arrived; everything from the
+		// submitter's wire write to here is the server+net stage.
+		// Untraced requests (t0 == 0) skip the clock.
 		if p.t0 != 0 {
 			p.t3 = obs.Now()
 		}
@@ -628,17 +936,11 @@ func (c *Client) complete(seq uint64, err error) {
 	}
 }
 
-// Traced reports whether this request carries the sampled stage trace
-// (1 in traceSample requests on a metrics-enabled client). Callers
-// comparing the breakdown table against their own end-to-end timing
-// should average over traced requests only, so both sides describe the
-// same population.
-func (h *Pending) Traced() bool { return h.t0 != 0 }
-
 // finish publishes the completion and returns the credit slot. Each
-// Pending reaches finish exactly once: complete, Close, and permanent
-// reconnection failure all remove it from the pending map under mu
-// before calling here.
+// Pending reaches finish exactly once: the reader's claim, cancel,
+// Close, and permanent reconnection failure all remove it from the
+// pending map under mu before calling here, so no two paths can both
+// own it.
 func (c *Client) finish(p *Pending, err error) {
 	p.err = err
 	if p.t3 != 0 {
@@ -648,39 +950,75 @@ func (c *Client) finish(p *Pending, err error) {
 	c.creditC <- p.slot
 }
 
-// connectionBroken drives the reconnection state machine: redial with
-// backoff and replay every unacknowledged request on the new session.
+// connectionBroken starts the reconnection state machine. Only the first
+// caller becomes the recovery driver (single-flight); later callers —
+// concurrent submitters whose sends failed, a reader hitting EOF —
+// return immediately, their requests parked in the pending map for
+// replay.
 func (c *Client) connectionBroken() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed || c.reconn.State() != reliable.StateConnected {
+	if c.closed || c.recovering || c.reconn.State() != reliable.StateConnected {
+		c.mu.Unlock()
 		return
 	}
-	now := time.Since(c.start)
-	c.reconn.ConnectionBroken(now)
+	c.recovering = true
+	c.reconn.ConnectionBroken(time.Since(c.start))
 	if c.conn != nil {
 		c.conn.Close()
 	}
-	for c.reconn.State() == reliable.StateReconnecting {
-		now = time.Since(c.start)
+	c.mu.Unlock()
+	c.recover()
+}
+
+// recover drives reconnection to completion: redial with exponential
+// backoff and replay every unacknowledged request on the new session, or
+// — when the bounded retry budget is spent — complete everything
+// outstanding with ErrConnLost so no waiter hangs forever. Dial attempts
+// (up to DialTimeout each) run with mu RELEASED: Stats, Close, cancels
+// and submitter bookkeeping stay responsive through a reconnect storm.
+func (c *Client) recover() {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.recovering = false
+			c.mu.Unlock()
+			return
+		}
+		now := time.Since(c.start)
 		if !c.reconn.ShouldAttempt(now) {
 			next, _ := c.reconn.NextAttemptAt()
 			c.mu.Unlock()
 			time.Sleep(next - now)
-			c.mu.Lock()
-			if c.closed {
+			continue
+		}
+		c.mu.Unlock()
+
+		conn, resp, err := c.dialSession() // no locks held
+
+		c.mu.Lock()
+		if c.closed {
+			c.recovering = false
+			c.mu.Unlock()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		if err != nil {
+			c.reconn.AttemptFailed(time.Since(c.start))
+			if c.reconn.State() == reliable.StateFailed {
+				c.failAllLocked()
 				return
 			}
+			c.mu.Unlock()
 			continue
 		}
-		if err := c.connectLocked(); err != nil {
-			c.reconn.AttemptFailed(time.Since(c.start))
-			continue
-		}
+		c.installConn(conn, resp)
 		c.reconn.AttemptSucceeded()
 		c.reconnects.Add(1)
 		c.tracker.Reset(time.Since(c.start))
 		// Replay unacknowledged requests in order on the new session.
+		replayed := true
 		for _, seq := range c.tracker.Unacked() {
 			p, ok := c.pending[seq]
 			if !ok {
@@ -691,17 +1029,28 @@ func (c *Client) connectionBroken() {
 				// New connection failed immediately; loop again.
 				c.reconn.ConnectionBroken(time.Since(c.start))
 				c.conn.Close()
+				replayed = false
 				break
 			}
 		}
-		if c.reconn.State() == reliable.StateConnected {
+		if replayed {
+			c.recovering = false
+			c.mu.Unlock()
 			return
 		}
+		c.mu.Unlock()
 	}
-	// Permanent failure: fail everything outstanding.
+}
+
+// failAllLocked ends recovery permanently: every outstanding request
+// completes with ErrConnLost and the client closes. Called with mu held;
+// unlocks before publishing completions.
+func (c *Client) failAllLocked() {
 	failed := c.pending
 	c.pending = map[uint64]*Pending{}
 	c.closed = true
+	c.recovering = false
+	c.mu.Unlock()
 	for _, p := range failed {
 		c.finish(p, ErrConnLost)
 	}

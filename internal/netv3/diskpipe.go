@@ -4,7 +4,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"github.com/v3storage/v3/internal/flow"
 	"github.com/v3storage/v3/internal/obs"
 	"github.com/v3storage/v3/internal/wire"
 )
@@ -24,7 +23,6 @@ type diskTask struct {
 	reqID uint64
 	off   int64
 	body  []byte // read: response buffer; write: payload (owned by the task)
-	slot  uint32 // write only: flow-control slot to release on completion
 	enq   int64  // enqueue timestamp; zero when metrics are off
 }
 
@@ -135,16 +133,17 @@ func (p *diskPipe) runTask(t diskTask) {
 		}
 		s.pool.Put(t.body)
 		s.served.Add(1)
-		t.sc.complete(completion{msg: wr, slot: t.slot, hasSlot: true})
+		t.sc.complete(completion{msg: wr})
 	}
 }
 
 // completion is one finished worker task on its way back to the wire.
+// Flow-control slots are no longer carried here: the session loop
+// releases a write's slot as soon as its payload leaves the stream, so
+// completions are pure response traffic.
 type completion struct {
-	msg     wire.Message
-	body    []byte // returned to the pool after the response is written
-	slot    uint32
-	hasSlot bool
+	msg  wire.Message
+	body []byte // returned to the pool after the response is written
 }
 
 // sessCtx is a session's completion lane: workers finish tasks in any
@@ -157,14 +156,12 @@ type completion struct {
 type sessCtx struct {
 	s    *Server
 	w    *respWriter
-	fc   *flow.Server
-	fcMu *sync.Mutex
 	comp chan completion
 	wg   sync.WaitGroup // in-flight worker tasks for this session
 }
 
-func newSessCtx(s *Server, w *respWriter, fc *flow.Server, fcMu *sync.Mutex) *sessCtx {
-	sc := &sessCtx{s: s, w: w, fc: fc, fcMu: fcMu, comp: make(chan completion, 64)}
+func newSessCtx(s *Server, w *respWriter) *sessCtx {
+	sc := &sessCtx{s: s, w: w, comp: make(chan completion, 64)}
 	go sc.loop()
 	return sc
 }
@@ -188,11 +185,6 @@ func (sc *sessCtx) loop() {
 		_ = sc.w.respond(c.msg, c.body, batch)
 		if c.body != nil {
 			sc.s.pool.Put(c.body)
-		}
-		if c.hasSlot {
-			sc.fcMu.Lock()
-			_ = sc.fc.Release(c.slot)
-			sc.fcMu.Unlock()
 		}
 	}
 }

@@ -63,21 +63,78 @@ func ClientStageDefs() []obs.StageDef {
 	}
 }
 
-// clientObs is a client's stage-histogram set; nil when no registry is
-// configured, which gates every timestamp capture down to one branch.
+// clientObs is a client's stage-histogram set plus the failure-path
+// counters (cancellation, deadline expiry, hung-peer detection) and the
+// keepalive RTT histogram; nil when no registry is configured, which
+// gates every capture site down to one branch — the note* helpers are
+// nil-receiver safe so callers never re-check.
 type clientObs struct {
 	stages [nStages]*obs.Hist
+
+	cancels   *obs.Counter // netv3_client_cancels_total
+	deadlines *obs.Counter // netv3_client_deadline_exceeded_total
+	hungs     *obs.Counter // netv3_client_hung_peer_total
+	pings     *obs.Counter // netv3_client_keepalive_pings_total
+	kaRTT     *obs.Hist    // netv3_client_keepalive_rtt_ns
 }
 
 func newClientObs(r *obs.Registry) *clientObs {
 	if r == nil {
 		return nil
 	}
-	co := &clientObs{}
+	co := &clientObs{
+		cancels:   r.Counter("netv3_client_cancels_total"),
+		deadlines: r.Counter("netv3_client_deadline_exceeded_total"),
+		hungs:     r.Counter("netv3_client_hung_peer_total"),
+		pings:     r.Counter("netv3_client_keepalive_pings_total"),
+		kaRTT:     r.Hist("netv3_client_keepalive_rtt_ns"),
+	}
 	for i, name := range clientStageMetrics {
 		co.stages[i] = r.Hist(name)
 	}
 	return co
+}
+
+// noteCancel counts one canceled request (explicit Cancel or an expired
+// bounded wait).
+func (co *clientObs) noteCancel() {
+	if co == nil {
+		return
+	}
+	co.cancels.Inc()
+}
+
+// noteDeadline counts one bounded-wait expiry (WaitTimeout/WaitContext).
+func (co *clientObs) noteDeadline() {
+	if co == nil {
+		return
+	}
+	co.deadlines.Inc()
+}
+
+// noteHung counts one connection declared dead by keepalive deadline
+// enforcement — a silent, not closed, peer.
+func (co *clientObs) noteHung() {
+	if co == nil {
+		return
+	}
+	co.hungs.Inc()
+}
+
+// notePing counts one keepalive TPing sent on an idle link.
+func (co *clientObs) notePing() {
+	if co == nil {
+		return
+	}
+	co.pings.Inc()
+}
+
+// noteKeepaliveRTT records one ping→pong round trip.
+func (co *clientObs) noteKeepaliveRTT(ns int64) {
+	if co == nil {
+		return
+	}
+	co.kaRTT.Observe(ns)
 }
 
 // recordTrace folds one completed request's timestamps into the stage

@@ -222,11 +222,14 @@ func TestClientStats(t *testing.T) {
 	if st := c.Stats(); st.WaitTimeouts != 1 {
 		t.Fatalf("WaitTimeouts = %d, want 1", st.WaitTimeouts)
 	}
-	if err := h.Wait(); err != nil {
-		t.Fatal(err)
+	// The expired wait canceled the request: later waiters observe the
+	// same status, the cancel is counted, and the slot is already back —
+	// nothing stays in flight pinning the window.
+	if err := h.Wait(); !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("Wait after expiry = %v, want ErrWaitTimeout", err)
 	}
-	if st := c.Stats(); st.InFlight != 0 {
-		t.Fatalf("InFlight after completion = %d, want 0", st.InFlight)
+	if st := c.Stats(); st.InFlight != 0 || st.Cancels != 1 {
+		t.Fatalf("after expiry: InFlight=%d Cancels=%d, want 0 and 1", st.InFlight, st.Cancels)
 	}
 
 	c.KillConnForTest()

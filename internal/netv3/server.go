@@ -217,6 +217,13 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
+// ListenOn adopts an existing listener instead of binding a fresh
+// socket — the hook that lets a fault injector (internal/faultnet)
+// interpose on every session a test server accepts. Call Serve after.
+func (s *Server) ListenOn(ln net.Listener) {
+	s.ln = ln
+}
+
 // Serve accepts sessions until Close. Call after Listen.
 func (s *Server) Serve() error {
 	for {
@@ -449,10 +456,9 @@ func (s *Server) session(conn net.Conn) {
 	if err := w.send(resp, nil); err != nil {
 		return
 	}
-	var fcMu sync.Mutex // guards fc slot state (writes only; see below)
-	var sc *sessCtx     // completion lane, only with the pipelined disk path
+	var sc *sessCtx // completion lane, only with the pipelined disk path
 	if s.cfg.DiskWorkers > 0 {
-		sc = newSessCtx(s, w, fc, &fcMu)
+		sc = newSessCtx(s, w)
 		defer func() {
 			// Kill the socket first so no new requests arrive, then wait
 			// out in-flight worker tasks before closing the lane.
@@ -521,10 +527,7 @@ func (s *Server) session(conn net.Conn) {
 			if err := wire.UnmarshalInto(frame[:], m); err != nil {
 				return
 			}
-			fcMu.Lock()
-			err := fc.Reserve(m.Slot)
-			fcMu.Unlock()
-			if err != nil {
+			if err := fc.Reserve(m.Slot); err != nil {
 				s.logf("netv3: %v", err)
 				_ = w.respond(&wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq)},
 					ReqID: m.ReqID, Status: wire.StatusEAgain}, nil, inline)
@@ -541,6 +544,15 @@ func (s *Server) session(conn net.Conn) {
 				s.pool.Put(body)
 				return
 			}
+			// The slot names the staging buffer for the payload *in transit*;
+			// those bytes are now off the stream, so release it immediately
+			// rather than at request completion. Frames are processed in
+			// order on one goroutine, which makes this the contract the
+			// client's cancellation path relies on: a canceled request's
+			// slot, reused on the same session, reaches this Reserve only
+			// after the canceled write's payload already passed through here.
+			// (fc is now touched only by the session loop — no lock.)
+			_ = fc.Release(m.Slot)
 			v := s.lookup(m.Volume)
 			if v != nil && v.wb != nil {
 				if !v.wb.overWater() {
@@ -561,9 +573,6 @@ func (s *Server) session(conn net.Conn) {
 					s.served.Add(1)
 					_ = w.respond(wr, nil, inline)
 					s.pool.Put(body)
-					fcMu.Lock()
-					_ = fc.Release(m.Slot)
-					fcMu.Unlock()
 					s.obsDispatch(dt0)
 					continue
 				}
@@ -573,7 +582,7 @@ func (s *Server) session(conn net.Conn) {
 			}
 			if v != nil && v.pipe != nil {
 				t := diskTask{sc: sc, kind: taskWrite, seq: m.Seq, reqID: m.ReqID,
-					off: int64(m.Offset), body: body, slot: m.Slot}
+					off: int64(m.Offset), body: body}
 				sc.wg.Add(1)
 				if v.pipe.trySubmit(t) {
 					s.obsDispatch(dt0)
@@ -584,18 +593,12 @@ func (s *Server) session(conn net.Conn) {
 			if inline {
 				s.handleWrite(m, body, w, true)
 				s.pool.Put(body)
-				fcMu.Lock()
-				_ = fc.Release(m.Slot)
-				fcMu.Unlock()
 				s.obsDispatch(dt0)
 				continue
 			}
 			go func() {
 				s.handleWrite(m, body, w, false)
 				s.pool.Put(body)
-				fcMu.Lock()
-				_ = fc.Release(m.Slot)
-				fcMu.Unlock()
 			}()
 		case wire.TFlush:
 			m := new(wire.Flush)

@@ -81,10 +81,16 @@ func TestPendingWaitTimeout(t *testing.T) {
 	if d := time.Since(start); d > 2*time.Second {
 		t.Fatalf("WaitTimeout took %v", d)
 	}
-	// The request is still outstanding; a second bounded wait times out
-	// again rather than panicking or completing.
+	// The expired wait canceled the request and published ErrWaitTimeout
+	// as its completion status; a second wait observes the same status
+	// immediately rather than panicking or blocking.
 	if err := h.WaitTimeout(10 * time.Millisecond); !errors.Is(err, ErrWaitTimeout) {
 		t.Fatalf("second wait: err=%v, want ErrWaitTimeout", err)
+	}
+	// And the credit slot came home with the cancel: nothing is in
+	// flight pinning the window behind an abandoned handle.
+	if st := c.Stats(); st.InFlight != 0 {
+		t.Fatalf("InFlight after expired wait = %d, want 0", st.InFlight)
 	}
 }
 

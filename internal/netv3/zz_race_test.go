@@ -8,7 +8,7 @@ import (
 
 // Submit from one goroutine, Wait from another, metrics enabled.
 func TestCrossGoroutineWaitTrace(t *testing.T) {
-	_, addr := startMemServer(t, ServerConfig{CacheBlocks: 64})
+	_, addr := startServer(t, ServerConfig{CacheBlocks: 64}, 1<<20)
 	ccfg := DefaultClientConfig()
 	ccfg.Metrics = obs.New()
 	c, err := Dial(addr, ccfg)

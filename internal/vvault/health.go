@@ -1,12 +1,20 @@
 package vvault
 
 import (
+	"context"
 	"errors"
 	"time"
 
 	"github.com/v3storage/v3/internal/netv3"
 	"github.com/v3storage/v3/internal/obs"
 )
+
+// errProbeStarved marks a probe that could not even acquire a credit
+// slot within ProbeTimeout — the window is wedged or saturated. It
+// counts toward the error threshold rather than tripping at once, so a
+// briefly saturated (but healthy) backend survives a probe or two while
+// a truly wedged one trips after ErrorThreshold ticks.
+var errProbeStarved = errors.New("vvault: probe starved of credit slot")
 
 // fatalErr reports errors that mean the backend session is gone (as
 // opposed to an I/O status the backend itself returned): connection loss
@@ -120,15 +128,27 @@ func (v *Vault) probeLoop(b *backend) {
 }
 
 // probeOnce issues the zero-length health read, timing its round trip.
+// Submission is bounded by ProbeTimeout: when hung data-path requests
+// have exhausted the credit window, the probe must NOT join the queue
+// of goroutines blocked on a slot — that wedge would silence the one
+// loop whose job is to trip the wedged backend. A slot-acquire timeout
+// counts toward the error threshold (a loaded-but-healthy backend can
+// legitimately run out of window for a few probes); the completion
+// timeout below stays fatal via fatalErr, as before.
 func (v *Vault) probeOnce(b *backend) {
 	c := b.getClient()
 	if c == nil {
 		v.trip(b, errors.New("no client"))
 		return
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), v.cfg.ProbeTimeout)
 	t0 := obs.Now()
-	h, err := c.ReadAsync(v.cfg.Volume, 0, nil)
+	h, err := c.ReadAsyncCtx(ctx, v.cfg.Volume, 0, nil)
+	cancel()
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = errProbeStarved
+		}
 		v.recordProbeError(b, err)
 		return
 	}

@@ -37,6 +37,14 @@ func FuzzUnmarshal(f *testing.F) {
 	corrupt := Marshal(&Flush{ReqID: 1})
 	corrupt[3] = 0xFF // unknown type byte
 	f.Add(corrupt)
+	// Truncated and duplicated keepalive frames: TPing is the op the
+	// hung-peer detector rides on, so a mangled ping must be rejected
+	// cleanly (truncation) and a doubled one must decode as exactly one
+	// frame (the stream framer owns the second).
+	ping := Marshal(&Ping{Header: Header{Seq: 21}})
+	f.Add(ping[:HeaderSize])
+	f.Add(ping[:ControlSize-8])
+	f.Add(append(append([]byte{}, ping...), ping...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Unmarshal(data)
@@ -58,4 +66,26 @@ func FuzzUnmarshal(f *testing.F) {
 			t.Fatalf("%v lost seq/ack across roundtrip", TypeOf(m))
 		}
 	})
+}
+
+// TestPingFrameTruncationAndDuplication pins the keepalive frame's edge
+// cases deterministically (the fuzz corpus seeds the same shapes): any
+// truncation below ControlSize is rejected, and a buffer holding two
+// back-to-back pings decodes as the FIRST frame only — trailing bytes
+// belong to the stream framer, never to this decode.
+func TestPingFrameTruncationAndDuplication(t *testing.T) {
+	ping := Marshal(&Ping{Header: Header{Seq: 77}})
+	for _, n := range []int{0, 1, HeaderSize - 1, HeaderSize, ControlSize - 8, ControlSize - 1} {
+		if _, err := Unmarshal(ping[:n]); err == nil {
+			t.Fatalf("truncated ping (%d bytes) decoded without error", n)
+		}
+	}
+	dup := append(append([]byte{}, ping...), ping...)
+	m, err := Unmarshal(dup)
+	if err != nil {
+		t.Fatalf("duplicated ping rejected: %v", err)
+	}
+	if TypeOf(m) != TPing || m.Hdr().Seq != 77 {
+		t.Fatalf("duplicated ping decoded as %v seq=%d", TypeOf(m), m.Hdr().Seq)
+	}
 }
