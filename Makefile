@@ -5,7 +5,7 @@ GO ?= go
 # run instead of hanging it.
 TEST_TIMEOUT ?= 10m
 
-.PHONY: all build test race vet verify chaos bench bench-netv3 clean
+.PHONY: all build test race vet verify chaos bench bench-netv3 bench-disk clean
 
 all: build
 
@@ -42,6 +42,20 @@ bench-netv3:
 		-bench 'BenchmarkNetv3' -benchtime 1s ./internal/netv3/
 	BENCH_JSON=$(CURDIR)/BENCH_netv3.json $(GO) test -run '^$$' \
 		-bench 'BenchmarkNetv3Cluster' -benchtime 1s ./internal/vvault/
+
+# bench-disk re-records the batched-disk-backend ablation (the
+# BenchmarkNetv3DiskQ depth sweep over the 150 µs slow store) into
+# BENCH_netv3.json. BENCH_APPEND=1 replaces same-name rows in place, so
+# the rest of the file survives; one process per row keeps the rows from
+# perturbing each other on small machines.
+bench-disk:
+	@for cfg in diskq-off diskq-d8 diskq-d32 diskq-d64 diskq-d128 diskq-d256; do \
+		for wl in 16 64; do \
+			BENCH_JSON=$(CURDIR)/BENCH_netv3.json BENCH_APPEND=1 $(GO) test -run '^$$' \
+				-bench "BenchmarkNetv3DiskQ/$$cfg/8192x$${wl}mixed\$$" \
+				-benchtime 4000x ./internal/netv3/ || exit 1; \
+		done; \
+	done
 
 clean:
 	$(GO) clean ./...

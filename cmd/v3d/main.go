@@ -8,6 +8,7 @@
 //	v3d -addr :9300 -cache 4096 -shards 32 -stats 10s
 //	v3d -addr :9300 -file /data/vol.img -size 1G -cache 4096 -workers 8
 //	v3d -addr :9300 -cache 4096 -workers 8 -nowritebehind -noprefetch
+//	v3d -addr :9300 -file /data/vol.img -size 1G -diskq -sqdepth 64
 //	v3d -addr :9300 -metrics :9400             # Prometheus text + JSON snapshot
 //	v3d -addr :9300 -nopool -nobatch           # seed-equivalent baseline
 package main
@@ -57,6 +58,8 @@ func main() {
 	noPool := flag.Bool("nopool", false, "disable buffer pooling (allocate per request)")
 	noBatch := flag.Bool("nobatch", false, "disable response batching (flush per response)")
 	workers := flag.Int("workers", 0, "disk worker goroutines per volume (0 = synchronous inline I/O)")
+	diskQ := flag.Bool("diskq", false, "batched submission/completion disk backend (io_uring on Linux file stores, goroutine pool otherwise); supersedes -workers for dispatch")
+	sqDepth := flag.Int("sqdepth", 0, "disk-queue submission depth with -diskq (0 = 64)")
 	noWriteBehind := flag.Bool("nowritebehind", false, "disable write-behind destaging (ack after store write)")
 	noPrefetch := flag.Bool("noprefetch", false, "disable sequential read-ahead")
 	dirtyMax := flag.Int("dirtymax", 0, "dirty-block high-watermark before write-through fallback (0 = cache/2)")
@@ -76,6 +79,8 @@ func main() {
 	cfg.NoPool = *noPool
 	cfg.NoBatch = *noBatch
 	cfg.DiskWorkers = *workers
+	cfg.DiskQ = *diskQ
+	cfg.SQDepth = *sqDepth
 	cfg.NoWriteBehind = *noWriteBehind
 	cfg.NoPrefetch = *noPrefetch
 	cfg.DirtyHighWater = *dirtyMax

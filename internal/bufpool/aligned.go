@@ -1,0 +1,104 @@
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// DirectAlign is the alignment every Aligned slab guarantees: 4096
+// bytes covers O_DIRECT on every mainstream filesystem (page-sized
+// alignment satisfies both the 512-byte logical-sector floor and the
+// 4K-native devices that reject anything smaller).
+const DirectAlign = 4096
+
+// Aligned is a size-classed pool of alignment-guaranteed slabs — the
+// buffer source for the batched disk backend (internal/diskq), where
+// payloads may be handed to the kernel as registered/pinned I/O buffers
+// and must be O_DIRECT-compatible. It reuses the Pool's power-of-two
+// class ladder but over-allocates each slab by the alignment and slices
+// to the first aligned byte, so &b[0] of every Get is DirectAlign-
+// aligned and the capacity is exactly the class size (making Put's
+// class lookup identical to the unaligned pool's).
+type Aligned struct {
+	classes [classCount]sync.Pool
+	gets    atomic.Int64
+	puts    atomic.Int64
+	allocs  atomic.Int64
+	oversz  atomic.Int64
+}
+
+// NewAligned returns an empty aligned pool.
+func NewAligned() *Aligned {
+	return &Aligned{}
+}
+
+// AlignedSlab allocates a DirectAlign-aligned slice of exactly size
+// bytes (cap == size), discarding the unaligned head of the raw
+// allocation. It is the primitive under Aligned.Get, exported for
+// callers that need one-off pinned-registration slabs outside a pool
+// (the diskq registered-buffer arena).
+func AlignedSlab(size int) []byte {
+	raw := make([]byte, size+DirectAlign)
+	off := 0
+	if rem := int(uintptr(unsafe.Pointer(&raw[0])) & (DirectAlign - 1)); rem != 0 {
+		off = DirectAlign - rem
+	}
+	return raw[off : off+size : off+size]
+}
+
+// aligned reports whether b's first byte sits on a DirectAlign boundary.
+func aligned(b []byte) bool {
+	return uintptr(unsafe.Pointer(&b[0]))&(DirectAlign-1) == 0
+}
+
+// Get returns an aligned slice of length n. Requests outside the class
+// range fall through to a fresh aligned allocation sized exactly n. A
+// nil *Aligned degrades to plain aligned allocation.
+func (a *Aligned) Get(n int) []byte {
+	if a == nil {
+		return AlignedSlab(n)
+	}
+	idx := classFor(n)
+	if idx < 0 {
+		a.oversz.Add(1)
+		return AlignedSlab(n)
+	}
+	a.gets.Add(1)
+	if v := a.classes[idx].Get(); v != nil {
+		b := *(v.(*[]byte))
+		return b[:n]
+	}
+	a.allocs.Add(1)
+	return AlignedSlab(classSize(idx))[:n]
+}
+
+// Put returns b's slab to its class. Slabs that lost their alignment or
+// whose capacity is not an exact class size are dropped, so correctness
+// never depends on callers returning only pristine slabs.
+func (a *Aligned) Put(b []byte) {
+	if a == nil || cap(b) == 0 {
+		return
+	}
+	c := cap(b)
+	idx := classFor(c)
+	if idx < 0 || classSize(idx) != c || !aligned(b[:1]) {
+		return
+	}
+	a.puts.Add(1)
+	b = b[:c]
+	a.classes[idx].Put(&b)
+}
+
+// Stats returns cumulative counters since the pool was created.
+func (a *Aligned) Stats() Stats {
+	if a == nil {
+		return Stats{}
+	}
+	return Stats{
+		Gets:   a.gets.Load(),
+		Puts:   a.puts.Load(),
+		Allocs: a.allocs.Load(),
+		Oversz: a.oversz.Load(),
+	}
+}

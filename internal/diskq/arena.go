@@ -1,0 +1,114 @@
+package diskq
+
+import (
+	"io"
+	"sync"
+	"unsafe"
+
+	"github.com/v3storage/v3/internal/bufpool"
+)
+
+// arena is the queue's registered-buffer pool: a fixed set of
+// O_DIRECT-aligned slabs allocated once at Open. On the io_uring
+// backend the slabs are registered with the kernel
+// (IORING_REGISTER_BUFFERS) so they stay pinned for the queue's
+// lifetime and I/O on them uses the FIXED opcodes, skipping the per-op
+// page-pin — the paper's registration-caching discipline applied to
+// disk buffers. On the portable backend they are simply a zero-steady-
+// state-allocation staging pool.
+type arena struct {
+	slabSize int
+	slabs    [][]byte // each cap == slabSize, DirectAlign-aligned
+
+	mu   sync.Mutex
+	free []int           // free slot indices (LIFO for cache warmth)
+	base map[uintptr]int // &slab[0] → slot index
+}
+
+func newArena(count, size int) *arena {
+	a := &arena{
+		slabSize: size,
+		slabs:    make([][]byte, count),
+		free:     make([]int, count),
+		base:     make(map[uintptr]int, count),
+	}
+	for i := range a.slabs {
+		s := bufpool.AlignedSlab(size)
+		a.slabs[i] = s
+		a.free[i] = count - 1 - i
+		a.base[uintptr(unsafe.Pointer(&s[0]))] = i
+	}
+	return a
+}
+
+// get returns a free slab sliced to n, or nil when n exceeds the slab
+// size or all slabs are out (the caller falls back to the aligned pool).
+func (a *arena) get(n int) []byte {
+	if n > a.slabSize || n == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.free) == 0 {
+		return nil
+	}
+	i := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	return a.slabs[i][:n]
+}
+
+// put returns b to the arena if it is one of its slabs; false means the
+// buffer belongs to the fallback pool.
+func (a *arena) put(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	i, ok := a.base[uintptr(unsafe.Pointer(&b[0]))]
+	if !ok {
+		return false
+	}
+	a.free = append(a.free, i)
+	return true
+}
+
+// slot returns b's registered-buffer index for FIXED submission, or
+// false when b is not an arena slab (or is an interior slice of one —
+// FIXED I/O must start at the registered base).
+func (a *arena) slot(b []byte) (int, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	i, ok := a.base[uintptr(unsafe.Pointer(&b[0]))]
+	return i, ok
+}
+
+// normalizeRead maps a backend read result onto the queue's sparse-store
+// read contract: a read that ran past end-of-file zero-fills the
+// remainder and reports success, exactly like reading a sparse hole.
+// Both backends route read completions through here so a file shorter
+// than the I/O range cannot make them diverge — the portable path sees
+// io.EOF from ReaderAt, the io_uring path a short positive result, and
+// both come out identical.
+func normalizeRead(buf []byte, n int, err error) (int, error) {
+	if n < 0 {
+		n = 0
+	}
+	if n < len(buf) && (err == nil || err == io.EOF || err == io.ErrUnexpectedEOF) {
+		zero(buf[n:])
+		return len(buf), nil
+	}
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

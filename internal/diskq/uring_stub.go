@@ -1,0 +1,14 @@
+//go:build !linux
+
+package diskq
+
+import "os"
+
+// newURing is the non-Linux stub: Backend IOUring fails with
+// ErrUnsupported and Auto falls through to the portable pool.
+func newURing(f *os.File, depth int, a *arena) (ring, error) {
+	_ = f
+	_ = depth
+	_ = a
+	return nil, ErrUnsupported
+}

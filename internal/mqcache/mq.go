@@ -51,6 +51,7 @@ type mqEntry struct {
 	refs    int   // reference count (drives queue index)
 	expire  int64 // currentTime + lifeTicks when (re)queued
 	queue   int   // which Qi the entry sits in
+	pinned  bool  // exempt from victim selection (e.g. dirty, being flushed)
 	element *list.Element
 }
 
@@ -69,6 +70,7 @@ type MQ struct {
 	now      int64 // logical time in accesses
 	hits     int64
 	accesses int64
+	pinned   int // resident entries currently pinned
 }
 
 // NewMQ returns an MQ cache holding capacity blocks, with numQueues
@@ -158,10 +160,35 @@ func (m *MQ) adjust() {
 // Insert adds key after a miss. If the key is remembered in the ghost
 // queue its old reference count is restored (plus one), placing it
 // directly in a higher-frequency queue. Returns the victim, if one was
-// evicted to make room.
+// evicted to make room. Callers that pin entries must use TryInsert
+// instead: Insert panics if every resident entry is pinned and one must
+// be evicted.
 func (m *MQ) Insert(key uint64) (uint64, bool) {
+	victim, wasEvict, inserted := m.TryInsert(key)
+	if !inserted {
+		if _, ok := m.entries[key]; ok {
+			return 0, false // already resident; treat as no-op
+		}
+		panic("mqcache: Insert with every entry pinned (use TryInsert)")
+	}
+	return victim, wasEvict
+}
+
+// TryInsert adds key after a miss, like Insert, but refuses (inserted ==
+// false, nothing evicted) when the cache is full and every resident
+// entry is pinned. An already-resident key also reports inserted ==
+// false with no eviction. With no pinned entries TryInsert behaves
+// exactly like Insert.
+func (m *MQ) TryInsert(key uint64) (victim uint64, wasEvict, inserted bool) {
 	if _, ok := m.entries[key]; ok {
-		return 0, false // already resident; treat as no-op
+		return 0, false, false // already resident; treat as no-op
+	}
+	if len(m.entries) >= m.capacity {
+		v, ok := m.evict()
+		if !ok {
+			return 0, false, false // every candidate pinned; refuse
+		}
+		victim, wasEvict = v, true
 	}
 	refs := 1
 	if g, ok := m.qoutMap[key]; ok {
@@ -169,44 +196,77 @@ func (m *MQ) Insert(key uint64) (uint64, bool) {
 		m.qout.Remove(g.element)
 		delete(m.qoutMap, key)
 	}
-	var victim uint64
-	evicted := false
-	if len(m.entries) >= m.capacity {
-		victim = m.evict()
-		evicted = true
-	}
 	e := &mqEntry{key: key, refs: refs, expire: m.now + m.lifeTicks}
 	e.queue = m.queueIndex(refs)
 	e.element = m.queues[e.queue].PushFront(e)
 	m.entries[key] = e
-	return victim, evicted
+	return victim, wasEvict, true
 }
 
-// evict removes the LRU block of the lowest non-empty queue and remembers
-// it in the ghost queue.
-func (m *MQ) evict() uint64 {
-	for q := 0; q < m.numQueues; q++ {
-		back := m.queues[q].Back()
-		if back == nil {
-			continue
-		}
-		e := back.Value.(*mqEntry)
-		m.queues[q].Remove(e.element)
-		delete(m.entries, e.key)
-		// Remember in Qout.
-		ghost := &mqEntry{key: e.key, refs: e.refs}
-		ghost.element = m.qout.PushFront(ghost)
-		m.qoutMap[e.key] = ghost
-		if m.qout.Len() > m.qoutCap {
-			oldest := m.qout.Back()
-			g := oldest.Value.(*mqEntry)
-			m.qout.Remove(oldest)
-			delete(m.qoutMap, g.key)
-		}
-		return e.key
+// evict removes the least-valuable unpinned block — walking each queue
+// from its LRU end upward, lowest queue first — and remembers it in the
+// ghost queue. Returns false if every resident entry is pinned.
+func (m *MQ) evict() (uint64, bool) {
+	if len(m.entries) == 0 {
+		panic("mqcache: evict on empty cache")
 	}
-	panic("mqcache: evict on empty cache")
+	if m.pinned >= len(m.entries) {
+		return 0, false
+	}
+	for q := 0; q < m.numQueues; q++ {
+		for el := m.queues[q].Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*mqEntry)
+			if e.pinned {
+				continue
+			}
+			m.queues[q].Remove(e.element)
+			delete(m.entries, e.key)
+			// Remember in Qout.
+			ghost := &mqEntry{key: e.key, refs: e.refs}
+			ghost.element = m.qout.PushFront(ghost)
+			m.qoutMap[e.key] = ghost
+			if m.qout.Len() > m.qoutCap {
+				oldest := m.qout.Back()
+				g := oldest.Value.(*mqEntry)
+				m.qout.Remove(oldest)
+				delete(m.qoutMap, g.key)
+			}
+			return e.key, true
+		}
+	}
+	return 0, false
 }
+
+// Pin exempts key from victim selection until Unpin. Reports whether the
+// key is resident. Pinning an already-pinned key is a no-op.
+func (m *MQ) Pin(key uint64) bool {
+	e, ok := m.entries[key]
+	if !ok {
+		return false
+	}
+	if !e.pinned {
+		e.pinned = true
+		m.pinned++
+	}
+	return true
+}
+
+// Unpin makes key evictable again. Reports whether the key is resident.
+// Unpinning an unpinned key is a no-op.
+func (m *MQ) Unpin(key uint64) bool {
+	e, ok := m.entries[key]
+	if !ok {
+		return false
+	}
+	if e.pinned {
+		e.pinned = false
+		m.pinned--
+	}
+	return true
+}
+
+// PinnedLen returns the number of resident pinned entries (for tests).
+func (m *MQ) PinnedLen() int { return m.pinned }
 
 // RefOrInsert implements Cache.
 func (m *MQ) RefOrInsert(key uint64) (bool, uint64, bool) {
@@ -217,6 +277,17 @@ func (m *MQ) RefOrInsert(key uint64) (bool, uint64, bool) {
 	return false, victim, evicted
 }
 
+// RefOrTryInsert is RefOrInsert with TryInsert's refusal semantics: on a
+// miss with the cache full of pinned entries it reports inserted ==
+// false and leaves the cache untouched (beyond the access tick).
+func (m *MQ) RefOrTryInsert(key uint64) (hit bool, victim uint64, wasEvict, inserted bool) {
+	if m.Ref(key) {
+		return true, 0, false, false
+	}
+	victim, wasEvict, inserted = m.TryInsert(key)
+	return false, victim, wasEvict, inserted
+}
+
 // Contains implements Cache.
 func (m *MQ) Contains(key uint64) bool { _, ok := m.entries[key]; return ok }
 
@@ -225,6 +296,9 @@ func (m *MQ) Remove(key uint64) bool {
 	e, ok := m.entries[key]
 	if !ok {
 		return false
+	}
+	if e.pinned {
+		m.pinned--
 	}
 	m.queues[e.queue].Remove(e.element)
 	delete(m.entries, key)

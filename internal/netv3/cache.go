@@ -1,6 +1,7 @@
 package netv3
 
 import (
+	"errors"
 	"math/bits"
 	"sort"
 	"sync"
@@ -9,6 +10,11 @@ import (
 	"github.com/v3storage/v3/internal/bufpool"
 	"github.com/v3storage/v3/internal/mqcache"
 )
+
+// errCacheBusy reports that a cache insert was refused because every
+// slot in the block's shard is pinned by uncommitted write-behind state
+// (dirty or flushing blocks). Callers fall back to an uncached path.
+var errCacheBusy = errors.New("netv3: cache shard full of uncommitted blocks")
 
 // blockCache is the per-volume server cache, sharded so that cache hits
 // on different blocks stop serializing on one volume-wide mutex during
@@ -25,12 +31,16 @@ import (
 // ahead of a sequential reader are *prefetched*. The rules that keep the
 // store and cache coherent:
 //
-//   - A dirty or flushing block is never silently evicted: its payload
-//     moves to the orphan list, where the destager commits it and a
-//     re-fetching reader can re-adopt it. Dropping it would either lose
-//     acked data (dirty) or let a reader re-fill the block from the
-//     store while the destager's batch write for the same bytes is still
-//     in flight (flushing) — a torn read.
+//   - A dirty or flushing block is never evicted: it is pinned in the
+//     MQ, so victim selection skips it, and an insert that would need to
+//     evict from a shard whose every slot is pinned is refused instead
+//     (the caller serves uncached or falls back to write-through).
+//     Evicting one would either lose acked data (dirty) or let a reader
+//     re-fill the block from the store while the destager's batch write
+//     for the same bytes is still in flight (flushing) — a torn read.
+//     Should one slip through anyway, evictLocked still moves the
+//     payload to the orphan list, where the destager commits it and a
+//     re-fetching reader can re-adopt it.
 //   - Miss fills read the store while holding the block's shard lock,
 //     and writers update the store before the cache: an in-flight fill
 //     can observe stale store bytes, but the writer's cache update is
@@ -45,6 +55,17 @@ type blockCache struct {
 	dirtyCount atomic.Int64 // resident dirty blocks across shards
 	prefFills  atomic.Int64 // blocks installed by the prefetcher
 	prefHits   atomic.Int64 // demand hits on prefetched blocks
+
+	// prefResident counts installed-but-not-yet-demanded prefetch blocks
+	// (the union of the shards' pref sets). The prefetcher refuses new
+	// windows once this passes its residency budget: unconsumed
+	// read-ahead competing with demand blocks for cache slots evicts the
+	// very state it is trying to shortcut — and under write load it
+	// pushes dirty blocks into orphan limbo. prefBudget is the cap, a
+	// quarter of the cache.
+	prefResident atomic.Int64
+	prefBudget   int64
+	prefDiscards atomic.Int64 // dead-stream read-ahead blocks dropped
 
 	// Orphans: dirty/flushing payloads whose blocks were evicted before
 	// the destager committed them. orphanCount mirrors len(orphans) so
@@ -68,6 +89,34 @@ type cacheShard struct {
 	dirty    map[uint64]struct{} // written-behind, not yet destaged
 	flushing map[uint64]struct{} // staged in an in-flight destage batch
 	pref     map[uint64]struct{} // installed by prefetch, not yet demanded
+
+	// epochs count content-changing events in this shard, striped by
+	// block number: write absorbs, committed-write folds, destage
+	// unstages, and orphan commits all bump the written block's stripe
+	// under mu. The batched disk queue runs store reads without holding
+	// shard locks; it snapshots the covered blocks' stripes at submit and
+	// revalidates at completion — an unchanged stripe proves no write
+	// touched any block sharing it mid-flight, so the store bytes it read
+	// are neither stale nor torn. Striping (rather than one counter per
+	// shard) keeps the false-conflict rate low under mixed workloads: a
+	// write stream bumps only its own stripes, not every reader's. The
+	// stripe count is prime so the power-of-two strides block workloads
+	// favor cannot alias a whole write region onto a reader's stripes;
+	// a false conflict only costs one re-read through the classic path.
+	epochs [epochStripes]uint64
+}
+
+// epochStripes is the per-shard epoch stripe count. Prime (see above).
+const epochStripes = 127
+
+func epochStripe(blk uint64) int { return int(blk % epochStripes) }
+
+// shardEpoch is one entry of a submit-time epoch snapshot: the observed
+// counter of one (shard, stripe) pair.
+type shardEpoch struct {
+	idx    int
+	stripe int
+	epoch  uint64
 }
 
 // defaultCacheShards is the shard count when ServerConfig.CacheShards is
@@ -93,6 +142,10 @@ func newBlockCache(totalBlocks, nshards int, pool *bufpool.Pool) *blockCache {
 		per = 1
 	}
 	c := &blockCache{shards: make([]cacheShard, nshards), mask: uint64(nshards - 1), pool: pool}
+	c.prefBudget = int64(totalBlocks) / 4
+	if c.prefBudget < minPrefetchBlocks {
+		c.prefBudget = minPrefetchBlocks
+	}
 	for i := range c.shards {
 		c.shards[i].mq = mqcache.NewMQ(per, 0, 0)
 		c.shards[i].data = make(map[uint64][]byte, per)
@@ -122,8 +175,37 @@ func blockLen(vsize int64, blk uint64) int64 {
 func (c *blockCache) hitLocked(sh *cacheShard, blk uint64) {
 	if _, ok := sh.pref[blk]; ok {
 		delete(sh.pref, blk)
+		c.prefResident.Add(-1)
 		c.prefHits.Add(1)
 	}
+}
+
+// prefetchDiscard drops blocks a dead read stream prefetched but never
+// consumed. Discarding is always safe for a block still in pref state:
+// its bytes are a clean copy of the store, installed purely on a
+// prediction the stream has just disproven. Blocks that left pref state
+// (consumed by a demand hit, or claimed by a write — absorb clears the
+// flag) are skipped. Returns the number of blocks dropped.
+func (c *blockCache) prefetchDiscard(blks []uint64) int {
+	dropped := 0
+	for _, blk := range blks {
+		sh := c.shard(blk)
+		sh.mu.Lock()
+		_, p := sh.pref[blk]
+		_, d := sh.dirty[blk]
+		_, f := sh.flushing[blk]
+		if p && !d && !f {
+			delete(sh.pref, blk)
+			c.prefResident.Add(-1)
+			c.pool.Put(sh.data[blk])
+			delete(sh.data, blk)
+			sh.mq.Remove(blk)
+			dropped++
+		}
+		sh.mu.Unlock()
+	}
+	c.prefDiscards.Add(int64(dropped))
+	return dropped
 }
 
 // evictLocked disposes of a victim the MQ just evicted. Clean victims
@@ -137,7 +219,10 @@ func (c *blockCache) evictLocked(v *volume, sh *cacheShard, victim uint64) {
 	_, flushing := sh.flushing[victim]
 	delete(sh.dirty, victim)
 	delete(sh.flushing, victim)
-	delete(sh.pref, victim)
+	if _, p := sh.pref[victim]; p {
+		delete(sh.pref, victim)
+		c.prefResident.Add(-1)
+	}
 	if dirty {
 		c.dirtyCount.Add(-1)
 	}
@@ -188,6 +273,53 @@ func (c *blockCache) adoptOrphan(blk uint64) []byte {
 	return cp
 }
 
+// peekOrphan copies bytes [within, within+n) of blk's newest orphan
+// payload into dst without adopting the entry — the read path for a
+// refused cache insert: the bytes stay in orphan limbo (the destager
+// still commits them) and the reader just observes them. Newest-match
+// wins, as in adoptOrphan.
+func (c *blockCache) peekOrphan(blk uint64, within, n int64, dst []byte) bool {
+	if c.orphanCount.Load() == 0 {
+		return false
+	}
+	c.orphanMu.Lock()
+	defer c.orphanMu.Unlock()
+	var e *orphanEntry
+	for _, cand := range c.orphans {
+		if cand.blk == blk {
+			e = cand
+		}
+	}
+	if e == nil {
+		return false
+	}
+	copy(dst, e.payload[within:within+n])
+	return true
+}
+
+// orphanFold merges write bytes into blk's newest orphan entry, for the
+// write-through path when the cache refuses to adopt the orphan (shard
+// full of pinned blocks). The destager later commits the merged payload
+// in queue order, preserving write ordering without a cache slot.
+// Reports false if no foldable entry exists (none, or the newest is
+// mid-commit — impossible while the caller holds the destage mutex, as
+// writeThrough does, since drains run entirely under it).
+func (c *blockCache) orphanFold(blk uint64, within, n int64, src []byte) bool {
+	c.orphanMu.Lock()
+	defer c.orphanMu.Unlock()
+	var e *orphanEntry
+	for _, cand := range c.orphans {
+		if cand.blk == blk {
+			e = cand
+		}
+	}
+	if e == nil || e.writing {
+		return false
+	}
+	copy(e.payload[within:within+n], src)
+	return true
+}
+
 // orphaned reports whether blk currently has an orphan entry.
 func (c *blockCache) orphaned(blk uint64) bool {
 	if c.orphanCount.Load() == 0 {
@@ -212,7 +344,7 @@ func (c *blockCache) orphaned(blk uint64) bool {
 func (c *blockCache) readBlock(v *volume, blk uint64, within, n int64, dst []byte) error {
 	sh := c.shard(blk)
 	sh.mu.Lock()
-	hit, victim, evicted := sh.mq.RefOrInsert(blk)
+	hit, victim, evicted, inserted := sh.mq.RefOrTryInsert(blk)
 	if hit {
 		c.hits.Add(1)
 		c.hitLocked(sh, blk)
@@ -221,6 +353,19 @@ func (c *blockCache) readBlock(v *volume, blk uint64, within, n int64, dst []byt
 		return nil
 	}
 	c.misses.Add(1)
+	if !inserted {
+		// Every slot in this shard is pinned by uncommitted write-behind
+		// state; serve the read without caching it. An orphan holds the
+		// freshest bytes if one exists; otherwise the store does (the
+		// shard lock orders this read against absorbs, like a miss fill).
+		if c.peekOrphan(blk, within, n, dst) {
+			sh.mu.Unlock()
+			return nil
+		}
+		err := v.store.ReadAt(dst[:n], int64(blk)*cacheBlockSize+within)
+		sh.mu.Unlock()
+		return err
+	}
 	if evicted {
 		c.evictLocked(v, sh, victim)
 	}
@@ -230,6 +375,7 @@ func (c *blockCache) readBlock(v *volume, blk uint64, within, n int64, dst []byt
 		sh.data[blk] = payload
 		sh.dirty[blk] = struct{}{}
 		c.dirtyCount.Add(1)
+		sh.mq.Pin(blk)
 		copy(dst, payload[within:within+n])
 		sh.mu.Unlock()
 		return nil
@@ -284,7 +430,13 @@ func (c *blockCache) absorb(v *volume, blk uint64, within, n int64, src []byte) 
 	if resident {
 		sh.mq.Ref(blk)
 	} else {
-		_, victim, evicted := sh.mq.RefOrInsert(blk)
+		hit, victim, evicted, inserted := sh.mq.RefOrTryInsert(blk)
+		if !hit && !inserted {
+			// Shard wall-to-wall pinned: no slot for another dirty block.
+			// The caller commits these bytes via write-through instead.
+			sh.mu.Unlock()
+			return errCacheBusy
+		}
 		if evicted {
 			c.evictLocked(v, sh, victim)
 		}
@@ -310,8 +462,13 @@ func (c *blockCache) absorb(v *volume, blk uint64, within, n int64, src []byte) 
 	if _, d := sh.dirty[blk]; !d {
 		sh.dirty[blk] = struct{}{}
 		c.dirtyCount.Add(1)
+		sh.mq.Pin(blk)
 	}
-	delete(sh.pref, blk)
+	if _, p := sh.pref[blk]; p {
+		delete(sh.pref, blk)
+		c.prefResident.Add(-1)
+	}
+	sh.epochs[epochStripe(blk)]++
 	sh.mu.Unlock()
 	return nil
 }
@@ -332,14 +489,20 @@ func (c *blockCache) absorbIfResident(blk uint64, within, n int64, src []byte) (
 	sh.mq.Ref(blk)
 	copy(payload[within:within+n], src)
 	_, wasDirty = sh.dirty[blk]
-	delete(sh.pref, blk)
+	if _, p := sh.pref[blk]; p {
+		delete(sh.pref, blk)
+		c.prefResident.Add(-1)
+	}
+	sh.epochs[epochStripe(blk)]++
 	sh.mu.Unlock()
 	return true, wasDirty
 }
 
 // updateBlock folds a committed write into block blk if it is resident.
 // Absent blocks are left absent (write-around): the read path will fetch
-// the new bytes from the store.
+// the new bytes from the store. The epoch bumps even for absent blocks —
+// the store itself just changed under this block, which is exactly what
+// an in-flight queue read over the range must learn about.
 func (c *blockCache) updateBlock(blk uint64, within, n int64, src []byte) {
 	sh := c.shard(blk)
 	sh.mu.Lock()
@@ -347,7 +510,33 @@ func (c *blockCache) updateBlock(blk uint64, within, n int64, src []byte) {
 		copy(payload[within:within+n], src)
 		sh.mq.Ref(blk)
 	}
+	sh.epochs[epochStripe(blk)]++
 	sh.mu.Unlock()
+}
+
+// bumpEpoch records an out-of-band store content change for blk
+// (the destager's orphan commits, which write the store with no resident
+// block to fold into).
+func (c *blockCache) bumpEpoch(blk uint64) {
+	sh := c.shard(blk)
+	sh.mu.Lock()
+	sh.epochs[epochStripe(blk)]++
+	sh.mu.Unlock()
+}
+
+// epochsUnchanged revalidates a submit-time epoch snapshot: true means
+// no content-changing event has touched any covered stripe since.
+func (c *blockCache) epochsUnchanged(epochs []shardEpoch) bool {
+	for _, e := range epochs {
+		sh := &c.shards[e.idx]
+		sh.mu.Lock()
+		cur := sh.epochs[e.stripe]
+		sh.mu.Unlock()
+		if cur != e.epoch {
+			return false
+		}
+	}
+	return true
 }
 
 // dirtySnapshot returns the sorted block numbers currently dirty — the
@@ -378,6 +567,14 @@ func (c *blockCache) stage(blk uint64, dst []byte) bool {
 		sh.mu.Unlock()
 		return false
 	}
+	if _, f := sh.flushing[blk]; f {
+		// A prior batch's write for this block is still in flight (it was
+		// re-dirtied mid-batch). Staging it again would put two writes for
+		// the same extent in flight at once with no ordering between them;
+		// leave it dirty for the next pass, after unstage clears the mark.
+		sh.mu.Unlock()
+		return false
+	}
 	copy(dst, payload[:len(dst)])
 	delete(sh.dirty, blk)
 	c.dirtyCount.Add(-1)
@@ -402,8 +599,172 @@ func (c *blockCache) unstage(blks []uint64, redirty bool) {
 				}
 			}
 		}
+		if _, d := sh.dirty[blk]; !d {
+			// No uncommitted state left on this block (it was not
+			// re-dirtied mid-flight): make it evictable again.
+			sh.mq.Unpin(blk)
+		}
+		// The destage write for this block just finished (well or badly);
+		// either way the store range was in motion while it was in flight.
+		sh.epochs[epochStripe(blk)]++
 		sh.mu.Unlock()
 	}
+}
+
+// demandReadCheck decides whether the block range [start, start+n) may
+// be read from the store *without* shard locks held, as the batched disk
+// queue does. It is the submit half of the queue's coherence protocol:
+// under each touched shard's lock (ascending — the global order) it
+// rejects ranges with any uncommitted write-behind state — dirty,
+// flushing, or orphaned blocks, whose freshest bytes are not on disk —
+// and otherwise snapshots each covered block's epoch stripe for
+// completion-time revalidation. ok=false sends the caller down the
+// classic locked path.
+func (c *blockCache) demandReadCheck(start uint64, n int) (epochs []shardEpoch, ok bool) {
+	shardSet := make([]bool, len(c.shards))
+	for i := 0; i < n; i++ {
+		shardSet[(start+uint64(i))&c.mask] = true
+	}
+	var locked []*cacheShard
+	unlock := func() {
+		for _, sh := range locked {
+			sh.mu.Unlock()
+		}
+	}
+	for idx := range c.shards {
+		if shardSet[idx] {
+			c.shards[idx].mu.Lock()
+			locked = append(locked, &c.shards[idx])
+		}
+	}
+	epochs = make([]shardEpoch, 0, n)
+	for i := 0; i < n; i++ {
+		blk := start + uint64(i)
+		sh := c.shard(blk)
+		if _, d := sh.dirty[blk]; d {
+			unlock()
+			return nil, false
+		}
+		if _, f := sh.flushing[blk]; f {
+			unlock()
+			return nil, false
+		}
+		if c.orphaned(blk) {
+			unlock()
+			return nil, false
+		}
+		st := epochStripe(blk)
+		epochs = append(epochs, shardEpoch{idx: int(blk & c.mask), stripe: st, epoch: sh.epochs[st]})
+	}
+	unlock()
+	return epochs, true
+}
+
+// prefetchPlan is the lock phase of a batched prefetch fill: under the
+// touched shards' locks it marks which of the window's blocks are worth
+// fetching (in-volume, absent and not orphaned) and snapshots each
+// block's epoch stripe (want and epochs are index-aligned with blks).
+// The caller then reads the store with no locks held and hands the
+// bytes to prefetchInstall. Returns need=0 when nothing is wanted.
+func (c *blockCache) prefetchPlan(v *volume, blks []uint64) (want []bool, epochs []shardEpoch, need int) {
+	vsize := v.store.Size()
+	shardSet := make([]bool, len(c.shards))
+	for _, blk := range blks {
+		if int64(blk)*cacheBlockSize < vsize {
+			shardSet[blk&c.mask] = true
+		}
+	}
+	var locked []*cacheShard
+	for idx := range c.shards {
+		if shardSet[idx] {
+			c.shards[idx].mu.Lock()
+			locked = append(locked, &c.shards[idx])
+		}
+	}
+	want = make([]bool, len(blks))
+	epochs = make([]shardEpoch, len(blks))
+	for i, blk := range blks {
+		if int64(blk)*cacheBlockSize >= vsize {
+			continue // out of volume; want stays false
+		}
+		sh := c.shard(blk)
+		st := epochStripe(blk)
+		epochs[i] = shardEpoch{idx: int(blk & c.mask), stripe: st, epoch: sh.epochs[st]}
+		if _, resident := sh.data[blk]; !resident && !c.orphaned(blk) {
+			want[i] = true
+			need++
+		}
+	}
+	for _, sh := range locked {
+		sh.mu.Unlock()
+	}
+	if need == 0 {
+		return nil, nil, 0
+	}
+	return want, epochs, need
+}
+
+// prefetchInstall publishes a lock-free prefetch read's bytes: slot i of
+// buf holds blks[i] as read from the store, want marks the blocks
+// prefetchPlan selected, and ok[i]=false marks blocks whose read extent
+// failed. A block installs only if its epoch stripe is unchanged since
+// the plan (no write raced the unlocked read), it is still absent, and
+// it has not been orphaned — otherwise it is skipped; a future demand
+// miss fetches it coherently. Returns the number installed.
+func (c *blockCache) prefetchInstall(v *volume, blks []uint64, want, ok []bool, epochs []shardEpoch, buf []byte) int {
+	shardSet := make([]bool, len(c.shards))
+	for i, blk := range blks {
+		if want[i] {
+			shardSet[blk&c.mask] = true
+		}
+	}
+	var locked []*cacheShard
+	for idx := range c.shards {
+		if shardSet[idx] {
+			c.shards[idx].mu.Lock()
+			locked = append(locked, &c.shards[idx])
+		}
+	}
+	installed := 0
+	for i, blk := range blks {
+		if !want[i] || (ok != nil && !ok[i]) {
+			continue
+		}
+		sh := c.shard(blk)
+		if sh.epochs[epochs[i].stripe] != epochs[i].epoch {
+			continue
+		}
+		if _, resident := sh.data[blk]; resident || c.orphaned(blk) {
+			continue
+		}
+		hit, victim, evicted, inserted := sh.mq.RefOrTryInsert(blk)
+		if hit {
+			continue
+		}
+		if !inserted {
+			// Shard wall-to-wall pinned: speculative bytes never displace
+			// uncommitted ones, so the block is skipped; a later demand
+			// miss fetches it coherently.
+			continue
+		}
+		if evicted {
+			c.evictLocked(v, sh, victim)
+		}
+		// Same second-reference promotion as the classic fill: keep the
+		// not-yet-read window ahead of the MQ's lowest-queue LRU victim.
+		sh.mq.Ref(blk)
+		payload := c.pool.Get(cacheBlockSize)
+		copy(payload, buf[i*cacheBlockSize:(i+1)*cacheBlockSize])
+		sh.data[blk] = payload
+		sh.pref[blk] = struct{}{}
+		c.prefResident.Add(1)
+		c.prefFills.Add(1)
+		installed++
+	}
+	for _, sh := range locked {
+		sh.mu.Unlock()
+	}
+	return installed
 }
 
 // prefetchFill installs blocks [start, start+n) from one contiguous
@@ -475,9 +836,12 @@ func (c *blockCache) prefetchFill(v *volume, start uint64, n int) error {
 		}
 		blk := start + uint64(i)
 		sh := c.shard(blk)
-		hit, victim, evicted := sh.mq.RefOrInsert(blk)
+		hit, victim, evicted, inserted := sh.mq.RefOrTryInsert(blk)
 		if hit {
 			continue // raced in by a demand fill in another shard? defensive
+		}
+		if !inserted {
+			continue // shard wall-to-wall pinned; skip the speculative fill
 		}
 		if evicted {
 			c.evictLocked(v, sh, victim)
@@ -491,6 +855,7 @@ func (c *blockCache) prefetchFill(v *volume, start uint64, n int) error {
 		copy(payload, buf[i*cacheBlockSize:(i+1)*cacheBlockSize])
 		sh.data[blk] = payload
 		sh.pref[blk] = struct{}{}
+		c.prefResident.Add(1)
 		c.prefFills.Add(1)
 	}
 	unlock()

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/v3storage/v3/internal/diskq"
 	"github.com/v3storage/v3/internal/obs"
 )
 
@@ -37,8 +38,9 @@ type destager struct {
 	v     *volume
 	cache *blockCache
 
-	mu   sync.Mutex // the destage mutex; see type comment
-	kick chan struct{}
+	mu      sync.Mutex // the destage mutex; see type comment
+	kick    chan struct{}
+	stopped chan struct{} // closed when run() has finished its final pass
 
 	interval time.Duration
 	hiWater  int
@@ -73,6 +75,7 @@ func newDestager(s *Server, v *volume) *destager {
 		v:        v,
 		cache:    v.cache,
 		kick:     make(chan struct{}, 1),
+		stopped:  make(chan struct{}),
 		interval: iv,
 		hiWater:  hw,
 	}
@@ -82,6 +85,7 @@ func newDestager(s *Server, v *volume) *destager {
 // kicked by a write crossing the high-watermark) it commits the current
 // dirty set.
 func (d *destager) run(done <-chan struct{}) {
+	defer close(d.stopped)
 	t := time.NewTicker(d.interval)
 	defer t.Stop()
 	for {
@@ -139,9 +143,15 @@ func (d *destager) destageAll() {
 		t0 = obs.Now()
 	}
 	d.mu.Lock()
-	d.drainOrphansLocked()
-	d.passLocked()
-	d.drainOrphansLocked()
+	if d.v.dq != nil {
+		d.drainOrphansBatchedLocked()
+		d.passBatchedLocked()
+		d.drainOrphansBatchedLocked()
+	} else {
+		d.drainOrphansLocked()
+		d.passLocked()
+		d.drainOrphansLocked()
+	}
 	d.mu.Unlock()
 	if t0 != 0 {
 		d.s.om.destageRun.Observe(obs.Now() - t0)
@@ -190,6 +200,90 @@ func (d *destager) passLocked() {
 		d.runs.Add(1)
 		d.blocks.Add(int64(n))
 		d.hist[batchBucket(n)].Add(1)
+	}
+}
+
+// passBatchedLocked is passLocked over the batched disk queue: the pass
+// stages every coalesced run exactly as the classic path does, but
+// instead of one blocking store write per run it submits ALL runs as a
+// single vectored batch and waits for the completions — the queue's
+// backends keep up to SQDepth extents in flight at once, so a pass of k
+// runs costs ~1 device round instead of k. Waiting happens under d.mu,
+// which preserves the destage mutex's ordering contract at pass
+// granularity: the runs of one batch cover pairwise-disjoint block
+// ranges (a sorted, deduplicated dirty snapshot partitions into
+// non-overlapping runs), so their relative completion order cannot
+// change file contents, and no other destage-side write can start until
+// the whole batch has resolved. Each run stages into its own queue
+// buffer (registered with the kernel on the io_uring backend), sized so
+// one maximal run fills one registered slab. Caller holds d.mu.
+func (d *destager) passBatchedLocked() {
+	blks := d.cache.dirtySnapshot()
+	if len(blks) == 0 {
+		return
+	}
+	vsize := d.v.store.Size()
+	dq := d.v.dq
+	type runInfo struct {
+		staged []uint64
+		off    int64
+		bytes  int64
+		buf    []byte
+	}
+	var runs []runInfo
+	var ops []diskq.Op
+	i := 0
+	for i < len(blks) {
+		start := blks[i]
+		buf := dq.q.GetBuf(maxDestageRun * cacheBlockSize)
+		n := 0
+		for i < len(blks) && n < maxDestageRun && blks[i] == start+uint64(n) {
+			ln := blockLen(vsize, blks[i])
+			if !d.cache.stage(blks[i], buf[n*cacheBlockSize:int64(n)*cacheBlockSize+ln]) {
+				break // no longer resident-dirty; run ends here
+			}
+			n++
+			i++
+		}
+		if n == 0 {
+			dq.q.PutBuf(buf)
+			i++ // skip the unstageable block
+			continue
+		}
+		off := int64(start) * cacheBlockSize
+		runBytes := int64(n) * cacheBlockSize
+		if off+runBytes > vsize {
+			runBytes = vsize - off
+		}
+		runs = append(runs, runInfo{staged: blks[i-n : i], off: off, bytes: runBytes, buf: buf})
+		ops = append(ops, diskq.Op{Kind: diskq.OpWrite, Buf: buf[:runBytes], Off: off})
+	}
+	if len(runs) == 0 {
+		return
+	}
+	comps, nsub := dq.runBatch(ops)
+	for ri, r := range runs {
+		var err error
+		if ri < nsub {
+			err = comps[ri].Err
+		} else {
+			// The queue closed mid-batch; this run was never submitted and
+			// will never complete, so commit it synchronously. No
+			// double-write hazard: the queue's contract is that completions
+			// arrive for exactly the first nsub ops.
+			err = d.v.store.WriteAt(r.buf[:r.bytes], r.off)
+		}
+		if err != nil {
+			d.s.logf("netv3: destage vol run [%d,+%d): %v", r.off, r.bytes, err)
+			d.cache.unstage(r.staged, true)
+			d.setErr(err)
+		} else {
+			d.cache.unstage(r.staged, false)
+			d.runs.Add(1)
+			d.blocks.Add(int64(len(r.staged)))
+			d.hist[batchBucket(len(r.staged))].Add(1)
+		}
+		dq.q.PutBuf(r.buf)
 	}
 }
 
@@ -247,10 +341,97 @@ func (d *destager) drainOrphansLocked() {
 			d.orphanRetries.Add(1)
 			return // don't hot-loop against a failing store
 		}
+		// The store changed under a block with no resident entry to fold
+		// into; invalidate any in-flight queue read over its shard.
+		// (Ordered after orphanMu is released: shard locks are taken
+		// before orphanMu everywhere else.)
+		c.bumpEpoch(e.blk)
 		d.orphanWrites.Add(1)
 		d.runs.Add(1)
 		d.blocks.Add(1)
 		d.hist[0].Add(1)
+	}
+}
+
+// drainOrphansBatchedLocked is drainOrphansLocked over the batched disk
+// queue. Orphans are the scatter workload the queue exists for: eviction
+// punches them out of the dirty set at unrelated offsets, so a drain is
+// a pile of discontiguous single-block extents — committed serially they
+// cost one blocking device round EACH, under the destage mutex, which
+// under cache pressure starves the coalesced pass behind them. Here one
+// sweep claims every drainable entry and commits them all as one
+// vectored batch. A batch's writes land in any order, so same-block
+// entries (the list can hold several; newest last is authoritative) must
+// not share a batch: the sweep claims only each block's first unclaimed
+// entry — the serial loop's front-to-back order — and the outer loop
+// picks up the rest. Caller holds d.mu.
+func (d *destager) drainOrphansBatchedLocked() {
+	c := d.cache
+	for {
+		if c.orphanCount.Load() == 0 {
+			return
+		}
+		c.orphanMu.Lock()
+		var batch []*orphanEntry
+		claimed := make(map[uint64]bool)
+		for _, cand := range c.orphans {
+			if cand.writing || claimed[cand.blk] {
+				continue
+			}
+			cand.writing = true
+			claimed[cand.blk] = true
+			batch = append(batch, cand)
+		}
+		c.orphanMu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		ops := make([]diskq.Op, len(batch))
+		for i, e := range batch {
+			ops[i] = diskq.Op{Kind: diskq.OpWrite, Buf: e.payload[:e.n], Off: int64(e.blk) * cacheBlockSize}
+		}
+		comps, nsub := d.v.dq.runBatch(ops)
+		failed := false
+		for i, e := range batch {
+			var err error
+			if i < nsub {
+				err = comps[i].Err
+			} else {
+				// Queue closed mid-batch; this entry was never submitted.
+				err = d.v.store.WriteAt(e.payload[:e.n], int64(e.blk)*cacheBlockSize)
+			}
+			c.orphanMu.Lock()
+			if err != nil {
+				e.writing = false // leave queued for the next pass
+			} else {
+				for j, cand := range c.orphans {
+					if cand == e {
+						c.orphans = append(c.orphans[:j], c.orphans[j+1:]...)
+						break
+					}
+				}
+				c.orphanCount.Add(-1)
+				c.pool.Put(e.payload)
+			}
+			c.orphanMu.Unlock()
+			if err != nil {
+				d.s.logf("netv3: destage orphan block %d: %v", e.blk, err)
+				d.setErr(err)
+				d.orphanRetries.Add(1)
+				failed = true
+				continue
+			}
+			// Same ordering note as the serial path: bumpEpoch takes the
+			// shard lock, so it runs only after orphanMu is released.
+			c.bumpEpoch(e.blk)
+			d.orphanWrites.Add(1)
+			d.runs.Add(1)
+			d.blocks.Add(1)
+			d.hist[0].Add(1)
+		}
+		if failed {
+			return // don't hot-loop against a failing store
+		}
 	}
 }
 
@@ -293,6 +474,22 @@ func (d *destager) writeThrough(b []byte, off int64) error {
 			// adoption just makes the block resident, which absorb
 			// also handles.)
 			if err := c.absorb(d.v, blk, within, n, rest[:n]); err != nil {
+				if err == errCacheBusy {
+					// No cache slot to adopt the orphan into: merge the
+					// bytes into the orphan entry itself; the drain then
+					// commits the merged payload in order. (Entries are
+					// never mid-commit here — drains run under d.mu, which
+					// we hold — so the fold cannot miss; if the entry
+					// vanished anyway, write-around below is correct.)
+					if c.orphanFold(blk, within, n, rest[:n]) {
+						break
+					}
+					if err := d.v.store.WriteAt(rest[:n], cur); err != nil {
+						return err
+					}
+					c.updateBlock(blk, within, n, rest[:n])
+					break
+				}
 				return err
 			}
 		default:
@@ -320,6 +517,13 @@ func (d *destager) flush() error {
 	d.destageAll()
 	if err := d.takeErr(); err != nil {
 		return err
+	}
+	if dq := d.v.dq; dq != nil {
+		// The fsync rides the queue as a drain-barrier SQE: it starts only
+		// after every outstanding write completes, exactly the sequencing
+		// the classic path got from destageAll-then-Sync, without stalling
+		// submissions from other flows.
+		return dq.fsyncBarrier()
 	}
 	return d.v.store.Sync()
 }

@@ -160,8 +160,17 @@ type sessCtx struct {
 	wg   sync.WaitGroup // in-flight worker tasks for this session
 }
 
-func newSessCtx(s *Server, w *respWriter) *sessCtx {
-	sc := &sessCtx{s: s, w: w, comp: make(chan completion, 64)}
+func newSessCtx(s *Server, w *respWriter, credits int) *sessCtx {
+	// The lane must hold at least as many completions as the client can
+	// have requests in flight (its granted credits): the disk queue's
+	// dispatcher serves every session of every volume, so a single
+	// lane-full send blocking it would stall unrelated sessions. With
+	// capacity ≥ credits the send below never blocks.
+	depth := 64
+	if credits > depth {
+		depth = credits
+	}
+	sc := &sessCtx{s: s, w: w, comp: make(chan completion, depth)}
 	go sc.loop()
 	return sc
 }

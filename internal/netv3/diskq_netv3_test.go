@@ -1,0 +1,535 @@
+package netv3
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/faultnet"
+)
+
+// diskQCfg is diskCfg with the batched submission/completion disk
+// backend in place of the worker pool.
+func diskQCfg() ServerConfig {
+	cfg := DefaultServerConfig()
+	cfg.CacheBlocks = 256
+	cfg.DiskQ = true
+	cfg.SQDepth = 32
+	cfg.DestageInterval = time.Hour
+	return cfg
+}
+
+// TestCheckStoreRangeOverflow is the regression test for the wire-offset
+// integer overflow: off+int64(n) wraps negative for offsets near
+// MaxInt64, so the old comparison let a hostile extent through and the
+// panic surfaced deep inside buffer slicing. Every near-wrap shape must
+// now be rejected.
+func TestCheckStoreRangeOverflow(t *testing.T) {
+	const size = 1 << 20
+	bad := []struct {
+		off int64
+		n   int
+	}{
+		{math.MaxInt64, 1},
+		{math.MaxInt64 - 4095, 8192}, // the wrapping shape
+		{math.MaxInt64 - 8191, 8192}, // off+n == exactly MinInt64
+		{size - 1, 2},
+		{-1, 0},
+		{0, size + 1},
+		{4096, -1}, // negative length must not pass as "small"
+	}
+	for _, c := range bad {
+		if err := checkStoreRange(size, c.off, c.n); err == nil {
+			t.Errorf("checkStoreRange(%d, %d, %d) accepted an out-of-range extent", size, c.off, c.n)
+		}
+	}
+	good := []struct {
+		off int64
+		n   int
+	}{{0, 0}, {0, size}, {size, 0}, {size - 1, 1}, {8192, 4096}}
+	for _, c := range good {
+		if err := checkStoreRange(size, c.off, c.n); err != nil {
+			t.Errorf("checkStoreRange(%d, %d, %d) rejected a valid extent: %v", size, c.off, c.n, err)
+		}
+	}
+}
+
+// TestDiskQMaliciousOffset drives hostile extents through the wire
+// protocol against a disk-queue server: a read at an offset chosen to
+// wrap the range check must come back as a clean error — not a server
+// panic — and the session must remain fully usable afterwards.
+func TestDiskQMaliciousOffset(t *testing.T) {
+	_, addr := startServer(t, diskQCfg(), 1<<20)
+	c, err := Dial(addr, DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 8192)
+	for _, off := range []int64{math.MaxInt64 - 4095, math.MaxInt64 - 8191, 1 << 40} {
+		if err := c.Read(1, off, buf); err == nil {
+			t.Fatalf("read at hostile offset %d succeeded", off)
+		}
+		if err := c.Write(1, off, buf); err == nil {
+			t.Fatalf("write at hostile offset %d succeeded", off)
+		}
+	}
+	// The session survived: a normal round trip still works.
+	data := bytes.Repeat([]byte{0x5A}, 8192)
+	if err := c.Write(1, 16384, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Read(1, 16384, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("read back wrong bytes after hostile offsets")
+	}
+}
+
+// TestDiskQWriteThroughRoundtrip runs the cache-less configuration where
+// every read and write rides the queue end to end (MemStore, so the
+// portable backend via the adapter), and checks both the data and that
+// the queue actually carried it.
+func TestDiskQWriteThroughRoundtrip(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.DiskQ = true
+	cfg.SQDepth = 16
+	srv, addr := startServer(t, cfg, 4<<20)
+	c, err := Dial(addr, DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const blocks = 64
+	for i := 0; i < blocks; i++ {
+		if err := c.Write(1, int64(i)*8192, bytes.Repeat([]byte{byte(i + 1)}, 8192)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8192)
+	for i := 0; i < blocks; i++ {
+		if err := c.Read(1, int64(i)*8192, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i+1) || got[8191] != byte(i+1) {
+			t.Fatalf("block %d wrong after queue roundtrip", i)
+		}
+	}
+	d := srv.DiskStats()
+	if d.DiskQWrites == 0 {
+		t.Fatalf("no writes went through the disk queue: %+v", d)
+	}
+	if d.DiskQReads == 0 {
+		t.Fatalf("no reads went through the disk queue: %+v", d)
+	}
+}
+
+// TestDiskQDestageBatches proves the destager drives the queue with
+// vectored batches: with background destaging parked, acked writes stay
+// out of the file until Flush, whose batched pass then commits runs via
+// multi-op submissions and leaves the bytes on disk.
+func TestDiskQDestageBatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.img")
+	srv, addr := startFileServer(t, diskQCfg(), path, 4<<20)
+	c, err := Dial(addr, DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Two separated dirty extents → the batched pass has ≥ 2 runs to
+	// submit as one vectored batch.
+	a := bytes.Repeat([]byte{0xA1}, 64*1024)
+	b := bytes.Repeat([]byte{0xB2}, 64*1024)
+	if err := c.Write(1, 0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(1, 1<<20, b); err != nil {
+		t.Fatal(err)
+	}
+	onDisk := make([]byte, len(a))
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(onDisk, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, make([]byte, len(a))) {
+		t.Fatal("write reached the file before any destage ran")
+	}
+	if err := c.Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(onDisk, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, a) {
+		t.Fatal("Flush did not commit extent A through the batched pass")
+	}
+	if _, err := f.ReadAt(onDisk, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, b) {
+		t.Fatal("Flush did not commit extent B through the batched pass")
+	}
+	d := srv.DiskStats()
+	if d.DiskQBatches == 0 {
+		t.Fatalf("destage issued no vectored batches: %+v", d)
+	}
+	if d.DirtyBlocks != 0 {
+		t.Fatalf("dirty blocks remain after Flush: %d", d.DirtyBlocks)
+	}
+}
+
+// TestDiskQCrashConsistency is the durability criterion under the
+// batched path: bytes acked and Flushed through the queue (batched
+// destage runs + the fsync barrier SQE) must be readable after the
+// server goes away mid-stream and a fresh process opens the file. The
+// second write burst is deliberately left unflushed — a crash may lose
+// it, but must not corrupt the flushed prefix.
+func TestDiskQCrashConsistency(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.img")
+	const size = 4 << 20
+	fs, err := NewFileStore(path, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(diskQCfg())
+	srv.AddVolume(1, fs)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+
+	c, err := Dial(addr.String(), DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flushed = 96
+	for i := 0; i < flushed; i++ {
+		if err := c.Write(1, int64(i)*8192, bytes.Repeat([]byte{byte(i + 1)}, 8192)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	// Unflushed tail: dirty blocks whose batch may be cut off mid-flight.
+	for i := flushed; i < flushed+32; i++ {
+		if err := c.Write(1, int64(i)*8192, bytes.Repeat([]byte{0xEE}, 8192)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	srv.Close()
+	fs.Close()
+
+	srv2, addr2 := startFileServer(t, diskQCfg(), path, size)
+	_ = srv2
+	c2, err := Dial(addr2, DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got := make([]byte, 8192)
+	for i := 0; i < flushed; i++ {
+		if err := c2.Read(1, int64(i)*8192, got); err != nil {
+			t.Fatalf("read block %d after restart: %v", i, err)
+		}
+		if got[0] != byte(i+1) || got[8191] != byte(i+1) {
+			t.Fatalf("flushed block %d corrupted across restart: %d", i, got[0])
+		}
+	}
+}
+
+// TestDiskQPrefetchStream checks read-ahead under the batched path: a
+// sequential scan must trigger window fills submitted as vectored
+// batches, and later demand reads must hit the installed blocks.
+func TestDiskQPrefetchStream(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.CacheBlocks = 512
+	cfg.DiskQ = true
+	srv, addr := startServer(t, cfg, 4<<20)
+	c, err := Dial(addr, DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 8192)
+	for i := 0; i < 256; i++ {
+		if err := c.Read(1, int64(i)*8192, buf); err != nil {
+			t.Fatal(err)
+		}
+		if i%16 == 0 {
+			time.Sleep(time.Millisecond) // let the prefetch worker run ahead
+		}
+	}
+	d := srv.DiskStats()
+	if d.PrefetchFills == 0 {
+		t.Fatal("sequential scan triggered no prefetch fills under diskq")
+	}
+	if d.PrefetchHits == 0 {
+		t.Fatal("prefetched blocks were never hit under diskq")
+	}
+	t.Logf("diskq prefetch fills=%d hits=%d batches=%d reads=%d",
+		d.PrefetchFills, d.PrefetchHits, d.DiskQBatches, d.DiskQReads)
+}
+
+// TestDiskQStoreFaults wires a faultnet store fault injector under the
+// queue (every Nth op fails, every Mth is short) and checks the error
+// plumbing the old synchronous path got for free: injected failures
+// surface as per-request errors — never hangs, never wrong bytes on the
+// ops that succeed — and the session survives all of it.
+func TestDiskQStoreFaults(t *testing.T) {
+	inner := NewMemStore(2 << 20)
+	flaky := faultnet.NewStore(inner, faultnet.StoreConfig{ErrEvery: 7, ShortEvery: 11})
+	cfg := DefaultServerConfig()
+	cfg.DiskQ = true
+	cfg.SQDepth = 8
+	srv := NewServer(cfg)
+	srv.AddVolume(1, flaky)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := Dial(addr.String(), DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wErrs, rErrs, ok int
+	data := bytes.Repeat([]byte{0x7C}, 8192)
+	buf := make([]byte, 8192)
+	for i := 0; i < 60; i++ {
+		off := int64(i) * 8192
+		if err := c.Write(1, off, data); err != nil {
+			wErrs++
+			continue
+		}
+		if err := c.Read(1, off, buf); err != nil {
+			rErrs++
+			continue
+		}
+		if !bytes.Equal(buf, data) {
+			t.Fatalf("op %d: successful read returned wrong bytes under fault injection", i)
+		}
+		ok++
+	}
+	if wErrs+rErrs == 0 {
+		t.Fatalf("fault injector never fired (ops=%d)", flaky.Ops())
+	}
+	if ok == 0 {
+		t.Fatal("no operation survived fault injection")
+	}
+	t.Logf("faults: writeErrs=%d readErrs=%d ok=%d stats=%+v", wErrs, rErrs, ok, srv.DiskStats())
+}
+
+// opaqueStore hides a FileStore's concrete type so the server's queue
+// falls back to the portable backend instead of handing the raw file to
+// io_uring — the lever the differential test uses to run both backends
+// over identical storage.
+type opaqueStore struct{ BlockStore }
+
+// TestDiskQDifferentialBackends replays one deterministic workload trace
+// against two disk-queue servers over file-backed volumes — one eligible
+// for io_uring, one forced onto the portable backend — and requires
+// byte-identical results: every read's payload and the final file
+// images. On kernels without io_uring both runs use the portable
+// backend and the test degenerates to a (still useful) determinism
+// check.
+func TestDiskQDifferentialBackends(t *testing.T) {
+	const size = 2 << 20
+	type result struct {
+		reads [][]byte
+		image []byte
+	}
+	runTrace := func(wrap bool) result {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "vol.img")
+		fs, err := NewFileStore(path, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var store BlockStore = fs
+		if wrap {
+			store = opaqueStore{fs}
+		}
+		cfg := diskQCfg()
+		srv := NewServer(cfg)
+		srv.AddVolume(1, store)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve()
+		c, err := Dial(addr.String(), DefaultClientConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identical op sequence on both servers: seeded offsets/sizes,
+		// write/read mix, periodic flush barriers.
+		rng := rand.New(rand.NewSource(0x5eed))
+		var res result
+		for i := 0; i < 300; i++ {
+			blk := rng.Intn(size / 8192)
+			off := int64(blk) * 8192
+			switch i % 3 {
+			case 0, 1:
+				data := bytes.Repeat([]byte{byte(rng.Intn(255) + 1)}, 8192)
+				if err := c.Write(1, off, data); err != nil {
+					t.Fatalf("trace write %d: %v", i, err)
+				}
+			case 2:
+				buf := make([]byte, 8192)
+				if err := c.Read(1, off, buf); err != nil {
+					t.Fatalf("trace read %d: %v", i, err)
+				}
+				res.reads = append(res.reads, buf)
+			}
+			if i%50 == 49 {
+				if err := c.Flush(1); err != nil {
+					t.Fatalf("trace flush %d: %v", i, err)
+				}
+			}
+		}
+		if err := c.Flush(1); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		srv.Close()
+		fs.Close()
+		img, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.image = img
+		return res
+	}
+	uringSide := runTrace(false)
+	portableSide := runTrace(true)
+	if len(uringSide.reads) != len(portableSide.reads) {
+		t.Fatalf("trace divergence: %d vs %d reads", len(uringSide.reads), len(portableSide.reads))
+	}
+	for i := range uringSide.reads {
+		if !bytes.Equal(uringSide.reads[i], portableSide.reads[i]) {
+			t.Fatalf("read %d differs between backends", i)
+		}
+	}
+	if !bytes.Equal(uringSide.image, portableSide.image) {
+		t.Fatal("final file images differ between backends")
+	}
+}
+
+// TestDiskQChaosPartition is TestChaosDestagePartition with the batched
+// disk backend underneath: a transient blackhole mid-write-burst, hung
+// peer detection, reconnection replay, then a flush barrier and full
+// read-back — the queue must not change any of the recovery semantics.
+func TestDiskQChaosPartition(t *testing.T) {
+	scfg := DefaultServerConfig()
+	scfg.CacheBlocks = 512
+	scfg.DiskQ = true
+	f, addr := startFaultServer(t, scfg, 4<<20)
+	cfg := DefaultClientConfig()
+	cfg.KeepaliveInterval = 200 * time.Millisecond
+	cfg.DialTimeout = 300 * time.Millisecond
+	cfg.ReconnectBackoff = 100 * time.Millisecond
+	cfg.MaxReconnects = 8
+	c, err := Dial(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	block := func(i int) []byte {
+		b := make([]byte, 8192)
+		for j := range b {
+			b[j] = byte(i*31 + j)
+		}
+		return b
+	}
+	for i := 0; i < 16; i++ {
+		if err := c.Write(1, int64(i)*8192, block(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Inj.Blackhole(true)
+	var handles []*Pending
+	for i := 16; i < 24; i++ {
+		h, err := c.WriteAsync(1, int64(i)*8192, block(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	time.Sleep(600 * time.Millisecond)
+	f.Inj.Blackhole(false)
+	for i, h := range handles {
+		if err := h.WaitTimeout(15 * time.Second); err != nil {
+			t.Fatalf("partition write %d: %v (reconnects=%d)", i, err, c.Reconnects())
+		}
+	}
+	if c.Reconnects() < 1 {
+		t.Fatal("client never reconnected across the partition")
+	}
+	if err := c.Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8192)
+	for i := 0; i < 24; i++ {
+		if err := c.Read(1, int64(i)*8192, got); err != nil {
+			t.Fatalf("read-back %d: %v", i, err)
+		}
+		if !bytes.Equal(got, block(i)) {
+			t.Fatalf("block %d corrupted across partition under diskq", i)
+		}
+	}
+}
+
+// TestDiskQFlushSurfacesSyncError checks the fsync barrier's error path:
+// a store whose next Sync fails must turn the wire-level Flush into an
+// error — through the queue's fsync completion, not swallowed by it.
+func TestDiskQFlushSurfacesSyncError(t *testing.T) {
+	inner := NewMemStore(1 << 20)
+	flaky := faultnet.NewStore(inner, faultnet.StoreConfig{})
+	cfg := DefaultServerConfig()
+	cfg.DiskQ = true
+	srv := NewServer(cfg)
+	srv.AddVolume(1, flaky)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr.String(), DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Write(1, 0, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	flaky.FailNextSync(faultnet.ErrInjected)
+	if err := c.Flush(1); err == nil {
+		t.Fatal("flush succeeded despite injected fsync failure")
+	}
+	if err := c.Flush(1); err != nil {
+		t.Fatalf("flush did not recover after one-shot sync fault: %v", err)
+	}
+	if name := srv.lookup(1).dq.q.BackendName(); !strings.Contains(name, "portable") {
+		t.Fatalf("wrapped store unexpectedly not on portable backend: %s", name)
+	}
+}

@@ -1,0 +1,364 @@
+package netv3
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"github.com/v3storage/v3/internal/diskq"
+	"github.com/v3storage/v3/internal/wire"
+)
+
+// diskQueue is a volume's batched submission/completion disk backend:
+// the netv3 face of internal/diskq. Where the classic diskPipe binds
+// one goroutine to one blocking store call, the queue moves every store
+// operation through an SQ/CQ pair — demand-read misses, write-through
+// writes, the destager's coalesced runs, the prefetcher's doubling
+// windows, and the Flush fsync barrier all become submissions, and one
+// dispatcher goroutine drains completions for the whole volume.
+//
+// Completion routing: every submission registers a callback keyed by
+// its token. Callbacks run on the dispatcher in reap order, which the
+// backends guarantee puts an fsync's completion after the completions
+// of every write it barriers — the property the flush path's
+// error-collection relies on. Callbacks must never block indefinitely:
+// cache work is lock-bounded and session sends are non-blocking by the
+// credit-sizing invariant (a session's completion lane holds at least
+// as many slots as the client holds credits).
+//
+// Because Submit can be interleaved with the completion it triggers,
+// registration uses a claim protocol instead of insert-before-submit:
+// the dispatcher parks completions whose token has no callback yet, and
+// the submitter claims parked completions when it registers. Both sides
+// run under mu, so a completion is executed exactly once, on whichever
+// side arrives second.
+type diskQueue struct {
+	s *Server
+	v *volume
+	q *diskq.Queue
+
+	mu        sync.Mutex
+	pending   map[uint64]func(diskq.Completion)
+	unclaimed map[uint64]diskq.Completion
+
+	dispatcherDone chan struct{}
+
+	reads     atomic.Int64 // demand reads served through the queue
+	writes    atomic.Int64 // async write-through writes
+	batches   atomic.Int64 // destage/prefetch vectored batches
+	fallbacks atomic.Int64 // submissions bounced to the classic path
+	retries   atomic.Int64 // reads redone classically after an epoch change
+}
+
+// storeFile adapts a BlockStore to diskq.File so wrapped stores (fault
+// injectors, latency models, in-memory volumes) ride the portable
+// backend with their wrapping intact.
+type storeFile struct {
+	bs BlockStore
+}
+
+func (f storeFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.bs.ReadAt(p, off); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (f storeFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.bs.WriteAt(p, off); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (f storeFile) Sync() error { return f.bs.Sync() }
+
+// queueFile resolves the diskq.File a volume's queue operates on: a
+// *FileStore contributes its backing *os.File (making the io_uring
+// backend eligible, with the store's range discipline enforced by the
+// submitters); any other store is adapted, which lands on the portable
+// backend and keeps wrappers like faultnet in the I/O path.
+func queueFile(store BlockStore) diskq.File {
+	if fs, ok := store.(*FileStore); ok {
+		return fs.File()
+	}
+	return storeFile{bs: store}
+}
+
+func newDiskQueue(s *Server, v *volume) (*diskQueue, error) {
+	depth := s.cfg.SQDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	workers := s.cfg.DiskWorkers
+	if workers <= 0 {
+		workers = depth
+	}
+	q, err := diskq.Open(queueFile(v.store), diskq.Config{
+		Depth:   depth,
+		Workers: workers,
+		Metrics: s.cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dq := &diskQueue{
+		s:              s,
+		v:              v,
+		q:              q,
+		pending:        make(map[uint64]func(diskq.Completion), depth),
+		unclaimed:      make(map[uint64]diskq.Completion),
+		dispatcherDone: make(chan struct{}),
+	}
+	go dq.dispatch()
+	return dq, nil
+}
+
+// dispatch is the volume's completion drain: it reaps in batches and
+// routes each completion to its registered callback, parking early
+// arrivals until the submitter claims them. It exits when the queue is
+// closed and drained.
+func (dq *diskQueue) dispatch() {
+	defer close(dq.dispatcherDone)
+	out := make([]diskq.Completion, dq.q.Depth())
+	for {
+		n, err := dq.q.Reap(out, 1)
+		for _, c := range out[:n] {
+			dq.mu.Lock()
+			fn, ok := dq.pending[c.Token]
+			if ok {
+				delete(dq.pending, c.Token)
+			} else {
+				dq.unclaimed[c.Token] = c
+			}
+			dq.mu.Unlock()
+			if ok {
+				fn(c)
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// claim registers fns for the contiguous tokens first..first+len-1,
+// running any callback whose completion already arrived. It is the
+// submitter half of the parking protocol.
+func (dq *diskQueue) claim(first uint64, fns []func(diskq.Completion)) {
+	type ready struct {
+		fn func(diskq.Completion)
+		c  diskq.Completion
+	}
+	var run []ready
+	dq.mu.Lock()
+	for i, fn := range fns {
+		tok := first + uint64(i)
+		if c, ok := dq.unclaimed[tok]; ok {
+			delete(dq.unclaimed, tok)
+			run = append(run, ready{fn: fn, c: c})
+		} else {
+			dq.pending[tok] = fn
+		}
+	}
+	dq.mu.Unlock()
+	for _, r := range run {
+		r.fn(r.c)
+	}
+}
+
+// trySubmit submits one op without blocking and registers its callback.
+// A false return means queue full or closed: the caller owns the op and
+// takes its classic path.
+func (dq *diskQueue) trySubmit(op diskq.Op, fn func(diskq.Completion)) bool {
+	tok, ok := dq.q.TrySubmit(op)
+	if !ok {
+		dq.fallbacks.Add(1)
+		return false
+	}
+	dq.claim(tok, []func(diskq.Completion){fn})
+	return true
+}
+
+// submitBatch submits ops as one vectored batch (blocking for queue
+// space) and registers callbacks for the ops actually accepted. It
+// returns that count: on a closing queue it can be short, and the
+// caller runs its synchronous fallback on ops[n:] — exactly the ops
+// that will never complete — so nothing is issued twice.
+func (dq *diskQueue) submitBatch(ops []diskq.Op, fns []func(diskq.Completion)) int {
+	first, n, err := dq.q.Submit(ops)
+	if n > 0 {
+		dq.claim(first, fns[:n])
+		if len(ops) > 1 {
+			dq.batches.Add(1)
+		}
+	}
+	if err != nil {
+		dq.fallbacks.Add(int64(len(ops) - n))
+	}
+	return n
+}
+
+// dqWaiter collects a blocking submitter's batch results: callbacks
+// count down and record per-op completions; wait blocks the submitter
+// (never the dispatcher) until the batch drains.
+type dqWaiter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	left  int
+	comps []diskq.Completion
+}
+
+func newDQWaiter(n int) *dqWaiter {
+	w := &dqWaiter{left: n, comps: make([]diskq.Completion, n)}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// callback returns the completion callback for batch index i.
+func (w *dqWaiter) callback(i int) func(diskq.Completion) {
+	return func(c diskq.Completion) {
+		w.mu.Lock()
+		w.comps[i] = c
+		w.left--
+		if w.left == 0 {
+			w.cond.Broadcast()
+		}
+		w.mu.Unlock()
+	}
+}
+
+// wait blocks until n callbacks have fired (use the submitBatch return;
+// never-submitted ops must not be waited for) and returns the per-index
+// completions.
+func (w *dqWaiter) wait(n int) []diskq.Completion {
+	w.mu.Lock()
+	for w.left > len(w.comps)-n {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+	return w.comps
+}
+
+// runBatch is the blocking convenience: submit ops, wait for the
+// accepted ones, and report (completions, accepted). Used by the
+// destager and prefetcher, whose passes own their goroutines.
+func (dq *diskQueue) runBatch(ops []diskq.Op) ([]diskq.Completion, int) {
+	w := newDQWaiter(len(ops))
+	fns := make([]func(diskq.Completion), len(ops))
+	for i := range fns {
+		fns[i] = w.callback(i)
+	}
+	n := dq.submitBatch(ops, fns)
+	if n == 0 {
+		return w.comps, 0
+	}
+	return w.wait(n), n
+}
+
+// fsyncBarrier makes every previously submitted write durable through
+// the queue: the fsync SQE is a drain barrier, so it starts only after
+// outstanding writes complete, and its completion is dispatched after
+// theirs — by which point their error callbacks have run. Falls back to
+// a direct store sync when the queue is closed or full of barriers.
+func (dq *diskQueue) fsyncBarrier() error {
+	w := newDQWaiter(1)
+	tok, err := dq.q.SubmitFsync()
+	if err != nil {
+		return dq.v.store.Sync()
+	}
+	dq.claim(tok, []func(diskq.Completion){w.callback(0)})
+	return w.wait(1)[0].Err
+}
+
+// submitDemandRead moves a session's cache-miss read onto the queue.
+// The caller has already validated the range and verified no block in
+// it carries uncommitted write-behind state (dirty/flushing/orphan);
+// epochs is the per-touched-shard write-epoch snapshot taken during
+// that check. On completion the dispatcher revalidates the snapshot: if
+// any covered shard has absorbed a write since, the store bytes may be
+// stale or torn, and the read is redone through the classic cache path
+// (rare — it costs one synchronous cached read on the dispatcher).
+// A false return means queue full/closed: caller falls back.
+func (dq *diskQueue) submitDemandRead(sc *sessCtx, seq uint64, reqID uint64, body []byte, off int64, epochs []shardEpoch) bool {
+	s := dq.s
+	finish := func(err error) {
+		rr := &wire.ReadResp{Header: wire.Header{Ack: uint32(seq)}, ReqID: reqID, Credits: 1, Status: wire.StatusOK}
+		resp := body
+		if err != nil {
+			rr.Status = wire.StatusEIO
+			s.logf("netv3: diskq read [%d,+%d): %v", off, len(body), err)
+			s.pool.Put(body)
+			resp = nil
+		}
+		rr.Length = uint32(len(resp))
+		s.served.Add(1)
+		dq.reads.Add(1)
+		sc.complete(completion{msg: rr, body: resp})
+		sc.wg.Done()
+	}
+	ok := dq.trySubmit(diskq.Op{Kind: diskq.OpRead, Buf: body, Off: off}, func(c diskq.Completion) {
+		if c.Err == nil && dq.v.cache != nil && !dq.v.cache.epochsUnchanged(epochs) {
+			// A write landed on a covered epoch stripe mid-flight; the
+			// store image we read may predate (or tear) it. Redo through
+			// the coherent path — off the dispatcher, whose drain must
+			// never wait out a device-time store read (a redo here would
+			// stall every other completion behind it). Bounded by the
+			// session's credits, like any other in-flight request.
+			dq.retries.Add(1)
+			go func() { finish(dq.v.cachedRead(body, off)) }()
+			return
+		}
+		finish(c.Err)
+	})
+	return ok
+}
+
+// submitWrite moves a write-through write (cache disabled or
+// NoWriteBehind) onto the queue. The cache update and the response both
+// happen on completion, preserving the store-write-before-cache-update
+// ordering rule. A false return means the caller falls back.
+func (dq *diskQueue) submitWrite(sc *sessCtx, seq uint64, reqID uint64, body []byte, off int64) bool {
+	s := dq.s
+	return dq.trySubmit(diskq.Op{Kind: diskq.OpWrite, Buf: body, Off: off}, func(c diskq.Completion) {
+		wr := &wire.WriteResp{Header: wire.Header{Ack: uint32(seq)}, ReqID: reqID, Credits: 1, Status: wire.StatusOK}
+		if c.Err != nil {
+			wr.Status = wire.StatusEIO
+			s.logf("netv3: diskq write [%d,+%d): %v", off, len(body), c.Err)
+		} else if dq.v.cache != nil {
+			updateCachedRange(dq.v.cache, body, off)
+		}
+		s.pool.Put(body)
+		s.served.Add(1)
+		dq.writes.Add(1)
+		sc.complete(completion{msg: wr})
+		sc.wg.Done()
+	})
+}
+
+// close stops intake and waits for the dispatcher to drain every
+// in-flight completion (running their callbacks) before returning.
+func (dq *diskQueue) close() {
+	dq.q.Close()
+	<-dq.dispatcherDone
+}
+
+// File exposes the store's backing file for the io_uring backend.
+func (s *FileStore) File() *os.File { return s.f }
+
+// updateCachedRange folds committed write bytes into any resident cache
+// blocks of [off, off+len(b)) — the block-split loop volume.write uses,
+// shared with the queue's asynchronous write completion.
+func updateCachedRange(c *blockCache, b []byte, off int64) {
+	end := off + int64(len(b))
+	for cur := off; cur < end; {
+		blk := uint64(cur / cacheBlockSize)
+		within := cur % cacheBlockSize
+		n := int64(cacheBlockSize - within)
+		if end-cur < n {
+			n = end - cur
+		}
+		c.updateBlock(blk, within, n, b[cur-off:cur-off+n])
+		cur += n
+	}
+}

@@ -209,5 +209,23 @@ func newServerObs(r *obs.Registry, s *Server) *serverObs {
 	r.GaugeFunc("netv3_srv_prefetch_hits_total", func() int64 { return s.DiskStats().PrefetchHits })
 	r.GaugeFunc("netv3_srv_prefetch_dropped_total", func() int64 { return s.DiskStats().PrefetchDropped })
 	r.GaugeFunc("netv3_srv_inline_fallbacks_total", func() int64 { return s.DiskStats().InlineFallbacks })
+	// Disk-queue (DiskQ) exports. The in-flight gauge reads the live
+	// SQ depth across volumes; the counters mirror DiskStats. The queue's
+	// own histograms (submit/reap batch sizes, queue-wait vs device time)
+	// register themselves on the same registry via diskq.Config.Metrics.
+	r.GaugeFunc("netv3_srv_diskq_inflight", func() int64 {
+		var n int64
+		for _, v := range *s.volumes.Load() {
+			if v.dq != nil {
+				n += int64(v.dq.q.InFlight())
+			}
+		}
+		return n
+	})
+	r.GaugeFunc("netv3_srv_diskq_reads_total", func() int64 { return s.DiskStats().DiskQReads })
+	r.GaugeFunc("netv3_srv_diskq_writes_total", func() int64 { return s.DiskStats().DiskQWrites })
+	r.GaugeFunc("netv3_srv_diskq_batches_total", func() int64 { return s.DiskStats().DiskQBatches })
+	r.GaugeFunc("netv3_srv_diskq_fallbacks_total", func() int64 { return s.DiskStats().DiskQFallbacks })
+	r.GaugeFunc("netv3_srv_diskq_retries_total", func() int64 { return s.DiskStats().DiskQRetries })
 	return so
 }

@@ -41,6 +41,18 @@ type ServerConfig struct {
 	// of order through a per-session completion lane. 0 keeps the classic
 	// synchronous dispatch (the ablation baseline).
 	DiskWorkers int
+	// DiskQ routes every store I/O through a batched submission/completion
+	// queue (internal/diskq): demand-read misses, write-through writes,
+	// destage runs, and prefetch windows become submissions on one SQ/CQ
+	// pair per volume, drained by a single dispatcher goroutine, with
+	// io_uring underneath on Linux and a goroutine pool elsewhere. It
+	// supersedes DiskWorkers for dispatch (no per-volume worker pool is
+	// created); a positive DiskWorkers then only sizes the portable
+	// backend's pool.
+	DiskQ bool
+	// SQDepth bounds the in-flight operations of each volume's disk queue
+	// (submission-queue depth). 0 selects 64. Only meaningful with DiskQ.
+	SQDepth int
 	// NoWriteBehind disables write-behind destaging (ablation): writes go
 	// to the store before they are acknowledged, as in the seed. Only
 	// meaningful when CacheBlocks > 0, since dirty blocks live in the
@@ -94,7 +106,8 @@ func readBufSize(noBatch bool) int {
 type volume struct {
 	store BlockStore
 	cache *blockCache
-	pipe  *diskPipe       // DiskWorkers > 0: async store I/O
+	pipe  *diskPipe       // DiskWorkers > 0 (without DiskQ): async store I/O
+	dq    *diskQueue      // DiskQ: batched submission/completion store I/O
 	wb    *destager       // cache + write-behind: dirty-block destaging
 	pf    *prefetchWorker // cache + prefetch: sequential read-ahead
 }
@@ -151,7 +164,17 @@ func (s *Server) AddVolume(id uint32, store BlockStore) {
 		v.cache = newBlockCache(s.cfg.CacheBlocks, s.cfg.CacheShards, s.pool)
 	}
 	if !s.closed.Load() {
-		if s.cfg.DiskWorkers > 0 {
+		if s.cfg.DiskQ {
+			dq, err := newDiskQueue(s, v)
+			if err != nil {
+				// Should not happen — the portable backend has no failure
+				// mode — but a volume without its queue still works through
+				// the classic paths.
+				s.logf("netv3: vol %d disk queue: %v", id, err)
+			} else {
+				v.dq = dq
+			}
+		} else if s.cfg.DiskWorkers > 0 {
 			v.pipe = newDiskPipe(s, v)
 		}
 		if v.cache != nil && !s.cfg.NoWriteBehind {
@@ -257,15 +280,28 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Close stops accepting, stops the background disk-path goroutines
 // (workers drain their queues first), severs every live session, and
-// closes the listener.
+// closes the listener. Per volume the order matters: the destager and
+// prefetcher finish first (their final passes may still submit to the
+// disk queue), then the queue itself closes, draining every in-flight
+// completion before the dispatcher exits. Sessions racing this see
+// TrySubmit fail and take the classic path.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	close(s.done)
 	for _, v := range *s.volumes.Load() {
+		if v.wb != nil {
+			<-v.wb.stopped
+		}
+		if v.pf != nil {
+			<-v.pf.stopped
+		}
 		if v.pipe != nil {
 			v.pipe.shutdown()
+		}
+		if v.dq != nil {
+			v.dq.close()
 		}
 	}
 	var err error
@@ -456,9 +492,9 @@ func (s *Server) session(conn net.Conn) {
 	if err := w.send(resp, nil); err != nil {
 		return
 	}
-	var sc *sessCtx // completion lane, only with the pipelined disk path
-	if s.cfg.DiskWorkers > 0 {
-		sc = newSessCtx(s, w)
+	var sc *sessCtx // completion lane, with disk workers or the disk queue
+	if s.cfg.DiskWorkers > 0 || s.cfg.DiskQ {
+		sc = newSessCtx(s, w, credits)
 		defer func() {
 			// Kill the socket first so no new requests arrive, then wait
 			// out in-flight worker tasks before closing the lane.
@@ -580,6 +616,22 @@ func (s *Server) session(conn net.Conn) {
 				// the slow path; prod the destager to start catching up.
 				v.wb.kickNow()
 			}
+			if v != nil && v.dq != nil && v.wb == nil {
+				// Write-through volume on the disk queue: the store write
+				// rides the SQ and the ack comes back through the completion
+				// lane. (Write-behind volumes never reach here below the
+				// high-watermark, and above it writeThrough must stay
+				// synchronous — it takes the destage mutex, which a
+				// completion callback may never block on.)
+				if checkStoreRange(v.store.Size(), int64(m.Offset), len(body)) == nil {
+					sc.wg.Add(1)
+					if v.dq.submitWrite(sc, m.Seq, m.ReqID, body, int64(m.Offset)) {
+						s.obsDispatch(dt0)
+						continue
+					}
+					sc.wg.Done()
+				}
+			}
 			if v != nil && v.pipe != nil {
 				t := diskTask{sc: sc, kind: taskWrite, seq: m.Seq, reqID: m.ReqID,
 					off: int64(m.Offset), body: body}
@@ -651,6 +703,14 @@ func (s *Server) handleRead(m *wire.Read, w *respWriter, inline bool) {
 		_ = w.respond(rr, nil, inline)
 		return
 	}
+	// Validate the range up front: the cached path slices per-block
+	// buffers from wire-supplied arithmetic, so a hostile offset (say,
+	// MaxInt64) must be rejected before it reaches any buffer math.
+	if checkStoreRange(v.store.Size(), int64(m.Offset), int(m.Length)) != nil {
+		rr.Status = wire.StatusEInval
+		_ = w.respond(rr, nil, inline)
+		return
+	}
 	body := s.pool.Get(int(m.Length))
 	var err error
 	if v.cache != nil {
@@ -706,11 +766,20 @@ func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetch
 		return false
 	}
 	if v.pf != nil {
-		if start, n, ok := pf.observe(m.Volume, int64(m.Offset), int64(m.Length)); ok {
-			v.pf.submit(start, n)
+		// Strided read-ahead needs the batched queue AND ring headroom: a
+		// strided window is one vectored batch of up to maxPrefetchBlocks
+		// scattered single-block reads, and speculation that can fill half
+		// the ring starves demand misses queued behind it.
+		strideOK := v.dq != nil && v.dq.q.Depth() >= 2*maxPrefetchBlocks
+		blks, cancel, ok := pf.observe(m.Volume, int64(m.Offset), int64(m.Length), strideOK)
+		if len(cancel) > 0 {
+			v.cache.prefetchDiscard(cancel)
+		}
+		if ok {
+			v.pf.submit(blks)
 		}
 	}
-	if v.pipe == nil {
+	if v.pipe == nil && v.dq == nil {
 		return false
 	}
 	body := s.pool.Get(int(m.Length))
@@ -727,6 +796,36 @@ func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetch
 		_ = w.respond(rr, body, inline)
 		s.pool.Put(body)
 		return true
+	}
+	if v.dq != nil {
+		// Miss on a disk-queue volume: the store read rides the SQ without
+		// any shard lock held for the device time. The submit-time check
+		// proves no block in the range carries uncommitted write-behind
+		// bytes (those must come from the cache, via the classic path) and
+		// snapshots the covered shards' write epochs; completion-time
+		// revalidation catches the rare write that lands mid-flight.
+		off := int64(m.Offset)
+		if checkStoreRange(v.store.Size(), off, len(body)) != nil {
+			s.pool.Put(body)
+			return false // classic path owns the error response
+		}
+		var epochs []shardEpoch
+		if v.cache != nil {
+			startBlk := uint64(off / cacheBlockSize)
+			nblocks := int((off+int64(len(body))+cacheBlockSize-1)/cacheBlockSize) - int(startBlk)
+			var ok bool
+			if epochs, ok = v.cache.demandReadCheck(startBlk, nblocks); !ok {
+				s.pool.Put(body)
+				return false
+			}
+		}
+		sc.wg.Add(1)
+		if v.dq.submitDemandRead(sc, m.Seq, m.ReqID, body, off, epochs) {
+			return true
+		}
+		sc.wg.Done()
+		s.pool.Put(body)
+		return false
 	}
 	t := diskTask{sc: sc, kind: taskRead, seq: m.Seq, reqID: m.ReqID, off: int64(m.Offset), body: body}
 	sc.wg.Add(1)
@@ -783,6 +882,16 @@ type DiskStats struct {
 	// InlineFallbacks counts requests bounced to classic dispatch because
 	// the disk-worker queue was full.
 	InlineFallbacks int64
+	// Disk-queue counters (DiskQ mode): demand reads and write-through
+	// writes completed through the queue, vectored batches submitted,
+	// submissions bounced to the classic path (queue full or closing), and
+	// reads redone classically after a concurrent write bumped a covered
+	// shard's epoch mid-flight.
+	DiskQReads     int64
+	DiskQWrites    int64
+	DiskQBatches   int64
+	DiskQFallbacks int64
+	DiskQRetries   int64
 }
 
 // DiskStats returns cumulative disk-pipeline counters.
@@ -808,6 +917,13 @@ func (s *Server) DiskStats() DiskStats {
 		}
 		if v.pipe != nil {
 			d.InlineFallbacks += v.pipe.inlineFallbacks.Load()
+		}
+		if v.dq != nil {
+			d.DiskQReads += v.dq.reads.Load()
+			d.DiskQWrites += v.dq.writes.Load()
+			d.DiskQBatches += v.dq.batches.Load()
+			d.DiskQFallbacks += v.dq.fallbacks.Load()
+			d.DiskQRetries += v.dq.retries.Load()
 		}
 	}
 	return d
@@ -845,10 +961,14 @@ func (v *volume) readInto(b []byte, off int64) error {
 // false (with b possibly partially filled) on any miss — the inline
 // fast path of the pipelined dispatch, which never touches the store.
 func (v *volume) tryCachedRead(b []byte, off int64) bool {
-	end := off + int64(len(b))
-	if off < 0 || end > v.store.Size() {
+	// checkStoreRange, not a bare off+len comparison: off near MaxInt64
+	// wraps end negative, which sails past `end > size` AND makes the
+	// loop below run zero iterations — reporting a successful "hit" that
+	// returned no bytes at all.
+	if checkStoreRange(v.store.Size(), off, len(b)) != nil {
 		return false
 	}
+	end := off + int64(len(b))
 	for cur := off; cur < end; {
 		blk := uint64(cur / cacheBlockSize)
 		within := cur % cacheBlockSize
@@ -879,6 +999,13 @@ func (v *volume) absorbWrite(b []byte, off int64) error {
 			n = end - cur
 		}
 		if err := v.cache.absorb(v, blk, within, n, b[cur-off:cur-off+n]); err != nil {
+			if err == errCacheBusy && v.wb != nil {
+				// This block's shard has every slot pinned by uncommitted
+				// state; commit the rest of the write through the
+				// backpressure path. Already-absorbed blocks are dirty and
+				// ordered by the destager as usual.
+				return v.wb.writeThrough(b[cur-off:], cur)
+			}
 			return err
 		}
 		cur += n
@@ -887,10 +1014,15 @@ func (v *volume) absorbWrite(b []byte, off int64) error {
 }
 
 // flush makes all acknowledged writes durable: drain write-behind state,
-// then sync the store.
+// then sync the store. On a write-through disk-queue volume the fsync
+// rides the queue as a drain barrier, sequencing it after every
+// outstanding queued write.
 func (v *volume) flush() error {
 	if v.wb != nil {
 		return v.wb.flush()
+	}
+	if v.dq != nil {
+		return v.dq.fsyncBarrier()
 	}
 	return v.store.Sync()
 }

@@ -42,8 +42,14 @@ func NewMemStore(size int64) *MemStore {
 	return &MemStore{data: make([]byte, size)}
 }
 
+// checkStoreRange validates [off, off+n) against the volume size. The
+// comparison is phrased to stay correct for hostile inputs: the naive
+// `off+int64(n) > size` wraps negative when a wire request carries an
+// offset near MaxInt64, letting the access through and crashing the
+// store deeper in. `off > size-int64(n)` cannot overflow once n is
+// known to be in [0, size].
 func checkStoreRange(size, off int64, n int) error {
-	if off < 0 || off+int64(n) > size {
+	if off < 0 || n < 0 || int64(n) > size || off > size-int64(n) {
 		return fmt.Errorf("netv3: access [%d,+%d) outside volume of %d bytes", off, n, size)
 	}
 	return nil
@@ -136,9 +142,8 @@ func (s *FileStore) WriteAt(b []byte, off int64) error {
 		}
 		return fmt.Errorf("netv3: file store write [%d,+%d): %w", off, len(b), err)
 	}
-	if n < len(b) {
-		return fmt.Errorf("netv3: file store short write [%d,+%d): wrote %d bytes", off, len(b), n)
-	}
+	// io.WriterAt's contract makes err non-nil whenever n < len(b), so a
+	// nil-error short write cannot occur and needs no branch here.
 	return nil
 }
 
