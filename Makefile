@@ -5,7 +5,7 @@ GO ?= go
 # run instead of hanging it.
 TEST_TIMEOUT ?= 10m
 
-.PHONY: all build test race vet verify chaos bench bench-netv3 bench-disk clean
+.PHONY: all build test race vet verify chaos bench bench-netv3 bench-disk bench-mux clean
 
 all: build
 
@@ -35,8 +35,8 @@ chaos:
 bench: bench-netv3
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-# netv3's TestMain rewrites BENCH_JSON; vvault's appends to it, so the
-# order here matters.
+# Both TestMains merge rows into BENCH_JSON by name (newest wins), so
+# run order does not matter and partial re-runs leave other rows alone.
 bench-netv3:
 	BENCH_JSON=$(CURDIR)/BENCH_netv3.json $(GO) test -run '^$$' \
 		-bench 'BenchmarkNetv3' -benchtime 1s ./internal/netv3/
@@ -45,17 +45,31 @@ bench-netv3:
 
 # bench-disk re-records the batched-disk-backend ablation (the
 # BenchmarkNetv3DiskQ depth sweep over the 150 µs slow store) into
-# BENCH_netv3.json. BENCH_APPEND=1 replaces same-name rows in place, so
-# the rest of the file survives; one process per row keeps the rows from
-# perturbing each other on small machines.
+# BENCH_netv3.json; the by-name merge leaves the rest of the file
+# intact. One process per row keeps the rows from perturbing each other
+# on small machines.
 bench-disk:
 	@for cfg in diskq-off diskq-d8 diskq-d32 diskq-d64 diskq-d128 diskq-d256; do \
 		for wl in 16 64; do \
-			BENCH_JSON=$(CURDIR)/BENCH_netv3.json BENCH_APPEND=1 $(GO) test -run '^$$' \
+			BENCH_JSON=$(CURDIR)/BENCH_netv3.json $(GO) test -run '^$$' \
 				-bench "BenchmarkNetv3DiskQ/$$cfg/8192x$${wl}mixed\$$" \
 				-benchtime 4000x ./internal/netv3/ || exit 1; \
 		done; \
 	done
+
+# bench-mux re-records the session-multiplexing rows: p99 at 100 vs
+# 10000 logical streams on one connection, mux throughput vs a
+# connection per client at equal concurrency, and the QoS-lane ablation
+# (foreground p99 alone vs under background destage/resync load).
+# Counted -benchtime keeps the op population identical across runs so
+# the percentiles are comparable.
+bench-mux:
+	BENCH_JSON=$(CURDIR)/BENCH_netv3.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkNetv3MuxSessions' -benchtime 20000x ./internal/netv3/
+	BENCH_JSON=$(CURDIR)/BENCH_netv3.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkNetv3MuxVsConns' -benchtime 20000x ./internal/netv3/
+	BENCH_JSON=$(CURDIR)/BENCH_netv3.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkNetv3MuxLane' -benchtime 60000x ./internal/netv3/
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,8 @@
 //	v3cli -addr host:9300 flush
 //	v3cli -addr host:9300 bench -n 1000 -size 8192 -depth 8
 //	v3cli -addr host:9300 bench -n 100000 -size 8192 -window 16   # async pipeline
+//	v3cli -addr host:9300 bench -n 100000 -streams 1000           # 1000 logical clients, one conn
+//	v3cli -addr host:9300 status                                  # session + stream counters
 //	v3cli -addr host:9300 breakdown -n 20000 -size 8192 -window 16
 //
 //	v3cli -servers a:9300,b:9300 -stripe -size 67108864 bench -n 100000
@@ -20,13 +22,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/v3storage/v3/internal/netv3"
@@ -169,28 +174,37 @@ func main() {
 		}
 		fmt.Println("ok")
 	case "status":
-		if vault == nil {
-			log.Fatal("v3cli: status needs cluster mode (-servers)")
+		if vault != nil {
+			printStatus(vault)
+		} else {
+			printClientStatus(client)
 		}
-		printStatus(vault)
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
 		n := fs.Int("n", 1000, "I/Os")
 		size := fs.Int("size", 8192, "request size")
 		depth := fs.Int("depth", 8, "concurrent streams")
 		window := fs.Int("window", 0, "async pipeline depth (single-server mode only; 0 = sync goroutine bench)")
+		nStreams := fs.Int("streams", 0, "multiplex the load over this many logical streams on one connection (single-server mode only)")
+		background := fs.Bool("background", false, "with -streams: ride the server's background QoS lane")
 		writes := fs.Bool("writes", false, "write instead of read")
 		_ = fs.Parse(args[1:])
 		region := int64(1 << 20)
 		if vault != nil {
 			region = vault.Size()
 		}
-		if *window > 0 {
+		switch {
+		case *nStreams > 0:
+			if client == nil {
+				log.Fatal("v3cli: -streams bench needs single-server mode (the vault multiplexes internally)")
+			}
+			runStreamBench(client, uint32(*vol), *n, *size, *nStreams, *background, *writes)
+		case *window > 0:
 			if client == nil {
 				log.Fatal("v3cli: -window bench needs single-server mode (the vault pipelines internally)")
 			}
 			runAsyncBench(client, uint32(*vol), *n, *size, *window, *writes)
-		} else {
+		default:
 			runBench(io, *n, *size, *depth, region, *writes)
 		}
 	case "breakdown":
@@ -273,6 +287,15 @@ func runBreakdown(c *netv3.Client, reg *obs.Registry, vol uint32, n, size, windo
 	fmt.Print(obs.FormatBreakdown(rows, float64(e2e.Nanoseconds())/float64(count)))
 }
 
+// printClientStatus renders one session's negotiated capabilities and
+// live counters — the single-server face of `status`.
+func printClientStatus(c *netv3.Client) {
+	st := c.Stats()
+	fmt.Printf("streams_supported=%v max_streams=%d\n", c.StreamsSupported(), c.MaxStreams())
+	fmt.Printf("streams_open=%d streams_opened=%d in_flight=%d reconnects=%d retries=%d\n",
+		st.StreamsOpen, st.StreamsOpened, st.InFlight, st.Reconnects, st.Retries)
+}
+
 // printStatus renders the vault's per-backend health table.
 func printStatus(v *vvault.Vault) {
 	fmt.Printf("mode=%s size=%d\n", v.Mode(), v.Size())
@@ -282,6 +305,12 @@ func printStatus(v *vvault.Vault) {
 		if st.LastProbeRTT > 0 {
 			fmt.Printf(" probe_rtt=%v", st.LastProbeRTT)
 		}
+		if st.DataStream != 0 {
+			fmt.Printf(" data_stream=%d credits=%d", st.DataStream, st.StreamCredits)
+		}
+		if st.ResyncStream != 0 {
+			fmt.Printf(" resync_stream=%d", st.ResyncStream)
+		}
 		if st.DirtyBytes > 0 {
 			fmt.Printf(" resync_remaining=%dB/%d ranges", st.DirtyBytes, st.DirtyRanges)
 		}
@@ -290,6 +319,78 @@ func printStatus(v *vvault.Vault) {
 	s := v.Stats()
 	fmt.Printf("degraded_reads=%d degraded_writes=%d degraded_seconds=%.1f resyncs=%d resynced_bytes=%d\n",
 		s.DegradedReads, s.DegradedWrites, s.DegradedSeconds, s.Resyncs, s.ResyncedBytes)
+}
+
+// runStreamBench multiplexes the load over nStreams logical streams on
+// the single wire connection — the many-sessions-per-VI shape. Each
+// stream is one synchronous logical client; the per-op latency
+// distribution (p50/p99) is the point, since a flat p99 at high stream
+// counts is what the multiplexing layer promises. Admission sheds are
+// counted, not fatal.
+func runStreamBench(c *netv3.Client, vol uint32, n, size, nStreams int, background, writes bool) {
+	if !c.StreamsSupported() {
+		log.Fatal("v3cli: server did not negotiate streams")
+	}
+	streams := make([]*netv3.Stream, nStreams)
+	for i := range streams {
+		st, err := c.OpenStream(netv3.StreamConfig{Credits: 4, Background: background})
+		if err != nil {
+			log.Fatalf("v3cli: open stream %d: %v", i, err)
+		}
+		streams[i] = st
+	}
+	per := n / nStreams
+	if per == 0 {
+		per = 1
+	}
+	lats := make([][]time.Duration, nStreams)
+	var shed atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i, st := range streams {
+		wg.Add(1)
+		go func(i int, st *netv3.Stream) {
+			defer wg.Done()
+			buf := make([]byte, size)
+			lats[i] = make([]time.Duration, 0, per)
+			for k := 0; k < per; k++ {
+				off := int64((i*per+k)*size) % (1 << 20)
+				s := time.Now()
+				var err error
+				if writes {
+					err = st.Write(vol, off, buf)
+				} else {
+					err = st.Read(vol, off, buf)
+				}
+				if err != nil {
+					if errors.Is(err, netv3.ErrOverloaded) {
+						shed.Add(1)
+						continue
+					}
+					log.Printf("v3cli: stream %d: %v", i, err)
+					return
+				}
+				lats[i] = append(lats[i], time.Since(s))
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	for _, st := range streams {
+		_ = st.Close()
+	}
+	if len(all) == 0 {
+		log.Fatal("v3cli: no I/Os completed")
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	fmt.Printf("%d I/Os of %d bytes over %d streams (1 conn): %.0f ops/s, p50 %v, p99 %v, shed %d\n",
+		len(all), size, nStreams,
+		float64(len(all))/elapsed.Seconds(),
+		all[len(all)/2], all[len(all)*99/100], shed.Load())
 }
 
 // runAsyncBench drives the async API from one goroutine, keeping up to

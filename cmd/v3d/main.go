@@ -9,6 +9,7 @@
 //	v3d -addr :9300 -file /data/vol.img -size 1G -cache 4096 -workers 8
 //	v3d -addr :9300 -cache 4096 -workers 8 -nowritebehind -noprefetch
 //	v3d -addr :9300 -file /data/vol.img -size 1G -diskq -sqdepth 64
+//	v3d -addr :9300 -schedworkers 8 -admitlimit 512 -maxstreams 10000
 //	v3d -addr :9300 -metrics :9400             # Prometheus text + JSON snapshot
 //	v3d -addr :9300 -nopool -nobatch           # seed-equivalent baseline
 package main
@@ -63,6 +64,9 @@ func main() {
 	noWriteBehind := flag.Bool("nowritebehind", false, "disable write-behind destaging (ack after store write)")
 	noPrefetch := flag.Bool("noprefetch", false, "disable sequential read-ahead")
 	dirtyMax := flag.Int("dirtymax", 0, "dirty-block high-watermark before write-through fallback (0 = cache/2)")
+	schedWorkers := flag.Int("schedworkers", 0, "shared scheduler worker pool with QoS lanes and admission control (0 = off; supersedes -workers/-diskq for dispatch)")
+	admitLimit := flag.Int("admitlimit", 0, "foreground queue depth before admission control sheds (0 = schedworkers*256)")
+	maxStreams := flag.Int("maxstreams", 0, "logical streams allowed per connection (0 = 65535)")
 	stats := flag.Duration("stats", 0, "log served/cache/pool counters at this interval (0 = off)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus text and JSON metrics on this address (e.g. :9400; empty = off)")
 	flag.Parse()
@@ -84,6 +88,9 @@ func main() {
 	cfg.NoWriteBehind = *noWriteBehind
 	cfg.NoPrefetch = *noPrefetch
 	cfg.DirtyHighWater = *dirtyMax
+	cfg.SchedWorkers = *schedWorkers
+	cfg.AdmitLimit = *admitLimit
+	cfg.MaxStreams = *maxStreams
 	cfg.Logger = log.New(os.Stderr, "v3d: ", log.LstdFlags)
 	var reg *obs.Registry
 	if *metricsAddr != "" || *stats > 0 {

@@ -1,7 +1,6 @@
 package netv3
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/v3storage/v3/internal/benchjson"
 	"github.com/v3storage/v3/internal/obs"
 	"github.com/v3storage/v3/internal/wire"
 )
@@ -18,14 +18,10 @@ import (
 // Benchmark results are collected here and, when the BENCH_JSON
 // environment variable names a file, written out by TestMain so the
 // repo's perf trajectory is machine-readable across PRs (`make bench`).
-type benchRecord struct {
-	Name        string  `json:"name"`
-	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
-	MeanMicros  float64 `json:"mean_us,omitempty"`
-	BytesPerOp  float64 `json:"alloc_bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-}
+// The writer merges by name — same-name rows are replaced keeping the
+// newest, others survive — so full sweeps and targeted runs (`make
+// bench-disk`, `make bench-mux`) compose in any order.
+type benchRecord = benchjson.Record
 
 var (
 	benchMu      sync.Mutex
@@ -40,42 +36,8 @@ func record(r benchRecord) {
 
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecords) > 0 {
-		out := benchRecords
-		// BENCH_APPEND=1 merges into an existing file instead of replacing
-		// it, so a targeted run (`make bench-disk`) can refresh its own rows
-		// without discarding the full sweep's history: same-name records are
-		// replaced in place, new names are appended.
-		if os.Getenv("BENCH_APPEND") == "1" {
-			if prev, err := os.ReadFile(path); err == nil {
-				var old []benchRecord
-				if json.Unmarshal(prev, &old) == nil && len(old) > 0 {
-					fresh := make(map[string]benchRecord, len(out))
-					for _, r := range out {
-						fresh[r.Name] = r
-					}
-					merged := make([]benchRecord, 0, len(old)+len(out))
-					for _, r := range old {
-						if nr, ok := fresh[r.Name]; ok {
-							merged = append(merged, nr)
-							delete(fresh, r.Name)
-						} else {
-							merged = append(merged, r)
-						}
-					}
-					for _, r := range out {
-						if _, ok := fresh[r.Name]; ok {
-							merged = append(merged, r)
-							delete(fresh, r.Name)
-						}
-					}
-					out = merged
-				}
-			}
-		}
-		if data, err := json.MarshalIndent(out, "", "  "); err == nil {
-			_ = os.WriteFile(path, append(data, '\n'), 0o644)
-		}
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		_ = benchjson.Write(path, benchRecords)
 	}
 	os.Exit(code)
 }
@@ -519,7 +481,7 @@ func BenchmarkNetv3ServerReadPath(b *testing.B) {
 						b.Fatal(err)
 					}
 					m.Offset = off
-					s.handleRead(&m, w, true)
+					s.handleRead(&m, w, respInline)
 				} else {
 					mi, err := wire.Unmarshal(frame)
 					if err != nil {
@@ -527,7 +489,7 @@ func BenchmarkNetv3ServerReadPath(b *testing.B) {
 					}
 					r := mi.(*wire.Read)
 					r.Offset = off
-					s.handleRead(r, w, false)
+					s.handleRead(r, w, respGo)
 				}
 			}
 			b.StopTimer()

@@ -86,6 +86,7 @@ var ErrConnLost = errors.New("netv3: connection lost and reconnection failed")
 // (internal/core/api.go calls 5, 6, 9, 10).
 type Pending struct {
 	c    *Client
+	st   *Stream // issuing stream (nil = root session); holds one stream credit
 	seq  uint64
 	slot uint32       // credit slot held until completion
 	msg  wire.Message // for replay after reconnection
@@ -273,6 +274,16 @@ type Client struct {
 	genID      int // bumps on every reconnect; stale readers exit
 	start      time.Time
 
+	// Stream multiplexing state (guarded by mu). features/maxStreams come
+	// from the last handshake; streams holds the open logical streams;
+	// openWaiters routes StreamOpenResp frames (keyed by stream id) to the
+	// goroutine blocked in OpenStream.
+	features    uint32
+	maxStreams  uint16
+	streams     map[uint32]*Stream
+	nextStream  uint32
+	openWaiters map[uint32]chan *wire.StreamOpenResp
+
 	// Submission path, guarded by sendMu. bw wraps the generation-bwGen
 	// connection; senders counts goroutines queued for sendMu, driving
 	// the adaptive flush (flush only when nobody else is about to write).
@@ -294,6 +305,9 @@ type Client struct {
 	kaArmed  atomic.Bool
 	kaPingAt atomic.Int64
 
+	streamsOpen   atomic.Int64 // currently open logical streams
+	streamsOpened atomic.Int64 // cumulative streams ever opened
+
 	reconnects   atomic.Int64
 	retries      atomic.Int64 // requests replayed after a reconnect
 	waitTimeouts atomic.Int64 // bounded-wait expiries observed by callers
@@ -308,13 +322,15 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		cfg.DialTimeout = 5 * time.Second
 	}
 	c := &Client{
-		cfg:     cfg,
-		addr:    addr,
-		pending: make(map[uint64]*Pending),
-		tracker: reliable.NewTracker(0, 0),
-		reconn:  reliable.NewReconnector(cfg.ReconnectBackoff, cfg.MaxReconnects),
-		start:   time.Now(),
-		om:      newClientObs(cfg.Metrics),
+		cfg:         cfg,
+		addr:        addr,
+		pending:     make(map[uint64]*Pending),
+		streams:     make(map[uint32]*Stream),
+		openWaiters: make(map[uint32]chan *wire.StreamOpenResp),
+		tracker:     reliable.NewTracker(0, 0),
+		reconn:      reliable.NewReconnector(cfg.ReconnectBackoff, cfg.MaxReconnects),
+		start:       time.Now(),
+		om:          newClientObs(cfg.Metrics),
 	}
 	conn, resp, err := c.dialSession()
 	if err != nil {
@@ -336,7 +352,10 @@ func (c *Client) dialSession() (net.Conn, *wire.ConnectResp, error) {
 		return nil, nil, err
 	}
 	_ = conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
-	if err := wire.WriteTo(conn, &wire.Connect{ClientID: 1, WantCreds: uint16(c.cfg.WantCredits)}); err != nil {
+	if err := wire.WriteTo(conn, &wire.Connect{
+		ClientID: 1, WantCreds: uint16(c.cfg.WantCredits),
+		Features: wire.FeatureStreams,
+	}); err != nil {
 		conn.Close()
 		return nil, nil, err
 	}
@@ -358,6 +377,8 @@ func (c *Client) dialSession() (net.Conn, *wire.ConnectResp, error) {
 func (c *Client) installConn(conn net.Conn, resp *wire.ConnectResp) {
 	c.conn = conn
 	c.maxXfer = resp.MaxXfer
+	c.features = resp.Features
+	c.maxStreams = resp.MaxStreams
 	// The credit window is created once; it survives reconnections (the
 	// server grants the same window per session, and in-flight slots are
 	// replayed on the new session).
@@ -429,6 +450,10 @@ type ClientStats struct {
 	// read deadline expired with the peer silent.
 	KeepalivePings int64
 	HungDetections int64
+	// StreamsOpen is the number of currently open logical streams;
+	// StreamsOpened is the cumulative count ever opened.
+	StreamsOpen   int64
+	StreamsOpened int64
 }
 
 // Stats snapshots the client's counters; safe to call concurrently with
@@ -446,6 +471,8 @@ func (c *Client) Stats() ClientStats {
 		Cancels:        c.cancels.Load(),
 		KeepalivePings: c.kaPings.Load(),
 		HungDetections: c.hungPeers.Load(),
+		StreamsOpen:    c.streamsOpen.Load(),
+		StreamsOpened:  c.streamsOpened.Load(),
 	}
 }
 
@@ -543,12 +570,12 @@ func (c *Client) FlushCtx(ctx context.Context, vol uint32) error {
 
 // FlushAsync submits a flush barrier and returns a completion handle.
 func (c *Client) FlushAsync(vol uint32) (*Pending, error) {
-	return c.submit(nil, opFlush, vol, 0, nil, nil)
+	return c.submit(nil, nil, opFlush, vol, 0, nil, nil)
 }
 
 // FlushAsyncCtx is FlushAsync with a cancelable credit-slot wait.
 func (c *Client) FlushAsyncCtx(ctx context.Context, vol uint32) (*Pending, error) {
-	return c.submit(ctx, opFlush, vol, 0, nil, nil)
+	return c.submit(ctx, nil, opFlush, vol, 0, nil, nil)
 }
 
 // ReadAsync submits a read and returns immediately with a completion
@@ -556,7 +583,7 @@ func (c *Client) FlushAsyncCtx(ctx context.Context, vol uint32) (*Pending, error
 // (or is canceled, which hands buf back to the caller). Submission
 // blocks only while the credit window is exhausted.
 func (c *Client) ReadAsync(vol uint32, off int64, buf []byte) (*Pending, error) {
-	return c.submit(nil, opRead, vol, off, buf, nil)
+	return c.submit(nil, nil, opRead, vol, off, buf, nil)
 }
 
 // ReadAsyncCtx is ReadAsync with a cancelable credit-slot wait: if ctx
@@ -564,19 +591,19 @@ func (c *Client) ReadAsync(vol uint32, off int64, buf []byte) (*Pending, error) 
 // requests — submission returns ctx.Err() instead of joining the wedge.
 // Health probes depend on this bound.
 func (c *Client) ReadAsyncCtx(ctx context.Context, vol uint32, off int64, buf []byte) (*Pending, error) {
-	return c.submit(ctx, opRead, vol, off, buf, nil)
+	return c.submit(ctx, nil, opRead, vol, off, buf, nil)
 }
 
 // WriteAsync submits a write and returns immediately with a completion
 // handle; data must stay untouched until the handle reports completion
 // (or is canceled).
 func (c *Client) WriteAsync(vol uint32, off int64, data []byte) (*Pending, error) {
-	return c.submit(nil, opWrite, vol, off, nil, data)
+	return c.submit(nil, nil, opWrite, vol, off, nil, data)
 }
 
 // WriteAsyncCtx is WriteAsync with a cancelable credit-slot wait.
 func (c *Client) WriteAsyncCtx(ctx context.Context, vol uint32, off int64, data []byte) (*Pending, error) {
-	return c.submit(ctx, opWrite, vol, off, nil, data)
+	return c.submit(ctx, nil, opWrite, vol, off, nil, data)
 }
 
 // Client-side op kinds for submit. All three occupy a credit slot while
@@ -610,7 +637,7 @@ func (c *Client) acquireSlot(ctx context.Context) (uint32, error) {
 	}
 }
 
-func (c *Client) submit(ctx context.Context, op int, vol uint32, off int64, buf, data []byte) (*Pending, error) {
+func (c *Client) submit(ctx context.Context, st *Stream, op int, vol uint32, off int64, buf, data []byte) (*Pending, error) {
 	// Stage trace starts at API entry, so the submission stage includes
 	// any credit-window wait — the cost a caller actually experiences.
 	// Only every traceSample-th request is traced; the rest pay one
@@ -623,7 +650,7 @@ func (c *Client) submit(ctx context.Context, op int, vol uint32, off int64, buf,
 	if err != nil {
 		return nil, err
 	}
-	p := &Pending{c: c, slot: slot, done: make(chan struct{}), t0: t0}
+	p := &Pending{c: c, st: st, slot: slot, done: make(chan struct{}), t0: t0}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -633,22 +660,26 @@ func (c *Client) submit(ctx context.Context, op int, vol uint32, off int64, buf,
 	c.nextSeq++
 	c.nextReq++
 	p.seq = c.nextSeq
+	var sid uint32
+	if st != nil {
+		sid = st.id
+	}
 	switch op {
 	case opWrite:
 		p.body = data
 		p.msg = &wire.Write{
-			Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq,
+			Header: wire.Header{Seq: p.seq, Stream: sid}, ReqID: c.nextReq,
 			Volume: vol, Offset: uint64(off), Length: uint32(len(data)), Slot: slot,
 		}
 	case opRead:
 		p.buf = buf
 		p.msg = &wire.Read{
-			Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq,
+			Header: wire.Header{Seq: p.seq, Stream: sid}, ReqID: c.nextReq,
 			Volume: vol, Offset: uint64(off), Length: uint32(len(buf)),
 		}
 	case opFlush:
 		p.msg = &wire.Flush{
-			Header: wire.Header{Seq: p.seq}, ReqID: c.nextReq, Volume: vol,
+			Header: wire.Header{Seq: p.seq, Stream: sid}, ReqID: c.nextReq, Volume: vol,
 		}
 	}
 	c.pending[p.seq] = p
@@ -773,7 +804,13 @@ func (c *Client) keepalive(conn net.Conn, gen int) {
 
 // sendPing pushes one TPing through the submission stream (respecting
 // generation and batching discipline).
-func (c *Client) sendPing(gen int) {
+func (c *Client) sendPing(gen int) { c.sendCtl(gen, &wire.Ping{}) }
+
+// sendCtl pushes one control frame (ping, stream open/close) through the
+// submission stream, respecting generation and batching discipline.
+// Control frames are rare, so each flushes immediately; errors are left
+// to the reader, which owns connection-failure detection.
+func (c *Client) sendCtl(gen int, m wire.Message) {
 	c.senders.Add(1)
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -781,7 +818,7 @@ func (c *Client) sendPing(gen int) {
 	if gen != c.bwGen {
 		return
 	}
-	wire.MarshalInto(c.scratch[:], &wire.Ping{})
+	wire.MarshalInto(c.scratch[:], m)
 	if _, err := c.bw.Write(c.scratch[:]); err != nil {
 		return
 	}
@@ -797,6 +834,7 @@ func (c *Client) reader(conn net.Conn, gen int) {
 	var rr wire.ReadResp
 	var wr wire.WriteResp
 	var fr wire.FlushResp
+	var sr wire.StreamOpenResp
 	fail := func(err error) {
 		c.mu.Lock()
 		stale := gen != c.genID || c.closed
@@ -848,7 +886,7 @@ func (c *Client) reader(conn net.Conn, gen int) {
 			var ioErr error
 			switch {
 			case m.Status != wire.StatusOK:
-				ioErr = m.Status.Err()
+				ioErr = respErr(m.Status, m.RetryAfterMS)
 				// Error responses carry no payload (Length is 0), but trust
 				// the header over the convention.
 				if n > 0 {
@@ -884,13 +922,30 @@ func (c *Client) reader(conn net.Conn, gen int) {
 				fail(err)
 				return
 			}
-			c.complete(uint64(wr.Ack), wr.Status.Err())
+			c.complete(uint64(wr.Ack), respErr(wr.Status, wr.RetryAfterMS))
 		case wire.TFlushResp:
 			if err := wire.UnmarshalInto(frame[:], &fr); err != nil {
 				fail(err)
 				return
 			}
-			c.complete(uint64(fr.Ack), fr.Status.Err())
+			c.complete(uint64(fr.Ack), respErr(fr.Status, fr.RetryAfterMS))
+		case wire.TStreamOpenResp:
+			if err := wire.UnmarshalInto(frame[:], &sr); err != nil {
+				fail(err)
+				return
+			}
+			// Route by stream id to the goroutine blocked in OpenStream. No
+			// waiter (timed out, or a reconnect re-announcement) — drop it.
+			c.mu.Lock()
+			ch := c.openWaiters[sr.Stream]
+			c.mu.Unlock()
+			if ch != nil {
+				cp := sr
+				select {
+				case ch <- &cp:
+				default:
+				}
+			}
 		case wire.TPong:
 			// Keepalive answer: log the round trip of the outstanding ping.
 			if at := c.kaPingAt.Swap(0); at != 0 {
@@ -936,11 +991,11 @@ func (c *Client) complete(seq uint64, err error) {
 	}
 }
 
-// finish publishes the completion and returns the credit slot. Each
-// Pending reaches finish exactly once: the reader's claim, cancel,
-// Close, and permanent reconnection failure all remove it from the
-// pending map under mu before calling here, so no two paths can both
-// own it.
+// finish publishes the completion and returns the credit slot (and the
+// issuing stream's carve-out token). Each Pending reaches finish exactly
+// once: the reader's claim, cancel, Close, and permanent reconnection
+// failure all remove it from the pending map under mu before calling
+// here, so no two paths can both own it.
 func (c *Client) finish(p *Pending, err error) {
 	p.err = err
 	if p.t3 != 0 {
@@ -948,6 +1003,9 @@ func (c *Client) finish(p *Pending, err error) {
 	}
 	close(p.done)
 	c.creditC <- p.slot
+	if p.st != nil {
+		p.st.release()
+	}
 }
 
 // connectionBroken starts the reconnection state machine. Only the first
@@ -1017,6 +1075,21 @@ func (c *Client) recover() {
 		c.reconn.AttemptSucceeded()
 		c.reconnects.Add(1)
 		c.tracker.Reset(time.Since(c.start))
+		// Re-announce open streams before replaying their requests, so the
+		// new session's scheduler has each stream's class/weight/credits.
+		// Fire-and-forget: the responses find no waiter and are dropped,
+		// and a server that races a data frame ahead of its announcement
+		// implicitly opens the stream as foreground in the meantime.
+		for id, st := range c.streams {
+			class := wire.ClassForeground
+			if st.cfg.Background {
+				class = wire.ClassBackground
+			}
+			c.sendCtl(c.genID, &wire.StreamOpen{
+				Header: wire.Header{Stream: id},
+				Class:  class, Weight: uint16(st.cfg.Weight), WantCreds: uint16(cap(st.sem)),
+			})
+		}
 		// Replay unacknowledged requests in order on the new session.
 		replayed := true
 		for _, seq := range c.tracker.Unacked() {

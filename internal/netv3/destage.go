@@ -41,6 +41,7 @@ type destager struct {
 	mu      sync.Mutex // the destage mutex; see type comment
 	kick    chan struct{}
 	stopped chan struct{} // closed when run() has finished its final pass
+	bgKey   uint64        // scheduler tenant key for background-lane passes
 
 	interval time.Duration
 	hiWater  int
@@ -76,6 +77,7 @@ func newDestager(s *Server, v *volume) *destager {
 		cache:    v.cache,
 		kick:     make(chan struct{}, 1),
 		stopped:  make(chan struct{}),
+		bgKey:    newBGKey(),
 		interval: iv,
 		hiWater:  hw,
 	}
@@ -93,13 +95,31 @@ func (d *destager) run(done <-chan struct{}) {
 		case <-done:
 			// Final best-effort pass so a clean shutdown leaves little
 			// behind; Flush remains the only durability guarantee.
-			d.destageAll()
+			d.destagePass()
 			return
 		case <-t.C:
 		case <-d.kick:
 		}
-		d.destageAll()
+		d.destagePass()
 	}
+}
+
+// destagePass runs one pass, routed through the scheduler's background
+// lane when the shared scheduler is on — so destaging competes for workers
+// under the lane policy (foreground priority, starvation-guarded) instead
+// of running unmetered beside them. This goroutine is a dedicated
+// producer, never a scheduler worker, so enqueue-and-wait cannot deadlock;
+// a refused enqueue (scheduler closing) falls back to running the pass
+// right here.
+func (d *destager) destagePass() {
+	if sc := d.s.sched; sc != nil {
+		done := make(chan struct{})
+		if ok, _ := sc.tryEnqueue(d.bgKey, 1, true, func() { d.destageAll(); close(done) }); ok {
+			<-done
+			return
+		}
+	}
+	d.destageAll()
 }
 
 // kickNow nudges the background loop without blocking.

@@ -190,8 +190,11 @@ func (sc *sessCtx) loop() {
 	for c := range sc.comp {
 		// Buffer while more completions are queued; the last one in the
 		// burst goes out with a flush.
-		batch := sc.w.bw != nil && len(sc.comp) > 0
-		_ = sc.w.respond(c.msg, c.body, batch)
+		mode := respGo
+		if sc.w.bw != nil && len(sc.comp) > 0 {
+			mode = respInline
+		}
+		_ = sc.w.respond(c.msg, c.body, mode)
 		if c.body != nil {
 			sc.s.pool.Put(c.body)
 		}

@@ -175,6 +175,11 @@ type serverObs struct {
 	destageRun   *obs.Hist
 	flushDur     *obs.Hist
 	prefetchFill *obs.Hist
+	// schedFGWait/schedBGWait are a scheduler task's enqueue→pickup waits
+	// per QoS lane — the direct signal for "is the foreground lane flat
+	// while background saturates".
+	schedFGWait *obs.Hist
+	schedBGWait *obs.Hist
 }
 
 // newServerObs builds the histogram set and registers gauge funcs that
@@ -193,9 +198,21 @@ func newServerObs(r *obs.Registry, s *Server) *serverObs {
 		destageRun:   r.Hist("netv3_srv_destage_run_ns"),
 		flushDur:     r.Hist("netv3_srv_flush_ns"),
 		prefetchFill: r.Hist("netv3_srv_prefetch_fill_ns"),
+		schedFGWait:  r.Hist("netv3_srv_sched_fg_wait_ns"),
+		schedBGWait:  r.Hist("netv3_srv_sched_bg_wait_ns"),
 	}
 	r.GaugeFunc("netv3_srv_served_total", s.Served)
 	r.GaugeFunc("netv3_srv_sessions_total", s.Sessions)
+	// Live population gauges (decremented on close, unlike the _total
+	// counters) plus the stream-multiplexing and scheduler exports.
+	r.GaugeFunc("netv3_srv_sessions_active", s.SessionsActive)
+	r.GaugeFunc("netv3_srv_streams_active", s.StreamsActive)
+	r.GaugeFunc("netv3_srv_streams_total", s.StreamsTotal)
+	r.GaugeFunc("netv3_srv_sched_fg_queued", func() int64 { return int64(s.SchedStats().FGQueued) })
+	r.GaugeFunc("netv3_srv_sched_bg_queued", func() int64 { return int64(s.SchedStats().BGQueued) })
+	r.GaugeFunc("netv3_srv_sched_fg_done_total", func() int64 { return s.SchedStats().FGDone })
+	r.GaugeFunc("netv3_srv_sched_bg_done_total", func() int64 { return s.SchedStats().BGDone })
+	r.GaugeFunc("netv3_srv_sched_shed_total", func() int64 { return s.SchedStats().Shed })
 	r.GaugeFunc("netv3_srv_cache_hits_total", func() int64 { h, _ := s.CacheStats(); return h })
 	r.GaugeFunc("netv3_srv_cache_misses_total", func() int64 { _, m := s.CacheStats(); return m })
 	r.GaugeFunc("netv3_srv_pool_gets_total", func() int64 { return s.PoolStats().Gets })

@@ -208,11 +208,12 @@ type prefetchWorker struct {
 	v       *volume
 	reqs    chan prefetchReq
 	stopped chan struct{} // closed when run() exits
+	bgKey   uint64        // scheduler tenant key for background-lane fills
 	dropped atomic.Int64
 }
 
 func newPrefetchWorker(v *volume) *prefetchWorker {
-	return &prefetchWorker{v: v, reqs: make(chan prefetchReq, 8), stopped: make(chan struct{})}
+	return &prefetchWorker{v: v, reqs: make(chan prefetchReq, 8), stopped: make(chan struct{}), bgKey: newBGKey()}
 }
 
 // submit queues a read-ahead window, dropping it if the worker is behind.
@@ -253,11 +254,28 @@ func (w *prefetchWorker) run(s *Server, done <-chan struct{}) {
 	}
 }
 
-// fill services one window, routing to the batched or classic engine.
-// A window is dropped whole when unconsumed read-ahead already fills the
-// cache's residency budget — fetching more would only evict earlier
-// read-ahead (or demand state) before anything is consumed.
+// fill services one window. When the shared scheduler is on, the store
+// work rides its background lane — read-ahead is exactly the speculative
+// traffic the lane exists to meter — with this goroutine (a dedicated
+// producer, never a scheduler worker) enqueueing and waiting; a refused
+// enqueue (scheduler closing) runs the fill here instead.
 func (w *prefetchWorker) fill(s *Server, blks []uint64) {
+	if sc := s.sched; sc != nil {
+		done := make(chan struct{})
+		if ok, _ := sc.tryEnqueue(w.bgKey, 1, true, func() { w.fillNow(s, blks); close(done) }); ok {
+			<-done
+			return
+		}
+	}
+	w.fillNow(s, blks)
+}
+
+// fillNow services one window on the calling goroutine, routing to the
+// batched or classic engine. A window is dropped whole when unconsumed
+// read-ahead already fills the cache's residency budget — fetching more
+// would only evict earlier read-ahead (or demand state) before anything
+// is consumed.
+func (w *prefetchWorker) fillNow(s *Server, blks []uint64) {
 	if c := w.v.cache; c.prefResident.Load() >= c.prefBudget {
 		w.dropped.Add(1)
 		return

@@ -67,6 +67,22 @@ type ServerConfig struct {
 	DirtyHighWater int
 	// DestageInterval is the background destage period. 0 selects 5ms.
 	DestageInterval time.Duration
+	// SchedWorkers, when positive, replaces per-session dispatch with the
+	// shared request scheduler: a bounded pool of that many workers drains
+	// per-tenant weighted queues in two QoS lanes (foreground client I/O,
+	// background destage/prefetch/utility), with admission control shedding
+	// foreground work past AdmitLimit. 0 keeps per-session dispatch; see
+	// sched.go. When on, it supersedes DiskWorkers/DiskQ for request
+	// dispatch (the disk queue still carries destage batches).
+	SchedWorkers int
+	// AdmitLimit caps queued foreground scheduler tasks; beyond it requests
+	// are refused with StatusEOverloaded plus a retry-after hint instead of
+	// queueing without bound. 0 selects SchedWorkers*256. Only meaningful
+	// with SchedWorkers > 0.
+	AdmitLimit int
+	// MaxStreams caps logical streams per connection (the wire protocol's
+	// session-multiplexing layer). 0 selects 65535, the field's ceiling.
+	MaxStreams int
 	// Metrics, when non-nil, enables server-side instrumentation on this
 	// registry: dispatch/queue-wait/disk-service/destage/flush/prefetch
 	// latency histograms plus gauge exports of the served/cache/pool/disk
@@ -100,6 +116,14 @@ func readBufSize(noBatch bool) int {
 	return sockBufSize
 }
 
+// srvStream is the server-side record of one open logical stream: its QoS
+// class and scheduler weight, as announced by StreamOpen. Owned by the
+// session goroutine.
+type srvStream struct {
+	class  uint8
+	weight int
+}
+
 // volume is one exported store with its optional sharded block cache
 // and the per-volume disk-pipeline components (each nil when its toggle
 // is off).
@@ -114,9 +138,10 @@ type volume struct {
 
 // Server exports volumes over TCP.
 type Server struct {
-	cfg  ServerConfig
-	pool *bufpool.Pool // nil when cfg.NoPool: Get/Put degrade to make/no-op
-	om   *serverObs    // nil when cfg.Metrics is unset
+	cfg   ServerConfig
+	pool  *bufpool.Pool // nil when cfg.NoPool: Get/Put degrade to make/no-op
+	om    *serverObs    // nil when cfg.Metrics is unset
+	sched *sched        // nil unless cfg.SchedWorkers > 0
 
 	// volumes is a copy-on-write map: lookups on the request hot path are
 	// a single atomic load, with no lock shared across sessions. addMu
@@ -130,6 +155,13 @@ type Server struct {
 	nextSess atomic.Uint64
 	closed   atomic.Bool
 	done     chan struct{} // closed by Close; stops background goroutines
+
+	// Live (not cumulative) session and stream population, plus the
+	// cumulative stream count — the gauges behind v3d -stats and the
+	// netv3_srv_{sessions,streams}_active metrics.
+	sessActive    atomic.Int64
+	streamsActive atomic.Int64
+	streamsTotal  atomic.Int64
 
 	// connMu/conns track live session sockets so Close can sever them;
 	// without this a closed server would keep serving established
@@ -146,12 +178,18 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxXfer == 0 {
 		cfg.MaxXfer = 1 << 20
 	}
+	if cfg.MaxStreams <= 0 || cfg.MaxStreams > int(^uint16(0)) {
+		cfg.MaxStreams = int(^uint16(0))
+	}
 	s := &Server{cfg: cfg, done: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 	if !cfg.NoPool {
 		s.pool = bufpool.New()
 	}
 	s.volumes.Store(&map[uint32]*volume{})
 	s.om = newServerObs(cfg.Metrics, s)
+	if cfg.SchedWorkers > 0 {
+		s.sched = newSched(s, cfg.SchedWorkers, cfg.AdmitLimit)
+	}
 	return s
 }
 
@@ -213,6 +251,16 @@ func (s *Server) Served() int64 { return s.served.Load() }
 
 // Sessions returns the number of sessions accepted.
 func (s *Server) Sessions() int64 { return s.sessions.Load() }
+
+// SessionsActive returns the number of sessions currently established.
+func (s *Server) SessionsActive() int64 { return s.sessActive.Load() }
+
+// StreamsActive returns the number of logical streams currently open
+// across all sessions.
+func (s *Server) StreamsActive() int64 { return s.streamsActive.Load() }
+
+// StreamsTotal returns the cumulative number of logical streams opened.
+func (s *Server) StreamsTotal() int64 { return s.streamsTotal.Load() }
 
 // CacheStats returns aggregate (hits, misses) across volumes.
 func (s *Server) CacheStats() (hits, misses int64) {
@@ -314,6 +362,13 @@ func (s *Server) Close() error {
 	}
 	s.conns = make(map[net.Conn]struct{})
 	s.connMu.Unlock()
+	// The scheduler closes last: sessions racing the shutdown see
+	// tryEnqueue fail and fall back to inline execution, and by this point
+	// the destagers/prefetchers (its background producers) have stopped and
+	// the conns are severed, so the drain is short.
+	if s.sched != nil {
+		s.sched.close()
+	}
 	return err
 }
 
@@ -355,6 +410,34 @@ type respWriter struct {
 	noPool  bool
 	scratch [wire.ControlSize]byte // frame staging; guarded by mu
 
+	// responders counts scheduler workers currently inside respondSched:
+	// a worker flushes only when it is the last one out, so a burst of
+	// concurrent completions coalesces into one syscall — the adaptive
+	// flush discipline, ported to multi-producer response traffic.
+	responders atomic.Int32
+
+	// Async completion-writer state (scheduler sessions only). A session
+	// multiplexing hundreds of logical streams can have megabytes of
+	// responses outstanding toward one socket; once the kernel send buffer
+	// fills, a synchronous flush blocks while holding mu and every
+	// scheduler worker trying to complete a request queues up behind the
+	// socket — the worker pool drains at wire speed instead of device
+	// speed. In async mode workers append encoded responses to q (a
+	// memcpy) and return to the pool; the dedicated writeLoop goroutine
+	// swaps the queue out and writes it with mu released, so socket
+	// backpressure stalls only the writer and concurrent completions
+	// coalesce into one large write. This is the completion-queue drain
+	// from the paper's server (Section 4): workers post completions, one
+	// agent moves them to the wire.
+	async   bool
+	q       []byte     // pending response bytes; guarded by mu
+	qSpare  []byte     // writeLoop's drained buffer, recycled; guarded by mu
+	qCond   *sync.Cond // writeLoop waits here for work
+	qSpace  *sync.Cond // producers wait here when q exceeds asyncQMax
+	qErr    error      // sticky socket error; poisons all later responds
+	qClosed bool
+	qWG     sync.WaitGroup
+
 	// Reusable hot-path response structs for inline (batching-mode)
 	// dispatch, where the session loop is the only responder. Guarded by
 	// mu like scratch.
@@ -368,6 +451,87 @@ func newRespWriter(conn io.Writer, noBatch, noPool bool) *respWriter {
 		w.bw = bufio.NewWriterSize(conn, sockBufSize)
 	}
 	return w
+}
+
+// asyncQMax bounds the async response queue. Producers (scheduler
+// workers) block once the unsent backlog passes it — the same
+// backpressure a blocking flush used to apply, minus the convoy: the cap
+// is far above what client credits admit in normal operation, so it only
+// engages against a peer that stops reading.
+const asyncQMax = 16 << 20
+
+// startAsync switches the writer into async completion mode and starts
+// writeLoop. closeConn force-closes the session socket, unblocking the
+// session read loop when the writer hits a socket error.
+func (w *respWriter) startAsync(closeConn func()) {
+	w.async = true
+	w.qCond = sync.NewCond(&w.mu)
+	w.qSpace = sync.NewCond(&w.mu)
+	w.qWG.Add(1)
+	go w.writeLoop(closeConn)
+}
+
+// stopAsync stops accepting responses and waits for writeLoop to drain
+// what is already queued (or die on the socket error that ended the
+// session).
+func (w *respWriter) stopAsync() {
+	w.mu.Lock()
+	w.qClosed = true
+	w.mu.Unlock()
+	w.qCond.Broadcast()
+	w.qSpace.Broadcast()
+	w.qWG.Wait()
+}
+
+// writeLoop is the session's single socket writer in async mode: swap
+// the pending buffer out under mu, write it with mu released. The two
+// buffers ping-pong, so steady state allocates nothing.
+func (w *respWriter) writeLoop(closeConn func()) {
+	defer w.qWG.Done()
+	for {
+		w.mu.Lock()
+		for len(w.q) == 0 && !w.qClosed {
+			w.qCond.Wait()
+		}
+		if len(w.q) == 0 || w.qErr != nil { // closed and drained, or poisoned
+			w.mu.Unlock()
+			return
+		}
+		buf := w.q
+		w.q = w.qSpare[:0]
+		w.mu.Unlock()
+		w.qSpace.Broadcast()
+		_, err := w.conn.Write(buf)
+		w.mu.Lock()
+		w.qSpare = buf[:0]
+		if err != nil {
+			w.qErr = err
+			w.q = nil
+			w.mu.Unlock()
+			w.qSpace.Broadcast()
+			closeConn()
+			return
+		}
+		w.mu.Unlock()
+	}
+}
+
+// qAppend copies one frame plus optional body into the async queue and
+// wakes writeLoop. Call with mu held.
+func (w *respWriter) qAppend(frame, body []byte) error {
+	for len(w.q) >= asyncQMax && w.qErr == nil && !w.qClosed {
+		w.qSpace.Wait()
+	}
+	if w.qErr != nil {
+		return w.qErr
+	}
+	if w.qClosed {
+		return net.ErrClosed
+	}
+	w.q = append(w.q, frame...)
+	w.q = append(w.q, body...)
+	w.qCond.Signal()
+	return nil
 }
 
 // frame encodes m either into the shared scratch buffer (pooling on) or
@@ -389,6 +553,9 @@ func (w *respWriter) frame(m wire.Message) []byte {
 func (w *respWriter) send(m wire.Message, body []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.async {
+		return w.qAppend(w.frame(m), body)
+	}
 	if w.noBatch {
 		if _, err := w.conn.Write(w.frame(m)); err != nil {
 			return err
@@ -417,6 +584,9 @@ func (w *respWriter) send(m wire.Message, body []byte) error {
 func (w *respWriter) buffer(m wire.Message, body []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.async {
+		return w.qAppend(w.frame(m), body)
+	}
 	if _, err := w.bw.Write(w.frame(m)); err != nil {
 		return err
 	}
@@ -428,19 +598,66 @@ func (w *respWriter) buffer(m wire.Message, body []byte) error {
 	return nil
 }
 
-// respond routes a response through the batch (inline dispatch) or
-// straight to the socket (goroutine dispatch, noBatch).
-func (w *respWriter) respond(m wire.Message, body []byte, inline bool) error {
-	if inline {
+// respMode selects how a response reaches the socket.
+type respMode int
+
+const (
+	// respGo writes and flushes immediately — goroutine dispatch, noBatch,
+	// and the control plane.
+	respGo respMode = iota
+	// respInline buffers; the session loop flushes when the inbound burst
+	// drains.
+	respInline
+	// respSched buffers and flushes only when no other scheduler worker is
+	// mid-response — the multi-producer adaptive flush.
+	respSched
+)
+
+// respond routes a response through the batch (inline dispatch), the
+// scheduler's last-responder-flushes path, or straight to the socket
+// (goroutine dispatch, noBatch).
+func (w *respWriter) respond(m wire.Message, body []byte, mode respMode) error {
+	switch mode {
+	case respInline:
 		return w.buffer(m, body)
+	case respSched:
+		return w.respondSched(m, body)
 	}
 	return w.send(m, body)
+}
+
+// respondSched writes one response from a scheduler worker. Unlike the
+// session loop, workers have no "burst is over" signal to hang a flush
+// on, so the discipline is: buffer under mu, and flush only if no other
+// worker is already waiting to append — the last responder out pushes the
+// whole batch in one syscall. The responders increment happens before
+// taking mu, so a waiter is visible to the current lock holder and
+// suppresses its flush.
+func (w *respWriter) respondSched(m wire.Message, body []byte) error {
+	if w.bw == nil || w.async {
+		return w.send(m, body)
+	}
+	w.responders.Add(1)
+	w.mu.Lock()
+	w.responders.Add(-1)
+	var err error
+	if _, err = w.bw.Write(w.frame(m)); err == nil && len(body) > 0 {
+		_, err = w.bw.Write(body)
+	}
+	if err == nil && w.responders.Load() == 0 {
+		err = w.bw.Flush()
+	}
+	w.mu.Unlock()
+	return err
 }
 
 // flushPending pushes any buffered responses to the kernel.
 func (w *respWriter) flushPending() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.async {
+		return w.qErr // writeLoop pushes continuously; only report death
+	}
 	if w.bw == nil || w.bw.Buffered() == 0 {
 		return nil
 	}
@@ -467,6 +684,10 @@ func (s *Server) session(conn net.Conn) {
 		s.connMu.Unlock()
 	}()
 	inline := !s.cfg.NoBatch
+	mode := respGo
+	if inline {
+		mode = respInline
+	}
 	br := bufio.NewReaderSize(conn, readBufSize(s.cfg.NoBatch))
 	var frame [wire.ControlSize]byte
 	msg, err := wire.ReadFrom(br)
@@ -485,15 +706,60 @@ func (s *Server) session(conn net.Conn) {
 	}
 	fc := flow.NewServer(credits)
 	w := newRespWriter(conn, s.cfg.NoBatch, s.cfg.NoPool)
+	// Feature negotiation: the reply carries the intersection of what the
+	// client advertised and what this server speaks. An old client encodes
+	// zeros in the (formerly padding) feature field, so the intersection is
+	// empty and both sides keep the original protocol.
+	feats := connect.Features & wire.FeatureStreams
 	resp := &wire.ConnectResp{
 		Status: wire.StatusOK, Credits: uint16(credits),
 		MaxXfer: s.cfg.MaxXfer, SessionID: s.nextSess.Add(1),
+		Features: feats,
 	}
+	if feats&wire.FeatureStreams != 0 {
+		resp.MaxStreams = uint16(s.cfg.MaxStreams)
+	}
+	sessID := resp.SessionID
 	if err := w.send(resp, nil); err != nil {
 		return
 	}
+	s.sessActive.Add(1)
+	defer s.sessActive.Add(-1)
+	// streams is the session's logical-stream registry: class and weight
+	// per open stream, fed by StreamOpen/StreamClose control frames. Only
+	// the session goroutine touches it. Stream 0 — the legacy/root session
+	// — is always implicitly open and foreground.
+	streams := make(map[uint32]*srvStream)
+	defer func() { s.streamsActive.Add(-int64(len(streams))) }()
+	// tenant resolves a frame's stream id to its scheduler coordinates,
+	// implicitly opening unknown streams as foreground (a data frame can
+	// legitimately precede its re-announced StreamOpen after a client
+	// reconnect).
+	tenant := func(stream uint32) (key uint64, bg bool, weight int) {
+		weight = 1
+		if st := streams[stream]; st != nil {
+			bg = st.class == wire.ClassBackground
+			if st.weight > 0 {
+				weight = st.weight
+			}
+		} else if stream != 0 {
+			streams[stream] = &srvStream{class: wire.ClassForeground}
+			s.streamsActive.Add(1)
+			s.streamsTotal.Add(1)
+		}
+		return tenantKey(sessID, stream), bg, weight
+	}
+	sched := s.sched
+	if sched != nil && w.bw != nil {
+		// Scheduler sessions complete requests from pool workers; route
+		// their responses through the async completion writer so a full
+		// socket never stalls the shared pool. The handshake above went
+		// out synchronously, so the ConnectResp error path stays simple.
+		w.startAsync(func() { conn.Close() })
+		defer w.stopAsync()
+	}
 	var sc *sessCtx // completion lane, with disk workers or the disk queue
-	if s.cfg.DiskWorkers > 0 || s.cfg.DiskQ {
+	if (s.cfg.DiskWorkers > 0 || s.cfg.DiskQ) && sched == nil {
 		sc = newSessCtx(s, w, credits)
 		defer func() {
 			// Kill the socket first so no new requests arrive, then wait
@@ -545,16 +811,21 @@ func (s *Server) session(conn net.Conn) {
 			if err := wire.UnmarshalInto(frame[:], m); err != nil {
 				return
 			}
-			if s.fastRead(m, w, sc, &pf, inline) {
+			if sched != nil {
+				s.schedRead(m, w, &pf, tenant, mode)
+				s.obsDispatch(dt0)
+				continue
+			}
+			if s.fastRead(m, w, sc, &pf, mode) {
 				s.obsDispatch(dt0)
 				continue
 			}
 			if inline {
-				s.handleRead(m, w, true)
+				s.handleRead(m, w, respInline)
 				s.obsDispatch(dt0)
 				continue
 			}
-			go s.handleRead(m, w, false)
+			go s.handleRead(m, w, respGo)
 		case wire.TWrite:
 			m := &wrMsg
 			if !inline {
@@ -565,8 +836,8 @@ func (s *Server) session(conn net.Conn) {
 			}
 			if err := fc.Reserve(m.Slot); err != nil {
 				s.logf("netv3: %v", err)
-				_ = w.respond(&wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq)},
-					ReqID: m.ReqID, Status: wire.StatusEAgain}, nil, inline)
+				_ = w.respond(&wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
+					ReqID: m.ReqID, Status: wire.StatusEAgain}, nil, mode)
 				continue
 			}
 			// The payload follows the control message on the stream and
@@ -604,10 +875,10 @@ func (s *Server) session(conn net.Conn) {
 					if !inline {
 						wr = new(wire.WriteResp)
 					}
-					*wr = wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq)},
+					*wr = wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
 						ReqID: m.ReqID, Status: st, Credits: 1}
 					s.served.Add(1)
-					_ = w.respond(wr, nil, inline)
+					_ = w.respond(wr, nil, mode)
 					s.pool.Put(body)
 					s.obsDispatch(dt0)
 					continue
@@ -615,6 +886,23 @@ func (s *Server) session(conn net.Conn) {
 				// Over the dirty high-watermark: this write goes through
 				// the slow path; prod the destager to start catching up.
 				v.wb.kickNow()
+			}
+			if sched != nil {
+				key, bg, weight := tenant(m.Stream)
+				mm := new(wire.Write)
+				*mm = *m
+				ok, qd := sched.tryEnqueue(key, weight, bg, func() {
+					s.handleWrite(mm, body, w, respSched)
+					s.pool.Put(body)
+				})
+				if !ok {
+					s.pool.Put(body)
+					_ = w.respond(&wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
+						ReqID: m.ReqID, Status: wire.StatusEOverloaded, Credits: 1,
+						RetryAfterMS: sched.retryAfterMS(qd)}, nil, mode)
+				}
+				s.obsDispatch(dt0)
+				continue
 			}
 			if v != nil && v.dq != nil && v.wb == nil {
 				// Write-through volume on the disk queue: the store write
@@ -643,13 +931,13 @@ func (s *Server) session(conn net.Conn) {
 				sc.wg.Done()
 			}
 			if inline {
-				s.handleWrite(m, body, w, true)
+				s.handleWrite(m, body, w, respInline)
 				s.pool.Put(body)
 				s.obsDispatch(dt0)
 				continue
 			}
 			go func() {
-				s.handleWrite(m, body, w, false)
+				s.handleWrite(m, body, w, respGo)
 				s.pool.Put(body)
 			}()
 		case wire.TFlush:
@@ -657,11 +945,71 @@ func (s *Server) session(conn net.Conn) {
 			if err := wire.UnmarshalInto(frame[:], m); err != nil {
 				return
 			}
+			if sched != nil {
+				// Flush rides the scheduler like any other foreground op —
+				// a durability barrier is latency-sensitive to its issuer.
+				// The worker running it may block in destage+fsync, which is
+				// safe: the pass never waits on another scheduler task.
+				key, bg, weight := tenant(m.Stream)
+				ok, qd := sched.tryEnqueue(key, weight, bg, func() { s.handleFlush(m, w) })
+				if !ok {
+					_ = w.respond(&wire.FlushResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
+						ReqID: m.ReqID, Status: wire.StatusEOverloaded, Credits: 1,
+						RetryAfterMS: sched.retryAfterMS(qd)}, nil, mode)
+				}
+				s.obsDispatch(dt0)
+				continue
+			}
 			// Flush is rare and slow (full destage + fsync), so it always
 			// runs on its own goroutine; its response takes the direct
 			// send path and may complete out of order, which the client
 			// matches by Ack like any other response.
 			go s.handleFlush(m, w)
+		case wire.TStreamOpen:
+			m := new(wire.StreamOpen)
+			if err := wire.UnmarshalInto(frame[:], m); err != nil {
+				return
+			}
+			sr := &wire.StreamOpenResp{Header: wire.Header{Stream: m.Stream}, Status: wire.StatusOK}
+			switch {
+			case m.Stream == 0:
+				// Stream 0 is the implicit root session; "opening" it just
+				// re-grants (harmless, and a cheap client probe).
+				sr.Credits = uint16(credits)
+			case streams[m.Stream] == nil && len(streams) >= s.cfg.MaxStreams:
+				sr.Status = wire.StatusEOverloaded
+				sr.RetryAfterMS = 10
+			default:
+				// New stream, or a reconnecting client re-announcing one this
+				// session already knows — re-registration is idempotent and
+				// the grant is re-sent (the client drops an unexpected reply).
+				if streams[m.Stream] == nil {
+					s.streamsActive.Add(1)
+					s.streamsTotal.Add(1)
+				}
+				streams[m.Stream] = &srvStream{class: m.Class, weight: int(m.Weight)}
+				grant := int(m.WantCreds)
+				if grant <= 0 {
+					grant = 1
+				}
+				if grant > credits {
+					grant = credits
+				}
+				sr.Credits = uint16(grant)
+			}
+			// Control-plane reply: direct send, like the handshake.
+			if err := w.send(sr, nil); err != nil {
+				return
+			}
+		case wire.TStreamClose:
+			m := new(wire.StreamClose)
+			if err := wire.UnmarshalInto(frame[:], m); err != nil {
+				return
+			}
+			if m.Stream != 0 && streams[m.Stream] != nil {
+				delete(streams, m.Stream)
+				s.streamsActive.Add(-1)
+			}
 		case wire.TPing:
 			var seq uint64
 			if m, err := wire.Unmarshal(frame[:]); err == nil {
@@ -681,26 +1029,27 @@ func (s *Server) session(conn net.Conn) {
 // is the respWriter's reusable one, so a cache-hit read completes with
 // zero heap allocations; goroutine dispatch allocates per response like
 // the seed.
-func (s *Server) handleRead(m *wire.Read, w *respWriter, inline bool) {
+func (s *Server) handleRead(m *wire.Read, w *respWriter, mode respMode) {
 	var rr *wire.ReadResp
-	if inline {
+	if mode == respInline {
 		rr = &w.rr
 		*rr = wire.ReadResp{}
 	} else {
 		rr = new(wire.ReadResp)
 	}
+	rr.Stream = m.Stream
 	rr.Ack = uint32(m.Seq)
 	rr.ReqID = m.ReqID
 	rr.Credits = 1
 	v := s.lookup(m.Volume)
 	if v == nil {
 		rr.Status = wire.StatusENoVolume
-		_ = w.respond(rr, nil, inline)
+		_ = w.respond(rr, nil, mode)
 		return
 	}
 	if m.Length > s.cfg.MaxXfer {
 		rr.Status = wire.StatusEInval
-		_ = w.respond(rr, nil, inline)
+		_ = w.respond(rr, nil, mode)
 		return
 	}
 	// Validate the range up front: the cached path slices per-block
@@ -708,7 +1057,7 @@ func (s *Server) handleRead(m *wire.Read, w *respWriter, inline bool) {
 	// MaxInt64) must be rejected before it reaches any buffer math.
 	if checkStoreRange(v.store.Size(), int64(m.Offset), int(m.Length)) != nil {
 		rr.Status = wire.StatusEInval
-		_ = w.respond(rr, nil, inline)
+		_ = w.respond(rr, nil, mode)
 		return
 	}
 	body := s.pool.Get(int(m.Length))
@@ -727,18 +1076,19 @@ func (s *Server) handleRead(m *wire.Read, w *respWriter, inline bool) {
 	}
 	s.served.Add(1)
 	rr.Length = uint32(len(body))
-	_ = w.respond(rr, body, inline)
+	_ = w.respond(rr, body, mode)
 	s.pool.Put(body)
 }
 
-func (s *Server) handleWrite(m *wire.Write, body []byte, w *respWriter, inline bool) {
+func (s *Server) handleWrite(m *wire.Write, body []byte, w *respWriter, mode respMode) {
 	var wr *wire.WriteResp
-	if inline {
+	if mode == respInline {
 		wr = &w.wr
 		*wr = wire.WriteResp{}
 	} else {
 		wr = new(wire.WriteResp)
 	}
+	wr.Stream = m.Stream
 	wr.Ack = uint32(m.Seq)
 	wr.ReqID = m.ReqID
 	wr.Credits = 1
@@ -751,7 +1101,56 @@ func (s *Server) handleWrite(m *wire.Write, body []byte, w *respWriter, inline b
 		s.logf("netv3: write: %v", err)
 	}
 	s.served.Add(1)
-	_ = w.respond(wr, nil, inline)
+	_ = w.respond(wr, nil, mode)
+}
+
+// schedRead is read dispatch under the shared scheduler: the session loop
+// feeds the sequential-read detector and serves whole-cache hits inline
+// (its serial fast path, same as fastRead), and everything else becomes a
+// foreground-lane task executing the classic read synchronously on a
+// scheduler worker. Admission refusals answer EOverloaded with a backlog-
+// sized retry hint. tenant is the session's stream→scheduler resolver.
+func (s *Server) schedRead(m *wire.Read, w *respWriter, pf *prefetcher,
+	tenant func(uint32) (uint64, bool, int), mode respMode) {
+	v := s.lookup(m.Volume)
+	if v != nil && m.Length <= s.cfg.MaxXfer &&
+		checkStoreRange(v.store.Size(), int64(m.Offset), int(m.Length)) == nil {
+		if v.pf != nil {
+			strideOK := v.dq != nil && v.dq.q.Depth() >= 2*maxPrefetchBlocks
+			blks, cancel, ok := pf.observe(m.Volume, int64(m.Offset), int64(m.Length), strideOK)
+			if len(cancel) > 0 {
+				v.cache.prefetchDiscard(cancel)
+			}
+			if ok {
+				v.pf.submit(blks)
+			}
+		}
+		if v.cache != nil {
+			body := s.pool.Get(int(m.Length))
+			if v.tryCachedRead(body, int64(m.Offset)) {
+				rr := &w.rr
+				if mode != respInline {
+					rr = new(wire.ReadResp)
+				}
+				*rr = wire.ReadResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
+					ReqID: m.ReqID, Status: wire.StatusOK, Credits: 1, Length: uint32(len(body))}
+				s.served.Add(1)
+				_ = w.respond(rr, body, mode)
+				s.pool.Put(body)
+				return
+			}
+			s.pool.Put(body)
+		}
+	}
+	key, bg, weight := tenant(m.Stream)
+	mm := new(wire.Read)
+	*mm = *m
+	ok, qd := s.sched.tryEnqueue(key, weight, bg, func() { s.handleRead(mm, w, respSched) })
+	if !ok {
+		_ = w.respond(&wire.ReadResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
+			ReqID: m.ReqID, Status: wire.StatusEOverloaded, Credits: 1,
+			RetryAfterMS: s.sched.retryAfterMS(qd)}, nil, mode)
+	}
 }
 
 // fastRead is the pipelined dispatch for reads: it feeds the session's
@@ -760,7 +1159,7 @@ func (s *Server) handleWrite(m *wire.Write, body []byte, w *respWriter, inline b
 // so one slow store read cannot stall the requests queued behind it. A
 // false return sends the request down the classic path, which also owns
 // all error responses.
-func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetcher, inline bool) bool {
+func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetcher, mode respMode) bool {
 	v := s.lookup(m.Volume)
 	if v == nil || m.Length > s.cfg.MaxXfer {
 		return false
@@ -785,15 +1184,15 @@ func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetch
 	body := s.pool.Get(int(m.Length))
 	if v.cache != nil && v.tryCachedRead(body, int64(m.Offset)) {
 		var rr *wire.ReadResp
-		if inline {
+		if mode == respInline {
 			rr = &w.rr
 		} else {
 			rr = new(wire.ReadResp)
 		}
-		*rr = wire.ReadResp{Header: wire.Header{Ack: uint32(m.Seq)},
+		*rr = wire.ReadResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
 			ReqID: m.ReqID, Status: wire.StatusOK, Credits: 1, Length: uint32(len(body))}
 		s.served.Add(1)
-		_ = w.respond(rr, body, inline)
+		_ = w.respond(rr, body, mode)
 		s.pool.Put(body)
 		return true
 	}
@@ -845,7 +1244,7 @@ func (s *Server) handleFlush(m *wire.Flush, w *respWriter) {
 	if s.om != nil {
 		t0 = obs.Now()
 	}
-	fr := &wire.FlushResp{Header: wire.Header{Ack: uint32(m.Seq)},
+	fr := &wire.FlushResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
 		ReqID: m.ReqID, Status: wire.StatusOK, Credits: 1}
 	v := s.lookup(m.Volume)
 	if v == nil {

@@ -1,7 +1,6 @@
 package vvault
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
@@ -9,21 +8,15 @@ import (
 	"testing"
 	"time"
 
+	"github.com/v3storage/v3/internal/benchjson"
 	"github.com/v3storage/v3/internal/netv3"
 )
 
-// benchRecord mirrors the netv3 bench schema so cluster rows land in the
-// same BENCH_JSON file. The netv3 package owns the file (its TestMain
-// rewrites it); this TestMain appends, so `make bench-netv3` runs netv3
-// first and vvault second.
-type benchRecord struct {
-	Name        string  `json:"name"`
-	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
-	MeanMicros  float64 `json:"mean_us,omitempty"`
-	BytesPerOp  float64 `json:"alloc_bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-}
+// benchRecord shares the netv3 bench schema so cluster rows land in the
+// same BENCH_JSON file; the merge-by-name writer means the ordering of
+// netv3 and vvault runs no longer matters, and re-runs replace this
+// package's rows instead of duplicating them.
+type benchRecord = benchjson.Record
 
 var (
 	benchMu      sync.Mutex
@@ -38,19 +31,8 @@ func record(r benchRecord) {
 
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecords) > 0 {
-		var rows []json.RawMessage
-		if data, err := os.ReadFile(path); err == nil {
-			_ = json.Unmarshal(data, &rows)
-		}
-		for _, r := range benchRecords {
-			if raw, err := json.Marshal(r); err == nil {
-				rows = append(rows, raw)
-			}
-		}
-		if data, err := json.MarshalIndent(rows, "", "  "); err == nil {
-			_ = os.WriteFile(path, append(data, '\n'), 0o644)
-		}
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		_ = benchjson.Write(path, benchRecords)
 	}
 	os.Exit(code)
 }

@@ -29,8 +29,14 @@ func fatalErr(err error) bool {
 
 // recordError charges one data-path failure against a backend: fatal
 // errors trip it at once, others trip after ErrorThreshold consecutive
-// failures.
+// failures. An admission shed (ErrOverloaded) is load, not damage — the
+// backend answered, explicitly asking for backoff — so it neither trips
+// nor counts toward the threshold; the caller still sees the error and
+// owns the retry.
 func (v *Vault) recordError(b *backend, err error) {
+	if errors.Is(err, netv3.ErrOverloaded) {
+		return
+	}
 	if fatalErr(err) {
 		v.trip(b, err)
 		return
@@ -50,6 +56,9 @@ func (v *Vault) recordSuccess(b *backend) {
 // while failing real I/O, and a passing probe must not keep resetting
 // the count that sporadic data-path errors are accumulating.
 func (v *Vault) recordProbeError(b *backend, err error) {
+	if errors.Is(err, netv3.ErrOverloaded) {
+		return
+	}
 	if fatalErr(err) {
 		v.trip(b, err)
 		return
@@ -80,6 +89,7 @@ func (v *Vault) trip(b *backend, cause error) {
 		v.noteMaskChange()
 	}
 	c := b.client
+	b.data, b.rsync = nil, nil // they die with the client below
 	b.mu.Unlock()
 	// The backend destages write-behind, so writes it acknowledged since
 	// its last successful flush may not have reached stable storage; if it
@@ -177,6 +187,7 @@ func (v *Vault) tryRecover(b *backend) {
 	}
 	old := b.client
 	b.client = c
+	b.data, b.rsync = nil, nil // stale streams of the old client
 	b.consec.Store(0)
 	b.probeConsec.Store(0)
 	// A backend that was unreachable at Open never contributed its
@@ -191,6 +202,7 @@ func (v *Vault) tryRecover(b *backend) {
 	if old != nil {
 		old.Close()
 	}
+	v.attachStreams(b, c)
 	if v.mirror != nil {
 		v.logf("vvault: backend %s reachable again; resyncing", b.addr)
 		v.wg.Add(1)

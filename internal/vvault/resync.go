@@ -182,9 +182,11 @@ func (v *Vault) requeue(b *backend, rest []xrange, cur xrange) {
 }
 
 // writeBackend writes data straight to one backend (resync path),
-// chunked to the transfer cap.
+// chunked to the transfer cap. It rides the backend's background-lane
+// resync stream when one is attached, so replay traffic queues in the
+// server's background QoS lane instead of competing with live I/O.
 func (v *Vault) writeBackend(b *backend, off int64, data []byte) error {
-	c := b.getClient()
+	c := b.resyncIO()
 	if c == nil {
 		return fmt.Errorf("backend %s has no client", b.addr)
 	}
@@ -205,9 +207,10 @@ func (v *Vault) writeBackend(b *backend, off int64, data []byte) error {
 	return nil
 }
 
-// flushBackend runs the durability barrier on one backend.
+// flushBackend runs the durability barrier on one backend (resync
+// path), on the same background stream as the replay writes.
 func (v *Vault) flushBackend(b *backend) error {
-	c := b.getClient()
+	c := b.resyncIO()
 	if c == nil {
 		return fmt.Errorf("backend %s has no client", b.addr)
 	}

@@ -80,6 +80,22 @@ type Config struct {
 	// replica and replays onto a recovered one (default 256 KB, capped
 	// at the backends' max transfer).
 	ResyncChunk int
+	// Streams rides each backend over logical streams when the peer
+	// negotiates the multiplexing feature: a foreground data stream for
+	// client I/O plus (mirror mode) a background-lane resync stream, so
+	// recovery replay cannot crowd live traffic out of the server's
+	// foreground QoS lane. Old backends that don't negotiate the feature
+	// fall back to the bare connection transparently. Health probes stay
+	// on the bare connection (stream 0) either way. DefaultConfig
+	// enables it.
+	Streams bool
+	// DataStreamCredits is the data stream's credit carve-out from the
+	// connection window (default 48 — under the server's default window
+	// of 64, so probes on stream 0 always have slot headroom).
+	DataStreamCredits int
+	// ResyncStreamCredits is the background resync stream's carve-out
+	// (default 8).
+	ResyncStreamCredits int
 	// Metrics, when non-nil, enables cluster-level instrumentation on
 	// this registry: per-backend health/dirty gauges, probe RTT
 	// histogram, degraded-time and resync counters. Nil is the disabled
@@ -102,6 +118,7 @@ func DefaultConfig(mode Mode) Config {
 		IOTimeout:      15 * time.Second,
 		ErrorThreshold: 3,
 		ResyncChunk:    256 << 10,
+		Streams:        true,
 	}
 }
 
@@ -143,6 +160,16 @@ type backend struct {
 	client *netv3.Client
 	state  atomic.Int32
 
+	// data and rsync are the backend's logical streams when the peer
+	// negotiated multiplexing: data carries foreground client I/O,
+	// rsync rides the server's background QoS lane for resync replay.
+	// Nil means the bare connection (feature absent or Streams off).
+	// Guarded by mu alongside client; cleared whenever the client is
+	// replaced or closed so a stale stream can never outlive its
+	// connection.
+	data  *netv3.Stream
+	rsync *netv3.Stream
+
 	// consec counts consecutive data-path errors, probeConsec consecutive
 	// probe errors. They are separate on purpose: a passing probe says
 	// nothing about the data path, so it must not be able to keep resetting
@@ -176,6 +203,72 @@ func (b *backend) getClient() *netv3.Client {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.client
+}
+
+// dataIO returns the surface foreground requests ride: the data stream
+// when one is attached, else the bare client. Nil when the backend has
+// no client at all.
+func (b *backend) dataIO() netv3.IO {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.data != nil {
+		return b.data
+	}
+	if b.client == nil {
+		return nil
+	}
+	return b.client
+}
+
+// resyncIO is dataIO for the recovery path: the background-lane resync
+// stream when attached, else the bare client.
+func (b *backend) resyncIO() netv3.IO {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rsync != nil {
+		return b.rsync
+	}
+	if b.client == nil {
+		return nil
+	}
+	return b.client
+}
+
+// attachStreams opens the backend's logical streams on a fresh client.
+// Best-effort: any refusal (old peer, stream cap, overload) leaves the
+// backend on the bare connection, which is always correct — streams are
+// a QoS upgrade, not a requirement.
+func (v *Vault) attachStreams(b *backend, c *netv3.Client) {
+	if !v.cfg.Streams || !c.StreamsSupported() {
+		return
+	}
+	data, err := c.OpenStream(netv3.StreamConfig{Credits: v.cfg.DataStreamCredits})
+	if err != nil {
+		v.logf("vvault: backend %s: data stream refused (%v); riding bare connection", b.addr, err)
+		return
+	}
+	var rs *netv3.Stream
+	if v.mirror != nil {
+		rs, err = c.OpenStream(netv3.StreamConfig{
+			Credits: v.cfg.ResyncStreamCredits, Background: true,
+		})
+		if err != nil {
+			v.logf("vvault: backend %s: resync stream refused (%v); resync will ride the data path", b.addr, err)
+		}
+	}
+	b.mu.Lock()
+	if b.client == c {
+		b.data, b.rsync = data, rs
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	// The client was swapped (trip + recover) while the streams were
+	// negotiating; they belong to a dead connection.
+	_ = data.Close()
+	if rs != nil {
+		_ = rs.Close()
+	}
 }
 
 // Vault is the cluster client: one logical volume over N backends. It is
@@ -273,6 +366,12 @@ func Open(addrs []string, cfg Config) (*Vault, error) {
 	if cfg.ResyncChunk <= 0 {
 		cfg.ResyncChunk = 256 << 10
 	}
+	if cfg.DataStreamCredits <= 0 {
+		cfg.DataStreamCredits = 48
+	}
+	if cfg.ResyncStreamCredits <= 0 {
+		cfg.ResyncStreamCredits = 8
+	}
 	if cfg.MemberSize <= 0 {
 		return nil, errors.New("vvault: MemberSize must be positive")
 	}
@@ -324,6 +423,7 @@ func Open(addrs []string, cfg Config) (*Vault, error) {
 			b.client = c
 			b.state.Store(stateUp)
 			v.clampMaxIO(c.MaxTransfer())
+			v.attachStreams(b, c)
 			live++
 		case cfg.Mode == ModeMirror:
 			// Come up degraded: the replica's content is unknown, so the
@@ -505,7 +605,7 @@ func (v *Vault) Flush() error {
 			}
 			continue
 		}
-		c := b.getClient()
+		c := b.dataIO()
 		if c == nil {
 			continue
 		}
@@ -617,7 +717,7 @@ func (v *Vault) issueExtents(ext []volume.Extent, buf []byte, write bool) ([]ext
 		b := v.backends[e.Disk]
 		part := buf[cur : cur+e.Length]
 		cur += e.Length
-		c := b.getClient()
+		c := b.dataIO()
 		if c == nil {
 			err := fmt.Errorf("vvault: backend %s has no client: %w", b.addr, ErrDegraded)
 			berrs[b] = err
@@ -832,6 +932,14 @@ type BackendStatus struct {
 	// LastProbeRTT is the most recent successful health probe's round
 	// trip (0 before the first success).
 	LastProbeRTT time.Duration
+	// DataStream and ResyncStream are the logical stream ids the backend
+	// rides when the peer negotiated multiplexing; 0 means the bare
+	// connection (old peer, refusal, or Config.Streams off).
+	DataStream   uint32
+	ResyncStream uint32
+	// StreamCredits is the data stream's granted credit carve-out
+	// (0 on the bare connection).
+	StreamCredits int
 }
 
 // Status snapshots every backend's health, in address order.
@@ -849,9 +957,18 @@ func (v *Vault) Status() []BackendStatus {
 			Trips:        b.trips.Load(),
 			LastProbeRTT: time.Duration(b.lastProbeRTT.Load()),
 		}
-		if c := b.getClient(); c != nil {
-			s.Reconnects = c.Reconnects()
+		b.mu.Lock()
+		if b.client != nil {
+			s.Reconnects = b.client.Reconnects()
 		}
+		if b.data != nil {
+			s.DataStream = b.data.ID()
+			s.StreamCredits = b.data.Credits()
+		}
+		if b.rsync != nil {
+			s.ResyncStream = b.rsync.ID()
+		}
+		b.mu.Unlock()
 		if b.dirty != nil {
 			s.DirtyRanges, s.DirtyBytes = b.dirty.stats()
 		}

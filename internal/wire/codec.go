@@ -14,10 +14,17 @@ import (
 //	4    8     seq
 //	12   4     ack
 //	16   ..    type-specific payload
-//	..   64    zero padding to ControlSize
+//	..   60    zero padding
+//	60   4     stream id (0 = root session; zeros from pre-stream peers)
 //
 // The fixed 64-byte size mirrors the paper's 64-byte request messages and
-// keeps the simulated and TCP transports trivially framed.
+// keeps the simulated and TCP transports trivially framed. The stream id
+// lives in the frame's last four bytes — a region every pre-stream peer
+// both emits as zeros and never reads — so stream-aware and legacy
+// binaries interoperate without a version bump.
+
+// streamOff is the frame offset of the header's Stream field.
+const streamOff = ControlSize - 4
 
 func putHeader(b []byte, t MsgType, h *Header) {
 	binary.BigEndian.PutUint16(b[0:], Magic)
@@ -25,6 +32,7 @@ func putHeader(b []byte, t MsgType, h *Header) {
 	b[3] = byte(t)
 	binary.BigEndian.PutUint64(b[4:], h.Seq)
 	binary.BigEndian.PutUint32(b[12:], h.Ack)
+	binary.BigEndian.PutUint32(b[streamOff:], h.Stream)
 }
 
 func parseHeader(b []byte) (MsgType, Header, error) {
@@ -42,6 +50,9 @@ func parseHeader(b []byte) (MsgType, Header, error) {
 		Type: t,
 		Seq:  binary.BigEndian.Uint64(b[4:]),
 		Ack:  binary.BigEndian.Uint32(b[12:]),
+	}
+	if len(b) >= ControlSize {
+		h.Stream = binary.BigEndian.Uint32(b[streamOff:])
 	}
 	return t, h, nil
 }
@@ -67,11 +78,14 @@ func MarshalInto(b []byte, m Message) {
 	case *Connect:
 		binary.BigEndian.PutUint64(p[0:], v.ClientID)
 		binary.BigEndian.PutUint16(p[8:], v.WantCreds)
+		binary.BigEndian.PutUint32(p[10:], v.Features)
 	case *ConnectResp:
 		p[0] = byte(v.Status)
 		binary.BigEndian.PutUint16(p[1:], v.Credits)
 		binary.BigEndian.PutUint32(p[3:], v.MaxXfer)
 		binary.BigEndian.PutUint64(p[7:], v.SessionID)
+		binary.BigEndian.PutUint32(p[15:], v.Features)
+		binary.BigEndian.PutUint16(p[19:], v.MaxStreams)
 	case *Read:
 		binary.BigEndian.PutUint64(p[0:], v.ReqID)
 		binary.BigEndian.PutUint32(p[8:], v.Volume)
@@ -84,6 +98,7 @@ func MarshalInto(b []byte, m Message) {
 		p[8] = byte(v.Status)
 		binary.BigEndian.PutUint16(p[9:], v.Credits)
 		binary.BigEndian.PutUint32(p[11:], v.Length)
+		binary.BigEndian.PutUint16(p[15:], v.RetryAfterMS)
 	case *Write:
 		binary.BigEndian.PutUint64(p[0:], v.ReqID)
 		binary.BigEndian.PutUint32(p[8:], v.Volume)
@@ -95,6 +110,7 @@ func MarshalInto(b []byte, m Message) {
 		binary.BigEndian.PutUint64(p[0:], v.ReqID)
 		p[8] = byte(v.Status)
 		binary.BigEndian.PutUint16(p[9:], v.Credits)
+		binary.BigEndian.PutUint16(p[11:], v.RetryAfterMS)
 	case *CreditGrant:
 		binary.BigEndian.PutUint16(p[0:], v.Credits)
 	case *Ping, *Pong:
@@ -108,6 +124,17 @@ func MarshalInto(b []byte, m Message) {
 		binary.BigEndian.PutUint64(p[0:], v.ReqID)
 		p[8] = byte(v.Status)
 		binary.BigEndian.PutUint16(p[9:], v.Credits)
+		binary.BigEndian.PutUint16(p[11:], v.RetryAfterMS)
+	case *StreamOpen:
+		p[0] = v.Class
+		binary.BigEndian.PutUint16(p[1:], v.Weight)
+		binary.BigEndian.PutUint16(p[3:], v.WantCreds)
+	case *StreamOpenResp:
+		p[0] = byte(v.Status)
+		binary.BigEndian.PutUint16(p[1:], v.Credits)
+		binary.BigEndian.PutUint16(p[3:], v.RetryAfterMS)
+	case *StreamClose:
+		// header only
 	default:
 		panic("wire: Marshal of unknown message type")
 	}
@@ -149,6 +176,12 @@ func Unmarshal(b []byte) (Message, error) {
 		m = &Flush{}
 	case TFlushResp:
 		m = &FlushResp{}
+	case TStreamOpen:
+		m = &StreamOpen{}
+	case TStreamOpenResp:
+		m = &StreamOpenResp{}
+	case TStreamClose:
+		m = &StreamClose{}
 	default:
 		return nil, ErrBadType
 	}
@@ -179,6 +212,7 @@ func UnmarshalInto(b []byte, m Message) error {
 		v.Header = h
 		v.ClientID = binary.BigEndian.Uint64(p[0:])
 		v.WantCreds = binary.BigEndian.Uint16(p[8:])
+		v.Features = binary.BigEndian.Uint32(p[10:])
 	case *ConnectResp:
 		if t != TConnectResp {
 			return ErrBadType
@@ -188,6 +222,8 @@ func UnmarshalInto(b []byte, m Message) error {
 		v.Credits = binary.BigEndian.Uint16(p[1:])
 		v.MaxXfer = binary.BigEndian.Uint32(p[3:])
 		v.SessionID = binary.BigEndian.Uint64(p[7:])
+		v.Features = binary.BigEndian.Uint32(p[15:])
+		v.MaxStreams = binary.BigEndian.Uint16(p[19:])
 	case *Read:
 		if t != TRead {
 			return ErrBadType
@@ -208,6 +244,7 @@ func UnmarshalInto(b []byte, m Message) error {
 		v.Status = Status(p[8])
 		v.Credits = binary.BigEndian.Uint16(p[9:])
 		v.Length = binary.BigEndian.Uint32(p[11:])
+		v.RetryAfterMS = binary.BigEndian.Uint16(p[15:])
 	case *Write:
 		if t != TWrite {
 			return ErrBadType
@@ -227,6 +264,7 @@ func UnmarshalInto(b []byte, m Message) error {
 		v.ReqID = binary.BigEndian.Uint64(p[0:])
 		v.Status = Status(p[8])
 		v.Credits = binary.BigEndian.Uint16(p[9:])
+		v.RetryAfterMS = binary.BigEndian.Uint16(p[11:])
 	case *CreditGrant:
 		if t != TCreditGrant {
 			return ErrBadType
@@ -264,6 +302,28 @@ func UnmarshalInto(b []byte, m Message) error {
 		v.ReqID = binary.BigEndian.Uint64(p[0:])
 		v.Status = Status(p[8])
 		v.Credits = binary.BigEndian.Uint16(p[9:])
+		v.RetryAfterMS = binary.BigEndian.Uint16(p[11:])
+	case *StreamOpen:
+		if t != TStreamOpen {
+			return ErrBadType
+		}
+		v.Header = h
+		v.Class = p[0]
+		v.Weight = binary.BigEndian.Uint16(p[1:])
+		v.WantCreds = binary.BigEndian.Uint16(p[3:])
+	case *StreamOpenResp:
+		if t != TStreamOpenResp {
+			return ErrBadType
+		}
+		v.Header = h
+		v.Status = Status(p[0])
+		v.Credits = binary.BigEndian.Uint16(p[1:])
+		v.RetryAfterMS = binary.BigEndian.Uint16(p[3:])
+	case *StreamClose:
+		if t != TStreamClose {
+			return ErrBadType
+		}
+		v.Header = h
 	default:
 		return ErrBadType
 	}

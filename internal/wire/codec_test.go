@@ -182,6 +182,71 @@ func TestReadWriteStream(t *testing.T) {
 	}
 }
 
+func TestRoundtripStreamMessages(t *testing.T) {
+	so := roundtrip(t, &StreamOpen{Header: Header{Seq: 30, Stream: 17},
+		Class: ClassBackground, Weight: 4, WantCreds: 8}).(*StreamOpen)
+	if so.Stream != 17 || so.Class != ClassBackground || so.Weight != 4 || so.WantCreds != 8 {
+		t.Fatalf("StreamOpen %+v", so)
+	}
+	sr := roundtrip(t, &StreamOpenResp{Header: Header{Seq: 31, Stream: 17},
+		Status: StatusEOverloaded, Credits: 0, RetryAfterMS: 25}).(*StreamOpenResp)
+	if sr.Stream != 17 || sr.Status != StatusEOverloaded || sr.RetryAfterMS != 25 {
+		t.Fatalf("StreamOpenResp %+v", sr)
+	}
+	sc := roundtrip(t, &StreamClose{Header: Header{Seq: 32, Stream: 17}}).(*StreamClose)
+	if sc.Stream != 17 {
+		t.Fatalf("StreamClose %+v", sc)
+	}
+}
+
+// TestStreamIDCarriedByAllTypes checks the header's stream id survives a
+// roundtrip on every message type: the demux depends on responses echoing
+// the stream of the request that caused them.
+func TestStreamIDCarriedByAllTypes(t *testing.T) {
+	mk := []Message{
+		&Connect{}, &ConnectResp{}, &Read{}, &ReadResp{}, &Write{}, &WriteResp{},
+		&CreditGrant{}, &Ping{}, &Pong{}, &Disconnect{}, &Flush{}, &FlushResp{},
+		&StreamOpen{}, &StreamOpenResp{}, &StreamClose{},
+	}
+	for _, m := range mk {
+		m.Hdr().Stream = 0xabcd1234
+		got := roundtrip(t, m)
+		if got.Hdr().Stream != 0xabcd1234 {
+			t.Fatalf("%v lost stream id: %+v", TypeOf(m), got.Hdr())
+		}
+	}
+}
+
+// TestLegacyFrameDecodesAsStreamZero pins backward compatibility: a frame
+// from a pre-stream peer carries zeros in bytes 60..63 (it was padding),
+// so it must decode as stream 0 — and a stream-0 frame we emit must be
+// byte-identical to what an old encoder produced.
+func TestLegacyFrameDecodesAsStreamZero(t *testing.T) {
+	b := Marshal(&Read{Header: Header{Seq: 5}, ReqID: 9, Volume: 1, Length: 4096})
+	for _, x := range b[streamOff:] {
+		if x != 0 {
+			t.Fatalf("stream-0 frame has nonzero trailing bytes % x", b[streamOff:])
+		}
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hdr().Stream != 0 {
+		t.Fatalf("legacy frame decoded with stream %d", got.Hdr().Stream)
+	}
+	// New fields ride in regions old peers zeroed: a legacy ConnectResp
+	// (features bytes zero) must decode as features-off.
+	cr := Marshal(&ConnectResp{Status: StatusOK, Credits: 64, MaxXfer: 1 << 17, SessionID: 3})
+	got2, err := Unmarshal(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := got2.(*ConnectResp); r.Features != 0 || r.MaxStreams != 0 {
+		t.Fatalf("legacy ConnectResp decoded features=%d maxstreams=%d", r.Features, r.MaxStreams)
+	}
+}
+
 func TestSeqAckPreservedForAllTypes(t *testing.T) {
 	mk := []func(h Header) Message{
 		func(h Header) Message { return &Connect{Header: h} },
@@ -259,7 +324,10 @@ func TestStatusAndTypeStrings(t *testing.T) {
 	if StatusEIO.Err() == nil {
 		t.Fatal("EIO should map to an error")
 	}
-	for _, typ := range []MsgType{TConnect, TConnectResp, TRead, TReadResp, TWrite, TWriteResp, TCreditGrant, TPing, TPong, TDisconnect, TFlush, TFlushResp} {
+	if StatusEOverloaded.String() != "EOVERLOADED" {
+		t.Fatal("EOVERLOADED string wrong")
+	}
+	for _, typ := range []MsgType{TConnect, TConnectResp, TRead, TReadResp, TWrite, TWriteResp, TCreditGrant, TPing, TPong, TDisconnect, TFlush, TFlushResp, TStreamOpen, TStreamOpenResp, TStreamClose} {
 		if typ.String() == "" {
 			t.Fatalf("type %d has no name", typ)
 		}

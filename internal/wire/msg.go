@@ -39,6 +39,27 @@ const (
 	TDisconnect
 	TFlush
 	TFlushResp
+	TStreamOpen
+	TStreamOpenResp
+	TStreamClose
+)
+
+// Feature bits negotiated at session setup: the client advertises what it
+// speaks in Connect.Features, the server answers with the intersection in
+// ConnectResp.Features. Pre-feature peers encode zeros in the (formerly
+// padding) feature fields, so the intersection with an old peer is always
+// empty and both sides fall back to the original protocol.
+const (
+	// FeatureStreams: the connection carries multiplexed logical streams.
+	// Frames address a stream via the header's Stream field; stream 0 is
+	// the legacy/root session and is always valid.
+	FeatureStreams uint32 = 1 << 0
+)
+
+// Stream QoS classes carried on StreamOpen.
+const (
+	ClassForeground uint8 = 0 // latency-sensitive reads/writes/flushes
+	ClassBackground uint8 = 1 // destage/resync/prefetch-style utility traffic
 )
 
 // String returns the wire name of the type.
@@ -68,6 +89,12 @@ func (t MsgType) String() string {
 		return "Flush"
 	case TFlushResp:
 		return "FlushResp"
+	case TStreamOpen:
+		return "StreamOpen"
+	case TStreamOpenResp:
+		return "StreamOpenResp"
+	case TStreamClose:
+		return "StreamClose"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -81,7 +108,8 @@ const (
 	StatusEIO
 	StatusEInval
 	StatusENoVolume
-	StatusEAgain // out of server resources; retry after credit grant
+	StatusEAgain      // out of server resources; retry after credit grant
+	StatusEOverloaded // admission control shed the request; honor RetryAfterMS
 )
 
 // String returns the symbolic name of the status.
@@ -97,6 +125,8 @@ func (s Status) String() string {
 		return "ENOVOLUME"
 	case StatusEAgain:
 		return "EAGAIN"
+	case StatusEOverloaded:
+		return "EOVERLOADED"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -116,10 +146,16 @@ const (
 )
 
 // Header prefixes every control message.
+//
+// Stream addresses a logical stream multiplexed over the connection. It is
+// encoded in the frame's trailing padding (bytes 60..63), which every
+// pre-stream peer emits as zeros and ignores on receipt — so stream 0 is
+// the legacy/root session and old binaries interoperate unchanged.
 type Header struct {
-	Type MsgType
-	Seq  uint64 // connection-scoped sequence number
-	Ack  uint32 // cumulative ack of the peer's sequence numbers (low 32 bits)
+	Type   MsgType
+	Seq    uint64 // connection-scoped sequence number
+	Ack    uint32 // cumulative ack of the peer's sequence numbers (low 32 bits)
+	Stream uint32 // logical stream id (0 = root session / pre-stream peer)
 }
 
 // Connect opens a session.
@@ -127,15 +163,18 @@ type Connect struct {
 	Header
 	ClientID  uint64
 	WantCreds uint16 // requested flow-control credits
+	Features  uint32 // feature bits the client speaks (0 from old clients)
 }
 
 // ConnectResp answers Connect.
 type ConnectResp struct {
 	Header
-	Status    Status
-	Credits   uint16 // granted credits == server buffer slots
-	MaxXfer   uint32 // largest single transfer the server accepts
-	SessionID uint64
+	Status     Status
+	Credits    uint16 // granted credits == server buffer slots
+	MaxXfer    uint32 // largest single transfer the server accepts
+	SessionID  uint64
+	Features   uint32 // intersection of client and server feature bits
+	MaxStreams uint16 // stream cap per connection (0 when streams are off)
 }
 
 // Read asks the server to RDMA length bytes of volume vol at offset into
@@ -158,10 +197,11 @@ type Read struct {
 // reconnection) — it drains exactly Length bytes instead of desyncing.
 type ReadResp struct {
 	Header
-	ReqID   uint64
-	Status  Status
-	Credits uint16 // piggybacked credit grant
-	Length  uint32 // bytes of payload following this frame on TCP
+	ReqID        uint64
+	Status       Status
+	Credits      uint16 // piggybacked credit grant
+	Length       uint32 // bytes of payload following this frame on TCP
+	RetryAfterMS uint16 // shed hint: ms to back off (StatusEOverloaded only)
 }
 
 // Write asks the server to commit length bytes to volume vol at offset.
@@ -180,9 +220,10 @@ type Write struct {
 // WriteResp completes a Write (payload is durable on disk when it is sent).
 type WriteResp struct {
 	Header
-	ReqID   uint64
-	Status  Status
-	Credits uint16
+	ReqID        uint64
+	Status       Status
+	Credits      uint16
+	RetryAfterMS uint16 // shed hint: ms to back off (StatusEOverloaded only)
 }
 
 // CreditGrant returns flow-control credits outside of a response.
@@ -216,9 +257,38 @@ type Flush struct {
 // FlushResp completes a Flush.
 type FlushResp struct {
 	Header
-	ReqID   uint64
-	Status  Status
-	Credits uint16
+	ReqID        uint64
+	Status       Status
+	Credits      uint16
+	RetryAfterMS uint16 // shed hint: ms to back off (StatusEOverloaded only)
+}
+
+// StreamOpen asks the server to open the logical stream named by
+// Header.Stream with the given QoS class, scheduling weight, and credit
+// ask. Stream credits are carved from the connection's shared window, so
+// the grant bounds how many of the connection's slots this stream may
+// hold concurrently — it never adds new slots.
+type StreamOpen struct {
+	Header
+	Class     uint8  // ClassForeground or ClassBackground
+	Weight    uint16 // scheduler weight (0 = default)
+	WantCreds uint16 // requested per-stream credit cap
+}
+
+// StreamOpenResp answers StreamOpen for the stream in Header.Stream.
+type StreamOpenResp struct {
+	Header
+	Status       Status
+	Credits      uint16 // granted per-stream credit cap
+	RetryAfterMS uint16 // shed hint when Status is EOverloaded
+}
+
+// StreamClose retires the logical stream in Header.Stream. It needs no
+// response: requests already in flight on the stream complete normally
+// (their responses carry the stream id and the client-side demux routes
+// them by sequence number regardless).
+type StreamClose struct {
+	Header
 }
 
 // Message is implemented by every protocol message.
@@ -232,18 +302,21 @@ type Message interface {
 // Hdr implements Message.
 func (h *Header) Hdr() *Header { return h }
 
-func (*Connect) kind() MsgType     { return TConnect }
-func (*ConnectResp) kind() MsgType { return TConnectResp }
-func (*Read) kind() MsgType        { return TRead }
-func (*ReadResp) kind() MsgType    { return TReadResp }
-func (*Write) kind() MsgType       { return TWrite }
-func (*WriteResp) kind() MsgType   { return TWriteResp }
-func (*CreditGrant) kind() MsgType { return TCreditGrant }
-func (*Ping) kind() MsgType        { return TPing }
-func (*Pong) kind() MsgType        { return TPong }
-func (*Disconnect) kind() MsgType  { return TDisconnect }
-func (*Flush) kind() MsgType       { return TFlush }
-func (*FlushResp) kind() MsgType   { return TFlushResp }
+func (*Connect) kind() MsgType        { return TConnect }
+func (*ConnectResp) kind() MsgType    { return TConnectResp }
+func (*Read) kind() MsgType           { return TRead }
+func (*ReadResp) kind() MsgType       { return TReadResp }
+func (*Write) kind() MsgType          { return TWrite }
+func (*WriteResp) kind() MsgType      { return TWriteResp }
+func (*CreditGrant) kind() MsgType    { return TCreditGrant }
+func (*Ping) kind() MsgType           { return TPing }
+func (*Pong) kind() MsgType           { return TPong }
+func (*Disconnect) kind() MsgType     { return TDisconnect }
+func (*Flush) kind() MsgType          { return TFlush }
+func (*FlushResp) kind() MsgType      { return TFlushResp }
+func (*StreamOpen) kind() MsgType     { return TStreamOpen }
+func (*StreamOpenResp) kind() MsgType { return TStreamOpenResp }
+func (*StreamClose) kind() MsgType    { return TStreamClose }
 
 // TypeOf returns the wire type of m.
 func TypeOf(m Message) MsgType { return m.kind() }
