@@ -5,7 +5,7 @@ GO ?= go
 # run instead of hanging it.
 TEST_TIMEOUT ?= 10m
 
-.PHONY: all build test race vet verify chaos bench bench-netv3 bench-disk bench-mux clean
+.PHONY: all build test race vet verify chaos bench bench-netv3 bench-disk bench-mux bench-tpcc clean
 
 all: build
 
@@ -56,6 +56,16 @@ bench-disk:
 				-benchtime 4000x ./internal/netv3/ || exit 1; \
 		done; \
 	done
+
+# bench-tpcc re-records the real-stack workload rows (uniform, Zipfian
+# hot-key, sequential scan, bursty arrivals, full TPC-C mix) from the
+# wall-clock engine in internal/workload over an in-process v3d server.
+# Each row is one fixed measurement window, so -benchtime 1x: the engine
+# is the load generator and b.N repetition adds nothing but time.
+bench-tpcc:
+	BENCH_JSON=$(CURDIR)/BENCH_netv3.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkNetv3TPCC' -benchtime 1x -timeout $(TEST_TIMEOUT) \
+		./internal/workload/
 
 # bench-mux re-records the session-multiplexing rows: p99 at 100 vs
 # 10000 logical streams on one connection, mux throughput vs a

@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -321,12 +320,25 @@ func printStatus(v *vvault.Vault) {
 		s.DegradedReads, s.DegradedWrites, s.DegradedSeconds, s.Resyncs, s.ResyncedBytes)
 }
 
+// latColumns renders a histogram snapshot as the bench paths' shared
+// latency tail columns. Every bench runner records per-op latency into
+// an obs.Hist — the same lock-free histogram the server and client
+// metrics use — so the CLI's numbers and the obs pipeline's numbers are
+// the same kind of estimate (log2 buckets, exact mean).
+func latColumns(s obs.HistSnapshot) string {
+	q := func(p float64) time.Duration {
+		return time.Duration(int64(s.Quantile(p))).Round(time.Microsecond)
+	}
+	return fmt.Sprintf("mean %v, p50 %v, p95 %v, p99 %v",
+		time.Duration(int64(s.Mean())).Round(time.Microsecond), q(0.50), q(0.95), q(0.99))
+}
+
 // runStreamBench multiplexes the load over nStreams logical streams on
 // the single wire connection — the many-sessions-per-VI shape. Each
 // stream is one synchronous logical client; the per-op latency
-// distribution (p50/p99) is the point, since a flat p99 at high stream
-// counts is what the multiplexing layer promises. Admission sheds are
-// counted, not fatal.
+// distribution (p50/p95/p99) is the point, since a flat tail at high
+// stream counts is what the multiplexing layer promises. Admission
+// sheds are counted, not fatal.
 func runStreamBench(c *netv3.Client, vol uint32, n, size, nStreams int, background, writes bool) {
 	if !c.StreamsSupported() {
 		log.Fatal("v3cli: server did not negotiate streams")
@@ -343,7 +355,7 @@ func runStreamBench(c *netv3.Client, vol uint32, n, size, nStreams int, backgrou
 	if per == 0 {
 		per = 1
 	}
-	lats := make([][]time.Duration, nStreams)
+	var lat obs.Hist
 	var shed atomic.Int64
 	var wg sync.WaitGroup
 	t0 := time.Now()
@@ -352,7 +364,6 @@ func runStreamBench(c *netv3.Client, vol uint32, n, size, nStreams int, backgrou
 		go func(i int, st *netv3.Stream) {
 			defer wg.Done()
 			buf := make([]byte, size)
-			lats[i] = make([]time.Duration, 0, per)
 			for k := 0; k < per; k++ {
 				off := int64((i*per+k)*size) % (1 << 20)
 				s := time.Now()
@@ -370,27 +381,23 @@ func runStreamBench(c *netv3.Client, vol uint32, n, size, nStreams int, backgrou
 					log.Printf("v3cli: stream %d: %v", i, err)
 					return
 				}
-				lats[i] = append(lats[i], time.Since(s))
+				lat.Observe(time.Since(s).Nanoseconds())
 			}
 		}(i, st)
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
-	var all []time.Duration
-	for _, l := range lats {
-		all = append(all, l...)
-	}
 	for _, st := range streams {
 		_ = st.Close()
 	}
-	if len(all) == 0 {
+	snap := lat.Snapshot()
+	if snap.Count() == 0 {
 		log.Fatal("v3cli: no I/Os completed")
 	}
-	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
-	fmt.Printf("%d I/Os of %d bytes over %d streams (1 conn): %.0f ops/s, p50 %v, p99 %v, shed %d\n",
-		len(all), size, nStreams,
-		float64(len(all))/elapsed.Seconds(),
-		all[len(all)/2], all[len(all)*99/100], shed.Load())
+	fmt.Printf("%d I/Os of %d bytes over %d streams (1 conn): %.0f ops/s, %s, shed %d\n",
+		snap.Count(), size, nStreams,
+		float64(snap.Count())/elapsed.Seconds(),
+		latColumns(snap), shed.Load())
 }
 
 // runAsyncBench drives the async API from one goroutine, keeping up to
@@ -402,6 +409,8 @@ func runAsyncBench(c *netv3.Client, vol uint32, n, size, window int, writes bool
 		bufs[i] = make([]byte, size)
 	}
 	handles := make([]*netv3.Pending, window)
+	starts := make([]time.Time, window)
+	var lat obs.Hist
 	t0 := time.Now()
 	for i := 0; i < n; i++ {
 		s := i % window
@@ -409,8 +418,10 @@ func runAsyncBench(c *netv3.Client, vol uint32, n, size, window int, writes bool
 			if err := handles[s].Wait(); err != nil {
 				log.Fatalf("v3cli: %v", err)
 			}
+			lat.Observe(time.Since(starts[s]).Nanoseconds())
 		}
 		off := int64(i*size) % (1 << 20)
+		starts[s] = time.Now()
 		var h *netv3.Pending
 		var err error
 		if writes {
@@ -423,18 +434,20 @@ func runAsyncBench(c *netv3.Client, vol uint32, n, size, window int, writes bool
 		}
 		handles[s] = h
 	}
-	for _, h := range handles {
+	for s, h := range handles {
 		if h != nil {
 			if err := h.Wait(); err != nil {
 				log.Fatalf("v3cli: %v", err)
 			}
+			lat.Observe(time.Since(starts[s]).Nanoseconds())
 		}
 	}
 	elapsed := time.Since(t0)
-	fmt.Printf("%d I/Os of %d bytes, window %d: %.0f ops/s, %.1f MB/s\n",
+	fmt.Printf("%d I/Os of %d bytes, window %d: %.0f ops/s, %.1f MB/s, %s\n",
 		n, size, window,
 		float64(n)/elapsed.Seconds(),
-		float64(n)*float64(size)/elapsed.Seconds()/1e6)
+		float64(n)*float64(size)/elapsed.Seconds()/1e6,
+		latColumns(lat.Snapshot()))
 }
 
 // runBench fans `depth` synchronous streams over the target; against a
@@ -442,9 +455,7 @@ func runAsyncBench(c *netv3.Client, vol uint32, n, size, window int, writes bool
 // underneath, so depth is the cluster's outstanding-I/O count.
 func runBench(io blockIO, n, size, depth int, region int64, writes bool) {
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var total time.Duration
-	count := 0
+	var lat obs.Hist
 	t0 := time.Now()
 	per := n / depth
 	for d := 0; d < depth; d++ {
@@ -466,20 +477,18 @@ func runBench(io blockIO, n, size, depth int, region int64, writes bool) {
 					log.Printf("v3cli: %v", err)
 					return
 				}
-				mu.Lock()
-				total += time.Since(s)
-				count++
-				mu.Unlock()
+				lat.Observe(time.Since(s).Nanoseconds())
 			}
 		}(d)
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
-	if count == 0 {
+	snap := lat.Snapshot()
+	if snap.Count() == 0 {
 		log.Fatal("v3cli: no I/Os completed")
 	}
-	fmt.Printf("%d I/Os of %d bytes, depth %d: %.1f MB/s, mean latency %v\n",
-		count, size, depth,
-		float64(count)*float64(size)/elapsed.Seconds()/1e6,
-		total/time.Duration(count))
+	fmt.Printf("%d I/Os of %d bytes, depth %d: %.1f MB/s, %s\n",
+		snap.Count(), size, depth,
+		float64(snap.Count())*float64(size)/elapsed.Seconds()/1e6,
+		latColumns(snap))
 }

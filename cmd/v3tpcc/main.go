@@ -1,12 +1,22 @@
 // Command v3tpcc regenerates the paper's TPC-C experiments (Section 6,
-// Figures 9-14): optimization ablations, normalized transaction rates,
-// CPU-utilization breakdowns, and the disk-count sweep.
+// Figures 9-14) and, with -net, runs the real-stack equivalent: the
+// wall-clock transaction engine from internal/workload over live v3d
+// servers (in-process by default, external via -servers), reporting
+// tpmC, per-transaction-type latency, and the sampled per-stage
+// breakdown with its accounting check.
 //
 // Usage:
 //
-//	v3tpcc             # all figures (long: many multi-second simulations)
-//	v3tpcc -fig 10     # one figure
+//	v3tpcc             # all simulated figures (long)
+//	v3tpcc -fig 10     # one simulated figure
 //	v3tpcc -quick      # shorter warmup/measurement windows
+//
+//	v3tpcc -net                          # TPC-C over one in-process v3d server
+//	v3tpcc -net -nodes 2                 # ... over a striped x2 vvault cluster
+//	v3tpcc -net -nodes 2 -mirror         # ... mirrored
+//	v3tpcc -net -servers host:port,...   # ... over external servers
+//	v3tpcc -net -wl zipf                 # synthetic presets: uniform|zipf|scan|bursty
+//	v3tpcc -net -clients 2 -warehouses 4 # multi-client, partitioned warehouses
 package main
 
 import (
@@ -19,17 +29,39 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to run (9-14); 0 runs all")
-	quick := flag.Bool("quick", false, "shorter simulation windows")
-	flag.Parse()
-	o := bench.Options{Quick: *quick}
+	quick := flag.Bool("quick", false, "shorter simulation/measurement windows")
 
+	net := flag.Bool("net", false, "run the real-stack workload instead of the simulated figures")
+	var o netOptions
+	flag.StringVar(&o.servers, "servers", "", "comma-separated external v3d addresses (default: in-process)")
+	flag.IntVar(&o.nodes, "nodes", 1, "in-process servers to start when -servers is empty")
+	flag.BoolVar(&o.mirror, "mirror", false, "mirror (RAID-1) across nodes instead of striping")
+	flag.IntVar(&o.clients, "clients", 1, "independent client engines, each with its own session and warehouse slice")
+	flag.IntVar(&o.terminals, "terminals", 8, "terminals per client")
+	flag.IntVar(&o.warehouses, "warehouses", 2, "warehouses per client")
+	flag.StringVar(&o.wl, "wl", "tpcc", "workload preset: tpcc|uniform|zipf|scan|bursty")
+	flag.Float64Var(&o.rate, "rate", 0, "open-loop arrival rate in tx/s (bursty preset; 0 = default)")
+	flag.DurationVar(&o.warmup, "warmup", 0, "warmup window before measuring (0 = preset default)")
+	flag.DurationVar(&o.measure, "measure", 0, "measurement window (0 = preset default)")
+	flag.Parse()
+
+	if *net {
+		o.quick = *quick
+		if err := runNet(o); err != nil {
+			fmt.Fprintf(os.Stderr, "v3tpcc: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ob := bench.Options{Quick: *quick}
 	runners := map[int]func() *bench.Table{
-		9:  func() *bench.Table { return bench.FigAblation(bench.LargeSetup(), o) },
-		10: func() *bench.Table { return bench.FigTpmC(bench.LargeSetup(), o) },
-		11: func() *bench.Table { return bench.FigBreakdown(bench.LargeSetup(), o) },
-		12: func() *bench.Table { return bench.FigAblation(bench.MidSizeSetup(), o) },
-		13: func() *bench.Table { return bench.Fig13Sweep(o) },
-		14: func() *bench.Table { return bench.FigBreakdown(bench.MidSizeSetup(), o) },
+		9:  func() *bench.Table { return bench.FigAblation(bench.LargeSetup(), ob) },
+		10: func() *bench.Table { return bench.FigTpmC(bench.LargeSetup(), ob) },
+		11: func() *bench.Table { return bench.FigBreakdown(bench.LargeSetup(), ob) },
+		12: func() *bench.Table { return bench.FigAblation(bench.MidSizeSetup(), ob) },
+		13: func() *bench.Table { return bench.Fig13Sweep(ob) },
+		14: func() *bench.Table { return bench.FigBreakdown(bench.MidSizeSetup(), ob) },
 	}
 	if *fig != 0 {
 		r, ok := runners[*fig]

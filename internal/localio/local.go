@@ -122,6 +122,9 @@ func New(e *sim.Engine, cpus *hw.CPUPool, kern *oskrnl.Kernel, cfg Config) *Clie
 // VolumeSize returns the usable volume size.
 func (c *Client) VolumeSize() int64 { return c.layout.Size() }
 
+// Config returns the configuration the client was built with.
+func (c *Client) Config() Config { return c.cfg }
+
 // ReadAsync issues an asynchronous read.
 func (c *Client) ReadAsync(p *sim.Proc, off int64, length int) *Request {
 	return c.submit(p, off, length, false)

@@ -412,6 +412,21 @@ func (c *Client) installConn(conn net.Conn, resp *wire.ConnectResp) {
 // MaxTransfer returns the server's per-request transfer bound.
 func (c *Client) MaxTransfer() int { return int(c.maxXfer) }
 
+// Credits returns the session's negotiated flow-control window — the
+// number of requests that can usefully be in flight at once. Callers
+// that fan a batch out over the async API (database read-ahead, extent
+// scatter) should clamp their outstanding-request count to this: past
+// the window, extra submissions only queue on the credit channel and
+// inflate the submission stage without adding concurrency.
+func (c *Client) Credits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.creditC == nil {
+		return 0
+	}
+	return cap(c.creditC)
+}
+
 // KillConnForTest severs the underlying TCP connection without marking
 // the client closed, so the next I/O exercises the reconnection path.
 // For fault-injection tests and demos only.

@@ -6,6 +6,16 @@ import (
 	"github.com/v3storage/v3/internal/sim"
 )
 
+// Batch fan-out rule (shared with the real-path adapters in
+// internal/workload): a ReadPages batch never puts more reads in flight
+// than the storage path's negotiated credit-window equivalent — the DSA
+// client's flow-control window here, the netv3 session window or stream
+// carve-out on the real stack, the aggregate data-stream credits on a
+// vault. Past that window extra submissions cannot add concurrency;
+// they only queue at the client and inflate the submission stage, so
+// the batch slides instead: one new read is issued as each of the
+// oldest completes.
+
 // DSAStorage adapts a DSA client (any of kDSA/wDSA/cDSA) to the engine's
 // Storage interface with synchronous page semantics: the calling worker
 // blocks, and other workers run meanwhile — exactly how a database
@@ -15,17 +25,17 @@ type DSAStorage struct{ C *core.Client }
 // ReadPage implements Storage.
 func (s DSAStorage) ReadPage(p *sim.Proc, off int64, length int) { s.C.Read(p, off, length) }
 
-// ReadPages implements Storage: all reads go out asynchronously and the
+// ReadPages implements Storage: reads go out asynchronously and the
 // worker blocks for the batch, the way a database scheduler overlaps
-// read-ahead within a transaction.
+// read-ahead within a transaction. Fan-out follows the batch rule above,
+// clamped to the client's negotiated credit window.
 func (s DSAStorage) ReadPages(p *sim.Proc, offs []int64, length int) {
-	reqs := make([]*core.Request, len(offs))
-	for i, off := range offs {
-		reqs[i] = s.C.ReadAsync(p, off, length)
-	}
-	for _, r := range reqs {
+	window := s.C.Config().Credits
+	readPagesWindow(window, offs, func(off int64) *core.Request {
+		return s.C.ReadAsync(p, off, length)
+	}, func(r *core.Request) {
 		s.C.Wait(p, r)
-	}
+	})
 }
 
 // WritePage implements Storage.
@@ -40,15 +50,16 @@ type LocalStorage struct{ C *localio.Client }
 // ReadPage implements Storage.
 func (s LocalStorage) ReadPage(p *sim.Proc, off int64, length int) { s.C.Read(p, off, length) }
 
-// ReadPages implements Storage.
+// ReadPages implements Storage. The local path has no wire credit
+// window; its equivalent is the disk array's aggregate queue — one
+// outstanding read per spindle — so the batch clamps to the disk count.
 func (s LocalStorage) ReadPages(p *sim.Proc, offs []int64, length int) {
-	reqs := make([]*localio.Request, len(offs))
-	for i, off := range offs {
-		reqs[i] = s.C.ReadAsync(p, off, length)
-	}
-	for _, r := range reqs {
+	window := s.C.Config().NumDisks
+	readPagesWindow(window, offs, func(off int64) *localio.Request {
+		return s.C.ReadAsync(p, off, length)
+	}, func(r *localio.Request) {
 		s.C.Wait(p, r)
-	}
+	})
 }
 
 // WritePage implements Storage.
@@ -56,6 +67,29 @@ func (s LocalStorage) WritePage(p *sim.Proc, off int64, length int) { s.C.Write(
 
 // VolumeSize implements Storage.
 func (s LocalStorage) VolumeSize() int64 { return s.C.VolumeSize() }
+
+// readPagesWindow overlaps the batch with at most window requests in
+// flight, sliding as completions return: the shared implementation of
+// the clamp rule for both sim adapters.
+func readPagesWindow[R any](window int, offs []int64, issue func(int64) R, wait func(R)) {
+	if window <= 0 {
+		window = 1
+	}
+	if window > len(offs) {
+		window = len(offs)
+	}
+	reqs := make([]R, len(offs))
+	for i := 0; i < window; i++ {
+		reqs[i] = issue(offs[i])
+	}
+	for i := window; i < len(offs); i++ {
+		wait(reqs[i-window])
+		reqs[i] = issue(offs[i])
+	}
+	for i := len(offs) - window; i < len(offs); i++ {
+		wait(reqs[i])
+	}
+}
 
 var (
 	_ Storage = DSAStorage{}

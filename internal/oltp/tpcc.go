@@ -71,22 +71,32 @@ func Profiles() [numTxTypes]TxProfile {
 	}
 }
 
+// MixWeights returns the paper's TPC-C transaction mix in percent,
+// indexed by TxType: 45% New-Order, 43% Payment, 4% each Order-Status,
+// Delivery, Stock-Level. Both the simulated engine (PickTx) and the
+// real-path workload tier (internal/workload) draw from this table, so
+// the mix can never drift between the two.
+func MixWeights() [numTxTypes]int {
+	return [numTxTypes]int{NewOrder: 45, Payment: 43, OrderStatus: 4, Delivery: 4, StockLevel: 4}
+}
+
+// TxForDraw maps a uniform draw in [0,100) to a transaction type under
+// MixWeights — the pure core of PickTx, usable with any RNG.
+func TxForDraw(v int) TxType {
+	w := MixWeights()
+	for t, weight := range w {
+		if v < weight {
+			return TxType(t)
+		}
+		v -= weight
+	}
+	return StockLevel
+}
+
 // PickTx draws a transaction type with the TPC-C mix: 45% New-Order,
 // 43% Payment, 4% each Order-Status, Delivery, Stock-Level.
 func PickTx(r *sim.Rand) TxType {
-	v := r.Intn(100)
-	switch {
-	case v < 45:
-		return NewOrder
-	case v < 88:
-		return Payment
-	case v < 92:
-		return OrderStatus
-	case v < 96:
-		return Delivery
-	default:
-		return StockLevel
-	}
+	return TxForDraw(r.Intn(100))
 }
 
 // NURand is TPC-C's non-uniform random function (clause 2.1.6):

@@ -920,6 +920,31 @@ func (v *Vault) Stats() Stats {
 	}
 }
 
+// Credits returns the vault's aggregate foreground credit window: the
+// sum over backends of the data stream's negotiated carve-out (or the
+// bare connection's session window when streams are off). It is the
+// cluster's negotiated-credit-window equivalent — callers fanning a
+// batch of page reads out over the vault should clamp their
+// outstanding-request count to it, the same rule the single-session
+// netv3 path applies with Client.Credits.
+func (v *Vault) Credits() int {
+	total := 0
+	for _, b := range v.backends {
+		b.mu.Lock()
+		switch {
+		case b.data != nil:
+			total += b.data.Credits()
+		case b.client != nil:
+			total += b.client.Credits()
+		}
+		b.mu.Unlock()
+	}
+	if total <= 0 {
+		total = 1
+	}
+	return total
+}
+
 // BackendStatus is one backend's health snapshot.
 type BackendStatus struct {
 	Addr        string

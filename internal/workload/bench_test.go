@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/benchjson"
+	"github.com/v3storage/v3/internal/netv3"
+	"github.com/v3storage/v3/internal/obs"
+)
+
+// Benchmark rows land in BENCH_netv3.json via `make bench-tpcc` (the
+// BENCH_JSON env var), merged by name with the rest of the repo's
+// ledger. Without BENCH_JSON — the CI smoke — nothing is written.
+var (
+	benchMu      sync.Mutex
+	benchRecords []benchjson.Record
+)
+
+func record(r benchjson.Record) {
+	benchMu.Lock()
+	benchRecords = append(benchRecords, r)
+	benchMu.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		_ = benchjson.Write(path, benchRecords)
+	}
+	os.Exit(code)
+}
+
+// tpccBenchCase is one BenchmarkNetv3TPCC row: a workload shape over
+// the live single-server netv3 path.
+type tpccBenchCase struct {
+	name    string
+	kinds   []TxKind
+	dist    DistSpec
+	arrival ArrivalSpec
+}
+
+func tpccBenchCases() []tpccBenchCase {
+	return []tpccBenchCase{
+		{name: "uniform", kinds: SyntheticKind("uniform", 8, 2, 512), dist: DistSpec{Kind: DistUniform}},
+		{name: "zipf", kinds: SyntheticKind("zipf", 8, 2, 512), dist: DistSpec{Kind: DistZipf}},
+		{name: "scan", kinds: SyntheticKind("scan", 16, 0, 0), dist: DistSpec{Kind: DistSeq}},
+		{name: "bursty", kinds: SyntheticKind("bursty", 8, 2, 512), dist: DistSpec{Kind: DistUniform},
+			arrival: ArrivalSpec{Kind: ArrivalBursty, Rate: 2000}},
+		{name: "tpcc", kinds: TPCCKinds(), dist: DistSpec{Kind: DistUniform}},
+	}
+}
+
+// BenchmarkNetv3TPCC runs each workload shape for one fixed wall-clock
+// window over an in-process v3d server (run with -benchtime=1x: the
+// engine is the load generator; b.N repetition adds nothing but time).
+func BenchmarkNetv3TPCC(b *testing.B) {
+	for _, tc := range tpccBenchCases() {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchOneTPCC(b, tc)
+			}
+		})
+	}
+}
+
+func benchOneTPCC(b *testing.B, tc tpccBenchCase) {
+	cl, err := StartCluster(1, testVolSize, netv3.DefaultServerConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	e2e := &obs.Hist{}
+	store, closeStore, err := OpenStack(StackConfig{Addrs: cl.Addrs(), VolSize: testVolSize, E2E: e2e})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer closeStore()
+	eng, err := New(Config{
+		Store:             store,
+		Kinds:             tc.kinds,
+		Dist:              tc.dist,
+		Arrival:           tc.arrival,
+		Terminals:         8,
+		Warehouses:        2,
+		PagesPerWarehouse: 512,
+		Seed:              1,
+		E2E:               e2e,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := eng.Run(200*time.Millisecond, time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r.Errors != 0 {
+		b.Fatalf("%d transaction errors", r.Errors)
+	}
+	var lat obs.HistSnapshot
+	for _, k := range r.Kinds {
+		lat.Merge(k.Lat)
+	}
+	if lat.Count() == 0 {
+		b.Fatal("no transactions committed")
+	}
+	b.ReportMetric(r.TpmC, "tpmC")
+	b.ReportMetric(r.TxPerSec, "tx/s")
+	b.ReportMetric(lat.Mean()/1e3, "mean_us")
+	record(benchjson.Record{
+		Name:       "Netv3TPCC/" + tc.name,
+		OpsPerSec:  r.TxPerSec,
+		MeanMicros: lat.Mean() / 1e3,
+		P99Micros:  lat.Quantile(0.99) / 1e3,
+	})
+}

@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// DistKind selects a key (page) distribution.
+type DistKind int
+
+const (
+	// DistUniform draws every page with equal probability.
+	DistUniform DistKind = iota
+	// DistZipf draws pages Zipfian (hot-key skew): page rank k is drawn
+	// with probability proportional to 1/(v+k)^theta. The engine
+	// shuffles ranks onto pages with a multiplicative hash so the hot
+	// set is scattered across the partition instead of clustered at
+	// offset zero — hot keys, not hot cylinders.
+	DistZipf
+	// DistSeq walks the partition sequentially (scan-heavy): each draw
+	// returns the next page after the previous one, shared across the
+	// terminals drawing from the same generator, wrapping at the end.
+	// This is the shape the server's read-ahead prefetcher detects.
+	DistSeq
+)
+
+func (k DistKind) String() string {
+	switch k {
+	case DistZipf:
+		return "zipf"
+	case DistSeq:
+		return "seq"
+	}
+	return "uniform"
+}
+
+// DistSpec configures a key distribution.
+type DistSpec struct {
+	Kind DistKind
+	// Theta is the Zipf exponent (DistZipf only); must be > 1. 0 selects
+	// 1.2, which puts roughly 70% of the mass on the top 1% of a 100k
+	// key space — the hot-key shape TPC-C's NURand produces.
+	Theta float64
+	// ZipfV is the Zipf value offset (>= 1); 0 selects 1.
+	ZipfV float64
+}
+
+// Dist draws pages in [0, n) for a fixed n chosen at construction.
+// Implementations are NOT safe for concurrent use unless documented;
+// each terminal owns its own Dist (DistSeq shares a cursor by design).
+type Dist interface {
+	// Pick returns the next page index in [0, n).
+	Pick() int64
+	// N returns the key-space size the distribution was bound to.
+	N() int64
+}
+
+// NewDist builds a distribution over [0, n) driven by r. For DistSeq
+// the returned generator owns a fresh cursor; use SharedSeq to make
+// several terminals walk one scan together.
+func NewDist(spec DistSpec, r *rand.Rand, n int64) Dist {
+	if n <= 0 {
+		panic("workload: empty key space")
+	}
+	switch spec.Kind {
+	case DistZipf:
+		theta := spec.Theta
+		if theta == 0 {
+			theta = 1.2
+		}
+		v := spec.ZipfV
+		if v < 1 {
+			v = 1
+		}
+		return &zipfDist{z: rand.NewZipf(r, theta, v, uint64(n-1)), n: n}
+	case DistSeq:
+		return &seqDist{cur: new(atomic.Int64), n: n}
+	default:
+		return &uniformDist{r: r, n: n}
+	}
+}
+
+type uniformDist struct {
+	r *rand.Rand
+	n int64
+}
+
+func (d *uniformDist) Pick() int64 { return d.r.Int63n(d.n) }
+func (d *uniformDist) N() int64    { return d.n }
+
+// zipfDist scatters Zipf ranks over the key space with a Fibonacci
+// multiplicative hash: rank 0 (the hottest key) always lands on the
+// same page for a given n, but neighboring ranks do not land on
+// neighboring pages.
+type zipfDist struct {
+	z *rand.Zipf
+	n int64
+}
+
+func (d *zipfDist) Pick() int64 {
+	rank := d.z.Uint64()
+	return int64((rank * 0x9E3779B97F4A7C15) % uint64(d.n))
+}
+func (d *zipfDist) N() int64 { return d.n }
+
+// ZipfRank exposes the raw rank draw for tests that check the skew
+// against the analytic mass distribution.
+func (d *zipfDist) ZipfRank() uint64 { return d.z.Uint64() }
+
+type seqDist struct {
+	cur *atomic.Int64
+	n   int64
+}
+
+func (d *seqDist) Pick() int64 { return (d.cur.Add(1) - 1) % d.n }
+func (d *seqDist) N() int64    { return d.n }
+
+// SharedSeq returns a sequential distribution over [0, n) whose cursor
+// is shared with prev (which must come from DistSeq); terminals using
+// the shares interleave on one global scan.
+func SharedSeq(prev Dist) Dist {
+	s, ok := prev.(*seqDist)
+	if !ok {
+		panic("workload: SharedSeq needs a DistSeq generator")
+	}
+	return &seqDist{cur: s.cur, n: s.n}
+}
+
+// ArrivalKind selects the transaction arrival process.
+type ArrivalKind int
+
+const (
+	// ArrivalClosed is the closed loop: each terminal issues its next
+	// transaction as soon as the previous one commits (plus ThinkTime).
+	// Throughput is set by latency; this is the TPC-C terminal shape.
+	ArrivalClosed ArrivalKind = iota
+	// ArrivalPoisson is the open loop: transactions arrive Poisson at
+	// Rate per second regardless of completions, and latency includes
+	// the queueing delay behind slow service — the load shape that
+	// exposes latency cliffs a closed loop hides.
+	ArrivalPoisson
+	// ArrivalBursty is an on/off modulated Poisson: Poisson at Rate
+	// during On phases, silent during Off phases. Mean rate is
+	// Rate*On/(On+Off); the bursts probe how the stack absorbs arrival
+	// clumps (credit windows, admission queues, destage backlog).
+	ArrivalBursty
+)
+
+func (k ArrivalKind) String() string {
+	switch k {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalBursty:
+		return "bursty"
+	}
+	return "closed"
+}
+
+// ArrivalSpec configures the arrival process.
+type ArrivalSpec struct {
+	Kind ArrivalKind
+	// ThinkTime is the closed loop's per-terminal pause between commit
+	// and next issue (TPC-C keying/think time, scaled); 0 is
+	// back-to-back.
+	ThinkTime time.Duration
+	// Rate is the open-loop arrival rate in transactions per second
+	// (Poisson and the bursty On phase). Required for open loops.
+	Rate float64
+	// BurstOn and BurstOff are the bursty phase lengths; 0 selects
+	// 200ms/200ms.
+	BurstOn, BurstOff time.Duration
+}
+
+// Arrival generates inter-arrival gaps. Not safe for concurrent use;
+// the engine drives one Arrival from one generator goroutine.
+type Arrival interface {
+	// Gap returns the time to the next arrival after the current one.
+	Gap() time.Duration
+}
+
+// NewArrival builds the arrival process for spec driven by r. Returns
+// nil for ArrivalClosed: the closed loop has no arrival generator —
+// completions are the clock.
+func NewArrival(spec ArrivalSpec, r *rand.Rand) (Arrival, error) {
+	switch spec.Kind {
+	case ArrivalClosed:
+		return nil, nil
+	case ArrivalPoisson:
+		if spec.Rate <= 0 {
+			return nil, fmt.Errorf("workload: poisson arrivals need Rate > 0")
+		}
+		return &poissonArrival{r: r, rate: spec.Rate}, nil
+	case ArrivalBursty:
+		if spec.Rate <= 0 {
+			return nil, fmt.Errorf("workload: bursty arrivals need Rate > 0")
+		}
+		on, off := spec.BurstOn, spec.BurstOff
+		if on <= 0 {
+			on = 200 * time.Millisecond
+		}
+		if off <= 0 {
+			off = 200 * time.Millisecond
+		}
+		return &burstyArrival{r: r, rate: spec.Rate, on: on, off: off, left: on}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown arrival kind %d", spec.Kind)
+}
+
+type poissonArrival struct {
+	r    *rand.Rand
+	rate float64
+}
+
+// Gap draws Exp(rate): -ln(U)/rate.
+func (a *poissonArrival) Gap() time.Duration {
+	return expGap(a.r, a.rate)
+}
+
+func expGap(r *rand.Rand, rate float64) time.Duration {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return time.Duration(-math.Log(u) / rate * float64(time.Second))
+}
+
+// burstyArrival alternates On phases (Poisson at rate) and Off phases
+// (silence). A gap that crosses one or more phase boundaries accumulates
+// the Off time it passes over.
+type burstyArrival struct {
+	r       *rand.Rand
+	rate    float64
+	on, off time.Duration
+	left    time.Duration // remaining On time in the current phase
+}
+
+func (a *burstyArrival) Gap() time.Duration {
+	gap := expGap(a.r, a.rate)
+	// Consume On-phase budget; every exhausted On phase inserts one Off
+	// phase of silence before the arrival lands.
+	extra := time.Duration(0)
+	for gap > a.left {
+		gap -= a.left
+		a.left = a.on
+		extra += a.off
+	}
+	a.left -= gap
+	return gap + extra
+}

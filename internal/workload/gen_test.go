@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDistDeterministic: same spec + same seed must reproduce the same
+// draw sequence — benchmark runs are comparable only if the offered
+// page stream is.
+func TestDistDeterministic(t *testing.T) {
+	for _, spec := range []DistSpec{
+		{Kind: DistUniform},
+		{Kind: DistZipf},
+		{Kind: DistZipf, Theta: 1.5, ZipfV: 2},
+		{Kind: DistSeq},
+	} {
+		a := NewDist(spec, rand.New(rand.NewSource(42)), 10000)
+		b := NewDist(spec, rand.New(rand.NewSource(42)), 10000)
+		for i := 0; i < 4096; i++ {
+			x, y := a.Pick(), b.Pick()
+			if x != y {
+				t.Fatalf("%v draw %d diverged: %d vs %d", spec.Kind, i, x, y)
+			}
+			if x < 0 || x >= 10000 {
+				t.Fatalf("%v draw %d out of range: %d", spec.Kind, i, x)
+			}
+		}
+	}
+}
+
+// TestDistSeqShared: SharedSeq shares are one global scan with no gaps
+// or repeats across shares.
+func TestDistSeqShared(t *testing.T) {
+	base := NewDist(DistSpec{Kind: DistSeq}, nil, 1000)
+	other := SharedSeq(base)
+	seen := make(map[int64]bool)
+	for i := 0; i < 500; i++ {
+		seen[base.Pick()] = true
+		seen[other.Pick()] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("two shares drew %d distinct pages, want 1000", len(seen))
+	}
+}
+
+// TestZipfSkew: the rank distribution's top-1% mass must match the
+// analytic Zipf pmf within tolerance — the knob the hot-key workloads
+// hang off of actually has to be skewed the amount it claims.
+func TestZipfSkew(t *testing.T) {
+	const n = 10000
+	const draws = 400000
+	const theta, v = 1.2, 1.0
+	d := NewDist(DistSpec{Kind: DistZipf}, rand.New(rand.NewSource(7)), n)
+	zd, ok := d.(*zipfDist)
+	if !ok {
+		t.Fatalf("DistZipf built %T", d)
+	}
+	hot := int64(0)
+	for i := 0; i < draws; i++ {
+		if zd.ZipfRank() < n/100 {
+			hot++
+		}
+	}
+	got := float64(hot) / draws
+
+	// Analytic mass of ranks [0, n/100): pmf(k) ∝ 1/(v+k)^theta.
+	var top, total float64
+	for k := 0; k < n; k++ {
+		p := math.Pow(v+float64(k), -theta)
+		total += p
+		if k < n/100 {
+			top += p
+		}
+	}
+	want := top / total
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("top-1%% mass = %.3f, analytic %.3f (tolerance 0.03)", got, want)
+	}
+	if want < 0.5 {
+		t.Fatalf("analytic top-1%% mass %.3f is not hot-key shaped; check defaults", want)
+	}
+}
+
+// TestZipfScatter: the hash scatter must spread the hot ranks across
+// the partition instead of clustering them at offset zero.
+func TestZipfScatter(t *testing.T) {
+	const n = 10000
+	d := NewDist(DistSpec{Kind: DistZipf}, rand.New(rand.NewSource(7)), n)
+	low := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if d.Pick() < n/10 {
+			low++
+		}
+	}
+	// Unscattered Zipf would put ~90+% of draws in the first tenth of the
+	// key space; scattered, the hot set lands all over. Just require that
+	// the bottom tenth is not a hot cylinder.
+	if frac := float64(low) / draws; frac > 0.5 {
+		t.Fatalf("%.1f%% of draws in the bottom 10%% of pages; scatter is not working", 100*frac)
+	}
+}
+
+// TestPoissonMean: inter-arrival mean must track 1/Rate.
+func TestPoissonMean(t *testing.T) {
+	const rate = 1000.0
+	a, err := NewArrival(ArrivalSpec{Kind: ArrivalPoisson, Rate: rate}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 200000
+	var sum time.Duration
+	for i := 0; i < draws; i++ {
+		g := a.Gap()
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		sum += g
+	}
+	mean := sum.Seconds() / draws
+	want := 1 / rate
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("poisson mean gap %.6fs, want %.6fs ±5%%", mean, want)
+	}
+}
+
+// TestBurstyMeanRate: the on/off modulated process must deliver the
+// advertised mean rate Rate·On/(On+Off), and the arrivals must actually
+// clump (on-phase local rate ≈ Rate, not the mean).
+func TestBurstyMeanRate(t *testing.T) {
+	const rate = 2000.0
+	on, off := 100*time.Millisecond, 300*time.Millisecond
+	a, err := NewArrival(ArrivalSpec{Kind: ArrivalBursty, Rate: rate, BurstOn: on, BurstOff: off},
+		rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 200000
+	var sum time.Duration
+	short := 0 // gaps that look like on-phase Poisson (no off insertion)
+	var shortSum time.Duration
+	for i := 0; i < draws; i++ {
+		g := a.Gap()
+		sum += g
+		if g < off {
+			short++
+			shortSum += g
+		}
+	}
+	got := draws / sum.Seconds()
+	want := rate * on.Seconds() / (on + off).Seconds() // 500/s
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("bursty mean rate %.1f/s, want %.1f/s ±5%%", got, want)
+	}
+	onRate := float64(short) / shortSum.Seconds()
+	if math.Abs(onRate-rate)/rate > 0.10 {
+		t.Fatalf("on-phase local rate %.1f/s, want %.1f/s ±10%% — arrivals are not clumping", onRate, rate)
+	}
+}
+
+// TestArrivalDeterministic: fixed seed reproduces the gap sequence.
+func TestArrivalDeterministic(t *testing.T) {
+	for _, spec := range []ArrivalSpec{
+		{Kind: ArrivalPoisson, Rate: 500},
+		{Kind: ArrivalBursty, Rate: 500},
+	} {
+		a, err := NewArrival(spec, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewArrival(spec, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10000; i++ {
+			if x, y := a.Gap(), b.Gap(); x != y {
+				t.Fatalf("%v gap %d diverged: %v vs %v", spec.Kind, i, x, y)
+			}
+		}
+	}
+}
+
+// TestArrivalValidation: open loops require a rate; closed loops have
+// no generator at all.
+func TestArrivalValidation(t *testing.T) {
+	if a, err := NewArrival(ArrivalSpec{Kind: ArrivalClosed}, nil); err != nil || a != nil {
+		t.Fatalf("closed loop: got (%v, %v), want (nil, nil)", a, err)
+	}
+	if _, err := NewArrival(ArrivalSpec{Kind: ArrivalPoisson}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("poisson without Rate must error")
+	}
+	if _, err := NewArrival(ArrivalSpec{Kind: ArrivalBursty}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("bursty without Rate must error")
+	}
+}
+
+// TestTPCCKindsMix: the real-path mix must stay weight-identical to the
+// simulated engine's.
+func TestTPCCKindsMix(t *testing.T) {
+	kinds := TPCCKinds()
+	if len(kinds) != 5 {
+		t.Fatalf("got %d kinds, want 5", len(kinds))
+	}
+	total := 0
+	for _, k := range kinds {
+		total += k.Weight
+	}
+	if total != 100 {
+		t.Fatalf("mix weights sum to %d, want 100", total)
+	}
+	if kinds[0].Name != "NewOrder" || kinds[0].Weight != 45 {
+		t.Fatalf("kind 0 = %+v, want NewOrder weight 45", kinds[0])
+	}
+}

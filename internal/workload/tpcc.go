@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"github.com/v3storage/v3/internal/oltp"
+)
+
+// TxKind is one transaction type's demand on the engine: logical page
+// reads and writes through the buffer pool, log bytes at commit, its
+// weight in the mix, and the probability any one page touch crosses to
+// a remote warehouse. The engine turns logical touches into physical
+// I/O through the buffer pool, exactly like the simulated engine in
+// internal/oltp — the difference is that here the I/O is real.
+type TxKind struct {
+	Name     string
+	Reads    int
+	Writes   int
+	LogBytes int
+	Weight   int
+	// Remote is the probability one page touch targets a uniformly
+	// chosen other warehouse instead of the terminal's home warehouse.
+	Remote float64
+}
+
+// TPCCKinds returns the five TPC-C transactions with the paper's mix
+// weights and per-type demand profiles, shared with the simulated
+// engine via internal/oltp (Profiles, MixWeights) so the two tiers can
+// never drift. Remote-warehouse probabilities approximate the spec's
+// cross-warehouse traffic: ~1% of New-Order items (≈10% of
+// transactions touch a remote stock page) and 15% of Payments.
+func TPCCKinds() []TxKind {
+	profiles := oltp.Profiles()
+	weights := oltp.MixWeights()
+	remote := map[oltp.TxType]float64{oltp.NewOrder: 0.01, oltp.Payment: 0.15}
+	kinds := make([]TxKind, 0, len(profiles))
+	for t, p := range profiles {
+		kinds = append(kinds, TxKind{
+			Name:     oltp.TxType(t).String(),
+			Reads:    p.PageReads,
+			Writes:   p.PageWrite,
+			LogBytes: p.LogBytes,
+			Weight:   weights[t],
+			Remote:   remote[oltp.TxType(t)],
+		})
+	}
+	return kinds
+}
+
+// SyntheticKind returns a single-type mix: a transaction of reads+writes
+// page touches and logBytes of commit log. The synthetic workloads
+// (uniform, Zipfian hot-key, scan-heavy, bursty) are this kind under
+// different distributions and arrival processes.
+func SyntheticKind(name string, reads, writes, logBytes int) []TxKind {
+	return []TxKind{{Name: name, Reads: reads, Writes: writes, LogBytes: logBytes, Weight: 1}}
+}
+
+// PagesPerWarehouse is the scaled default data footprint of one
+// warehouse in pages; the full-size figure is oltp.PagesPerWarehouse
+// (~100 MB), this default keeps an in-process multi-warehouse run in
+// RAM. Override with Config.PagesPerWarehouse.
+const PagesPerWarehouse = 2048
