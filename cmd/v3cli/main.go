@@ -14,6 +14,8 @@
 //	v3cli -addr host:9300 bench -n 100000 -streams 1000           # 1000 logical clients, one conn
 //	v3cli -addr host:9300 status                                  # session + stream counters
 //	v3cli -addr host:9300 breakdown -n 20000 -size 8192 -window 16
+//	v3cli -addr host:9300 trace -n 20000 -size 8192 -window 16            # merged cross-tier stage table
+//	v3cli -addr host:9300 trace -metrics host:9400                        # + per-lane/per-tenant sched breakdown
 //
 //	v3cli -servers a:9300,b:9300 -stripe -size 67108864 bench -n 100000
 //	v3cli -servers a:9300,b:9300 -mirror -size 67108864 write 4096 "hello"
@@ -22,11 +24,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -96,7 +101,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "v3cli: need a command: read | write | flush | status | bench | breakdown")
+		fmt.Fprintln(os.Stderr, "v3cli: need a command: read | write | flush | status | bench | breakdown | trace")
 		os.Exit(2)
 	}
 
@@ -130,10 +135,11 @@ func main() {
 	} else {
 		ccfg := netv3.DefaultClientConfig()
 		ccfg.KeepaliveInterval = *keepalive
-		// The breakdown command needs the client's stage trace enabled
-		// from the first request, so the registry attaches before Dial.
+		// The breakdown and trace commands need the client's stage trace
+		// enabled from the first request, so the registry attaches
+		// before Dial.
 		var reg *obs.Registry
-		if args[0] == "breakdown" {
+		if args[0] == "breakdown" || args[0] == "trace" {
 			reg = obs.New()
 			ccfg.Metrics = reg
 		}
@@ -217,6 +223,18 @@ func main() {
 		writes := fs.Bool("writes", false, "write instead of read")
 		_ = fs.Parse(args[1:])
 		runBreakdown(client, clientReg, uint32(*vol), *n, *size, *window, *writes)
+	case "trace":
+		if client == nil {
+			log.Fatal("v3cli: trace needs single-server mode (-addr)")
+		}
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		n := fs.Int("n", 20000, "I/Os")
+		size := fs.Int("size", 8192, "request size")
+		window := fs.Int("window", 16, "async pipeline depth")
+		writes := fs.Bool("writes", false, "write instead of read")
+		metrics := fs.String("metrics", "", "server metrics address (host:9400) for per-lane and per-tenant scheduler breakdowns")
+		_ = fs.Parse(args[1:])
+		runTrace(client, clientReg, uint32(*vol), *n, *size, *window, *writes, *metrics)
 	default:
 		log.Fatalf("v3cli: unknown command %q", args[0])
 	}
@@ -229,6 +247,20 @@ func main() {
 // against an independently measured mean over the same sampled
 // population.
 func runBreakdown(c *netv3.Client, reg *obs.Registry, vol uint32, n, size, window int, writes bool) {
+	done, count, e2e := driveTraced(c, vol, n, size, window, writes)
+	op := "reads"
+	if writes {
+		op = "writes"
+	}
+	fmt.Printf("%d %s of %d bytes, window %d (%d stage-traced)\n", done, op, size, window, count)
+	rows := obs.Breakdown(reg, netv3.ClientStageDefs())
+	fmt.Print(obs.FormatBreakdown(rows, float64(e2e.Nanoseconds())/float64(count)))
+}
+
+// driveTraced runs the async-window workload that breakdown and trace
+// share, returning completions, the stage-traced subset's size, and the
+// traced subset's summed caller-measured end-to-end time.
+func driveTraced(c *netv3.Client, vol uint32, n, size, window int, writes bool) (done, count int, e2e time.Duration) {
 	if window < 1 {
 		window = 1
 	}
@@ -238,8 +270,6 @@ func runBreakdown(c *netv3.Client, reg *obs.Registry, vol uint32, n, size, windo
 	}
 	handles := make([]*netv3.Pending, window)
 	starts := make([]time.Time, window)
-	var e2e time.Duration
-	count, done := 0, 0
 	reap := func(s int) {
 		if handles[s] == nil {
 			return
@@ -277,13 +307,77 @@ func runBreakdown(c *netv3.Client, reg *obs.Registry, vol uint32, n, size, windo
 	if count == 0 {
 		log.Fatal("v3cli: no traced I/Os completed")
 	}
+	return done, count, e2e
+}
+
+// runTrace drives the traced workload and prints the merged cross-tier
+// table: the client's six stages re-tiled so the opaque server interval
+// splits into scheduler wait, server CPU, disk-queue wait, and device
+// time reported by the server's span block, with the remainder as true
+// network+kernel cost. Against a pre-trace server (or -notrace) the
+// span columns read zero and the whole interval stays in net+kernel —
+// same table, graceful fallback. With -metrics it also fetches the
+// server registry and prints the per-lane and per-tenant scheduler
+// breakdowns the spans are attributed by.
+func runTrace(c *netv3.Client, reg *obs.Registry, vol uint32, n, size, window int, writes bool, metrics string) {
+	done, count, e2e := driveTraced(c, vol, n, size, window, writes)
 	op := "reads"
 	if writes {
 		op = "writes"
 	}
-	fmt.Printf("%d %s of %d bytes, window %d (%d stage-traced)\n", done, op, size, window, count)
-	rows := obs.Breakdown(reg, netv3.ClientStageDefs())
+	if c.TraceSupported() {
+		fmt.Printf("%d %s of %d bytes, window %d (%d traced end-to-end)\n", done, op, size, window, count)
+	} else {
+		fmt.Printf("%d %s of %d bytes, window %d (%d client-traced; server has no trace support)\n",
+			done, op, size, window, count)
+	}
+	rows := obs.Breakdown(reg, netv3.MergedStageDefs())
 	fmt.Print(obs.FormatBreakdown(rows, float64(e2e.Nanoseconds())/float64(count)))
+	if metrics != "" {
+		printSchedBreakdown(metrics)
+	}
+}
+
+// printSchedBreakdown fetches the server's metrics snapshot and renders
+// the scheduler's per-lane counters and per-tenant queue depths.
+func printSchedBreakdown(addr string) {
+	url := "http://" + addr + "/metrics?format=json"
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("v3cli: fetch %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var snap obs.SnapshotJSON
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatalf("v3cli: decode %s: %v", url, err)
+	}
+	g := snap.Gauges
+	fmt.Printf("\nserver scheduler (%s):\n", addr)
+	for _, lane := range []string{"fg", "bg"} {
+		line := fmt.Sprintf("  lane %-2s: queued=%d done=%d tenants=%d", lane,
+			g["netv3_srv_sched_"+lane+"_queued"],
+			g["netv3_srv_sched_"+lane+"_done_total"],
+			g["netv3_srv_sched_"+lane+"_tenants"])
+		if h, ok := snap.Hists["netv3_srv_sched_"+lane+"_wait_ns"]; ok && h.Count > 0 {
+			line += fmt.Sprintf(" wait mean=%v p99=%v",
+				time.Duration(int64(h.MeanNS)).Round(time.Microsecond),
+				time.Duration(int64(h.P99NS)).Round(time.Microsecond))
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("  sheds=%d stride_fires=%d\n",
+		g["netv3_srv_sched_shed_total"], g["netv3_srv_sched_stride_fires_total"])
+	const tenantPrefix = "netv3_srv_sched_tenant_queued"
+	var tenants []string
+	for k := range g {
+		if strings.HasPrefix(k, tenantPrefix+"{") {
+			tenants = append(tenants, k)
+		}
+	}
+	sort.Strings(tenants)
+	for _, k := range tenants {
+		fmt.Printf("  tenant %s queued=%d\n", strings.TrimPrefix(k, tenantPrefix), g[k])
+	}
 }
 
 // printClientStatus renders one session's negotiated capabilities and

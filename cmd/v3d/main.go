@@ -11,6 +11,8 @@
 //	v3d -addr :9300 -file /data/vol.img -size 1G -diskq -sqdepth 64
 //	v3d -addr :9300 -schedworkers 8 -admitlimit 512 -maxstreams 10000
 //	v3d -addr :9300 -metrics :9400             # Prometheus text + JSON snapshot
+//	v3d -addr :9300 -metrics :9400 -pprof      # + /debug/pprof/ profiles
+//	v3d -addr :9300 -metrics :9400             # /debug/flightrec is always there
 //	v3d -addr :9300 -nopool -nobatch           # seed-equivalent baseline
 package main
 
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -69,6 +72,8 @@ func main() {
 	maxStreams := flag.Int("maxstreams", 0, "logical streams allowed per connection (0 = 65535)")
 	stats := flag.Duration("stats", 0, "log served/cache/pool counters at this interval (0 = off)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus text and JSON metrics on this address (e.g. :9400; empty = off)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/ on the -metrics address")
+	noTrace := flag.Bool("notrace", false, "do not offer the trace feature bit (clients fall back to client-only stage traces)")
 	flag.Parse()
 
 	size, err := parseSize(*sizeStr)
@@ -92,11 +97,17 @@ func main() {
 	cfg.AdmitLimit = *admitLimit
 	cfg.MaxStreams = *maxStreams
 	cfg.Logger = log.New(os.Stderr, "v3d: ", log.LstdFlags)
+	cfg.NoTrace = *noTrace
 	var reg *obs.Registry
 	if *metricsAddr != "" || *stats > 0 {
 		reg = obs.New()
 	}
 	cfg.Metrics = reg
+	// The flight recorder is always on: a fixed-size ring of recent
+	// events, readable at /debug/flightrec, on SIGQUIT, and frozen
+	// automatically around sheds and backend trips.
+	flight := obs.NewFlight(0, 0)
+	cfg.Flight = flight
 	srv := netv3.NewServer(cfg)
 
 	var store netv3.BlockStore
@@ -121,7 +132,17 @@ func main() {
 	// exits instead of leaking (time.Tick can never be stopped).
 	done := make(chan struct{})
 	if *metricsAddr != "" {
-		msrv := &http.Server{Addr: *metricsAddr, Handler: obs.Handler(reg)}
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(reg)) // any path except the debug tree: metrics, as before
+		mux.Handle("/debug/flightrec", obs.FlightHandler(flight))
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
 			log.Printf("v3d: metrics on http://%s/metrics (add ?format=json for the snapshot)", *metricsAddr)
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -161,6 +182,15 @@ func main() {
 		s := <-sig
 		log.Printf("v3d: %v; shutting down", s)
 		srv.Close()
+	}()
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving —
+	// the no-profiler-attached escape hatch when the daemon misbehaves.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			flight.Dump("SIGQUIT").WriteText(os.Stderr)
+		}
 	}()
 	err = srv.Serve()
 	close(done)

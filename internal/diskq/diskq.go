@@ -87,11 +87,18 @@ type Op struct {
 	Off  int64
 }
 
-// Completion is one harvested CQE.
+// Completion is one harvested CQE. QueueNS/DeviceNS split the op's life
+// at worker pickup, the decomposition the request tracer attributes to
+// individual requests: QueueNS is submit → service start (SQ wait),
+// DeviceNS is service start → done. The portable backend observes the
+// split directly; io_uring services inside the kernel, so there Reap
+// reports the whole submit → reap life as DeviceNS and QueueNS stays 0.
 type Completion struct {
-	Token uint64 // the token Submit returned for this op
-	N     int    // bytes transferred (0 for fsync)
-	Err   error  // nil on success
+	Token    uint64 // the token Submit returned for this op
+	N        int    // bytes transferred (0 for fsync)
+	Err      error  // nil on success
+	QueueNS  int64  // SQ wait (0 when the backend cannot observe it)
+	DeviceNS int64  // service/device time
 }
 
 // Config sizes a Queue.
@@ -409,6 +416,12 @@ func (q *Queue) Reap(out []Completion, min int) (int, error) {
 				if t0, ok := q.ts[out[i].Token]; ok {
 					delete(q.ts, out[i].Token)
 					q.opTotal.Observe(now - t0)
+					// io_uring services inside the kernel and posts no
+					// split; report the whole submit→reap life as device
+					// time so traced requests still account the stage.
+					if out[i].QueueNS == 0 && out[i].DeviceNS == 0 {
+						out[i].DeviceNS = now - t0
+					}
 				}
 			}
 			q.tsMu.Unlock()

@@ -79,10 +79,9 @@ func newPortableRing(f File, depth, workers int, queueWait, deviceTime *obs.Hist
 func (r *portableRing) name() string { return "portable" }
 
 func (r *portableRing) submit(ops []Op, token uint64) error {
-	var now int64
-	if r.queueWait != nil {
-		now = obs.Now()
-	}
+	// Always stamped: the queue-wait/device-time split rides every
+	// Completion for per-request tracing, not just the metric histograms.
+	now := obs.Now()
 	for i, op := range ops {
 		r.sq <- pOp{op: op, tok: token + uint64(i), enq: now}
 	}
@@ -128,9 +127,8 @@ func (r *portableRing) drain() {
 func (r *portableRing) worker() {
 	defer r.workerWG.Done()
 	for p := range r.wq {
-		var svc0 int64
+		svc0 := obs.Now()
 		if r.queueWait != nil && p.enq != 0 {
-			svc0 = obs.Now()
 			r.queueWait.Observe(svc0 - p.enq)
 		}
 		var c Completion
@@ -144,9 +142,14 @@ func (r *portableRing) worker() {
 		default:
 			c.Err = ErrClosed // unreachable: fsync never enters the worker queue
 		}
-		if svc0 != 0 {
-			r.deviceTime.Observe(obs.Now() - svc0)
+		done := obs.Now()
+		if r.deviceTime != nil {
+			r.deviceTime.Observe(done - svc0)
 		}
+		if p.enq != 0 {
+			c.QueueNS = svc0 - p.enq
+		}
+		c.DeviceNS = done - svc0
 		r.post(c)
 		r.svcMu.Lock()
 		r.outstanding--

@@ -284,6 +284,56 @@ func BenchmarkNetv3Obs(b *testing.B) {
 	}
 }
 
+// BenchmarkNetv3TraceObs is the cross-tier tracing ablation: the
+// standard 8 KB × 16 pipelined read workload with the full metrics stack
+// on BOTH arms, toggling only what this PR added — the 1-in-4 trace
+// sampling with server span fill plus an always-on flight recorder ring
+// on the server — against NoTrace on both sides with no ring. The
+// acceptance bar is that "on" stays within 3% ops/s of "off": the
+// recorder is meant to run in production, not only during incidents.
+func BenchmarkNetv3TraceObs(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultServerConfig()
+			cfg.CacheBlocks = 4096
+			cfg.Metrics = obs.New()
+			ccfg := DefaultClientConfig()
+			ccfg.Metrics = obs.New()
+			if on {
+				cfg.Flight = obs.NewFlight(0, 0)
+			} else {
+				cfg.NoTrace = true
+				ccfg.NoTrace = true
+			}
+			srv := NewServer(cfg)
+			srv.AddVolume(1, NewMemStore(64<<20))
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve()
+			b.Cleanup(func() { srv.Close() })
+			c, err := Dial(addr.String(), ccfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			elapsed, bpo, _ := pipelineReads(b, c, 8192, 16)
+			ops := float64(b.N) / elapsed.Seconds()
+			b.ReportMetric(ops, "ops/s")
+			b.ReportMetric(bpo, "alloc-B/op")
+			record(benchRecord{
+				Name: "Netv3TraceObs/" + name + "/8192x16", OpsPerSec: ops,
+				MBPerSec: ops * 8192 / 1e6, BytesPerOp: bpo,
+			})
+		})
+	}
+}
+
 // slowStore wraps a BlockStore with a fixed per-I/O latency, standing in
 // for a disk so the pipelined-path benchmarks measure overlap of real
 // wait time rather than memcpy speed.
@@ -481,7 +531,7 @@ func BenchmarkNetv3ServerReadPath(b *testing.B) {
 						b.Fatal(err)
 					}
 					m.Offset = off
-					s.handleRead(&m, w, respInline)
+					s.handleRead(&m, w, respInline, 0)
 				} else {
 					mi, err := wire.Unmarshal(frame)
 					if err != nil {
@@ -489,7 +539,7 @@ func BenchmarkNetv3ServerReadPath(b *testing.B) {
 					}
 					r := mi.(*wire.Read)
 					r.Offset = off
-					s.handleRead(r, w, respGo)
+					s.handleRead(r, w, respGo, 0)
 				}
 			}
 			b.StopTimer()

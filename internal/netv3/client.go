@@ -43,6 +43,11 @@ type ClientConfig struct {
 	// NoBatch disables submission frame batching (ablation: every request
 	// is flushed to the socket individually).
 	NoBatch bool
+	// NoTrace stops the client from advertising FeatureTrace, so requests
+	// go out untraced and responses carry zero spans — the knob for the
+	// tracing ablation and for exercising the pre-trace-peer fallback
+	// without an old binary.
+	NoTrace bool
 	// Metrics, when non-nil, enables the client's stage trace: every
 	// request's submit → frame-stage → wire-write → server+net →
 	// delivery → wakeup timestamps aggregate into per-stage histograms
@@ -103,7 +108,20 @@ type Pending struct {
 	// the histograms exactly once.
 	t0, t1, t2, t3, t4 int64
 	recorded           atomic.Bool
+
+	// span is the server-side stage block echoed in the response of a
+	// traced request (zeros against a pre-trace server). Written by the
+	// reader before the completion publishes, so it is stable once done
+	// is closed.
+	span wire.SrvSpan
 }
+
+// ServerSpan returns the server-side stage decomposition the response
+// carried back: scheduler+queue wait, worker service time, and the disk
+// queue-wait/device-time split. All zeros when the request was untraced
+// (see Traced), the server predates FeatureTrace, or the request failed
+// before a response arrived. Valid once the request completes.
+func (h *Pending) ServerSpan() wire.SrvSpan { return h.span }
 
 // finishTrace folds the request's stage trace into the client's
 // histograms, once, from the first waiter to observe completion. A
@@ -117,7 +135,7 @@ func (h *Pending) finishTrace() {
 	if !h.recorded.CompareAndSwap(false, true) {
 		return
 	}
-	c.om.recordTrace(h.t0, h.t1, h.t2, h.t3, h.t4, obs.Now())
+	c.om.recordTrace(h.t0, h.t1, h.t2, h.t3, h.t4, obs.Now(), h.span)
 }
 
 // Done reports without blocking whether the request has completed — the
@@ -244,6 +262,17 @@ func (h *Pending) cancel(cause error) bool {
 // same population.
 func (h *Pending) Traced() bool { return h.t0 != 0 }
 
+// TraceSupported reports whether the connected server negotiated the
+// trace feature: sampled requests carry a trace id and return a filled
+// server span block. False against a pre-trace server or when either
+// side set NoTrace — the client then keeps its client-only stage trace
+// and the merged table's server columns read zero.
+func (c *Client) TraceSupported() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.features&wire.FeatureTrace != 0
+}
+
 // Client is a DSA-style block client for a netv3 server. It is safe for
 // concurrent use; requests overlap up to the credit window.
 //
@@ -293,8 +322,9 @@ type Client struct {
 	senders atomic.Int32
 	scratch [wire.ControlSize]byte // frame staging; guarded by sendMu
 
-	om       *clientObs    // stage-trace histograms; nil when Metrics is unset
-	traceCtr atomic.Uint64 // submit counter driving 1-in-traceSample tracing
+	om        *clientObs    // stage-trace histograms; nil when Metrics is unset
+	traceCtr  atomic.Uint64 // submit counter driving 1-in-traceSample tracing
+	traceBase uint64        // per-client trace-id salt (wall-clock at Dial)
 
 	// Keepalive state. lastRecv is the obs.Now() stamp of the last
 	// inbound frame; kaArmed is set while a ping is outstanding with a
@@ -331,6 +361,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		reconn:      reliable.NewReconnector(cfg.ReconnectBackoff, cfg.MaxReconnects),
 		start:       time.Now(),
 		om:          newClientObs(cfg.Metrics),
+		traceBase:   uint64(time.Now().UnixNano()),
 	}
 	conn, resp, err := c.dialSession()
 	if err != nil {
@@ -352,9 +383,13 @@ func (c *Client) dialSession() (net.Conn, *wire.ConnectResp, error) {
 		return nil, nil, err
 	}
 	_ = conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	feats := wire.FeatureStreams | wire.FeatureTrace
+	if c.cfg.NoTrace {
+		feats &^= wire.FeatureTrace
+	}
 	if err := wire.WriteTo(conn, &wire.Connect{
 		ClientID: 1, WantCreds: uint16(c.cfg.WantCredits),
-		Features: wire.FeatureStreams,
+		Features: feats,
 	}); err != nil {
 		conn.Close()
 		return nil, nil, err
@@ -697,6 +732,19 @@ func (c *Client) submit(ctx context.Context, st *Stream, op int, vol uint32, off
 			Header: wire.Header{Seq: p.seq, Stream: sid}, ReqID: c.nextReq, Volume: vol,
 		}
 	}
+	// A traced request carries a trace id on the wire (when the server
+	// negotiated FeatureTrace), telling the server to answer with its
+	// span block — the join key between the client's stage trace and the
+	// server's flight-recorder events. The id mixes the per-client salt
+	// with the sequence number through a Weyl/Fibonacci step so ids from
+	// clients dialed in the same instant still diverge.
+	if t0 != 0 && c.features&wire.FeatureTrace != 0 {
+		tr := c.traceBase ^ (p.seq * 0x9e3779b97f4a7c15)
+		if tr == 0 {
+			tr = 1 // zero means untraced on the wire
+		}
+		p.msg.Hdr().Trace = tr
+	}
 	c.pending[p.seq] = p
 	c.tracker.Track(p.seq, time.Since(c.start))
 	gen := c.genID
@@ -929,6 +977,7 @@ func (c *Client) reader(conn net.Conn, gen int) {
 			if p != nil {
 				if p.t0 != 0 {
 					p.t3 = obs.Now()
+					p.span = m.SrvSpan
 				}
 				c.finish(p, ioErr)
 			}
@@ -937,13 +986,13 @@ func (c *Client) reader(conn net.Conn, gen int) {
 				fail(err)
 				return
 			}
-			c.complete(uint64(wr.Ack), respErr(wr.Status, wr.RetryAfterMS))
+			c.complete(uint64(wr.Ack), respErr(wr.Status, wr.RetryAfterMS), wr.SrvSpan)
 		case wire.TFlushResp:
 			if err := wire.UnmarshalInto(frame[:], &fr); err != nil {
 				fail(err)
 				return
 			}
-			c.complete(uint64(fr.Ack), respErr(fr.Status, fr.RetryAfterMS))
+			c.complete(uint64(fr.Ack), respErr(fr.Status, fr.RetryAfterMS), fr.SrvSpan)
 		case wire.TStreamOpenResp:
 			if err := wire.UnmarshalInto(frame[:], &sr); err != nil {
 				fail(err)
@@ -989,7 +1038,7 @@ func (c *Client) unclaim(p *Pending) {
 	c.mu.Unlock()
 }
 
-func (c *Client) complete(seq uint64, err error) {
+func (c *Client) complete(seq uint64, err error, sp wire.SrvSpan) {
 	c.mu.Lock()
 	p := c.pending[seq]
 	delete(c.pending, seq)
@@ -1001,6 +1050,7 @@ func (c *Client) complete(seq uint64, err error) {
 		// Untraced requests (t0 == 0) skip the clock.
 		if p.t0 != 0 {
 			p.t3 = obs.Now()
+			p.span = sp
 		}
 		c.finish(p, err)
 	}

@@ -159,9 +159,10 @@ func (d *destager) takeErr() error {
 // orphans created by evictions during the pass.
 func (d *destager) destageAll() {
 	var t0 int64
-	if d.s.om != nil {
+	if d.s.om != nil || d.s.flight != nil {
 		t0 = obs.Now()
 	}
+	blk0 := d.blocks.Load()
 	d.mu.Lock()
 	if d.v.dq != nil {
 		d.drainOrphansBatchedLocked()
@@ -174,7 +175,14 @@ func (d *destager) destageAll() {
 	}
 	d.mu.Unlock()
 	if t0 != 0 {
-		d.s.om.destageRun.Observe(obs.Now() - t0)
+		dur := obs.Now() - t0
+		if d.s.om != nil {
+			d.s.om.destageRun.Observe(dur)
+		}
+		// Flight attribution: which writes the pass retired and how long
+		// it held the destage mutex — the background work a foreground
+		// latency spike in the ring usually sits next to.
+		d.s.flight.Record(fkDestage, 0, uint64(d.blocks.Load()-blk0), uint64(dur))
 	}
 }
 

@@ -280,9 +280,18 @@ func (dq *diskQueue) fsyncBarrier() error {
 // stale or torn, and the read is redone through the classic cache path
 // (rare — it costs one synchronous cached read on the dispatcher).
 // A false return means queue full/closed: caller falls back.
-func (dq *diskQueue) submitDemandRead(sc *sessCtx, seq uint64, reqID uint64, body []byte, off int64, epochs []shardEpoch) bool {
+//
+// trace/arr carry a traced request's id and arrival stamp into the
+// completion callback, where the response's span block is filled: queue
+// wait is arrival→SQ submit, service is submit→response build, and the
+// disk-queue split (SQ wait vs device time) comes straight off the
+// Completion — the decomposition the merged client table surfaces as
+// its "srv diskq wait" and "srv device" columns.
+func (dq *diskQueue) submitDemandRead(sc *sessCtx, seq uint64, reqID uint64, body []byte, off int64, epochs []shardEpoch, trace uint64, arr int64) bool {
 	s := dq.s
-	finish := func(err error) {
+	sub := traceArr(trace)
+	s.flight.Record(fkDiskqSubmit, trace, uint64(off), uint64(len(body)))
+	finish := func(err error, c diskq.Completion) {
 		rr := &wire.ReadResp{Header: wire.Header{Ack: uint32(seq)}, ReqID: reqID, Credits: 1, Status: wire.StatusOK}
 		resp := body
 		if err != nil {
@@ -292,6 +301,12 @@ func (dq *diskQueue) submitDemandRead(sc *sessCtx, seq uint64, reqID uint64, bod
 			resp = nil
 		}
 		rr.Length = uint32(len(resp))
+		fillSpan(&rr.Header, &rr.SrvSpan, trace, arr, sub)
+		if trace != 0 {
+			rr.SrvDiskQNS = clamp32(c.QueueNS)
+			rr.SrvDeviceNS = clamp32(c.DeviceNS)
+		}
+		s.flight.Record(fkDiskqDone, trace, uint64(c.QueueNS), uint64(c.DeviceNS))
 		s.served.Add(1)
 		dq.reads.Add(1)
 		sc.complete(completion{msg: rr, body: resp})
@@ -304,12 +319,14 @@ func (dq *diskQueue) submitDemandRead(sc *sessCtx, seq uint64, reqID uint64, bod
 			// the coherent path — off the dispatcher, whose drain must
 			// never wait out a device-time store read (a redo here would
 			// stall every other completion behind it). Bounded by the
-			// session's credits, like any other in-flight request.
+			// session's credits, like any other in-flight request. The
+			// span keeps the wasted queue trip's disk split — that time
+			// was really spent serving this request.
 			dq.retries.Add(1)
-			go func() { finish(dq.v.cachedRead(body, off)) }()
+			go func() { finish(dq.v.cachedRead(body, off), c) }()
 			return
 		}
-		finish(c.Err)
+		finish(c.Err, c)
 	})
 	return ok
 }
@@ -318,8 +335,10 @@ func (dq *diskQueue) submitDemandRead(sc *sessCtx, seq uint64, reqID uint64, bod
 // NoWriteBehind) onto the queue. The cache update and the response both
 // happen on completion, preserving the store-write-before-cache-update
 // ordering rule. A false return means the caller falls back.
-func (dq *diskQueue) submitWrite(sc *sessCtx, seq uint64, reqID uint64, body []byte, off int64) bool {
+func (dq *diskQueue) submitWrite(sc *sessCtx, seq uint64, reqID uint64, body []byte, off int64, trace uint64, arr int64) bool {
 	s := dq.s
+	sub := traceArr(trace)
+	s.flight.Record(fkDiskqSubmit, trace, uint64(off), uint64(len(body)))
 	return dq.trySubmit(diskq.Op{Kind: diskq.OpWrite, Buf: body, Off: off}, func(c diskq.Completion) {
 		wr := &wire.WriteResp{Header: wire.Header{Ack: uint32(seq)}, ReqID: reqID, Credits: 1, Status: wire.StatusOK}
 		if c.Err != nil {
@@ -328,6 +347,12 @@ func (dq *diskQueue) submitWrite(sc *sessCtx, seq uint64, reqID uint64, body []b
 		} else if dq.v.cache != nil {
 			updateCachedRange(dq.v.cache, body, off)
 		}
+		fillSpan(&wr.Header, &wr.SrvSpan, trace, arr, sub)
+		if trace != 0 {
+			wr.SrvDiskQNS = clamp32(c.QueueNS)
+			wr.SrvDeviceNS = clamp32(c.DeviceNS)
+		}
+		s.flight.Record(fkDiskqDone, trace, uint64(c.QueueNS), uint64(c.DeviceNS))
 		s.pool.Put(body)
 		s.served.Add(1)
 		dq.writes.Add(1)

@@ -1,7 +1,10 @@
 package netv3
 
 import (
+	"fmt"
+
 	"github.com/v3storage/v3/internal/obs"
+	"github.com/v3storage/v3/internal/wire"
 )
 
 // Client-side stage indices. The five stages tile a request's lifetime
@@ -63,6 +66,39 @@ func ClientStageDefs() []obs.StageDef {
 	}
 }
 
+// Span-stage metric names: the server-side decomposition of stServer,
+// carried back in each traced response's SrvSpan block. Together with
+// the net residual they re-tile the server+net stage, so the merged
+// nine-column table still sums to the measured end-to-end mean.
+const (
+	metricSrvSched  = "netv3_client_stage_srv_sched_ns"
+	metricSrvCPU    = "netv3_client_stage_srv_cpu_ns"
+	metricSrvDiskQ  = "netv3_client_stage_srv_diskq_ns"
+	metricSrvDevice = "netv3_client_stage_srv_device_ns"
+	metricNetResid  = "netv3_client_stage_net_ns"
+)
+
+// MergedStageDefs returns the cross-tier breakdown schema: the client's
+// local stages with the server+net stage replaced by its five-way
+// decomposition (scheduler wait, server CPU, disk-queue wait, device
+// time, and the network/kernel residual). Every row is clamped at zero
+// on capture, and against a pre-trace server the spans decode as zeros
+// so the whole server+net stage lands in the net residual — the table
+// tiles either way.
+func MergedStageDefs() []obs.StageDef {
+	return []obs.StageDef{
+		{Display: "submission", Metric: clientStageMetrics[stSubmit]},
+		{Display: "wire write", Metric: clientStageMetrics[stWire]},
+		{Display: "srv sched wait", Metric: metricSrvSched},
+		{Display: "srv cpu", Metric: metricSrvCPU},
+		{Display: "srv diskq wait", Metric: metricSrvDiskQ},
+		{Display: "srv device", Metric: metricSrvDevice},
+		{Display: "net+kernel", Metric: metricNetResid},
+		{Display: "delivery", Metric: clientStageMetrics[stDeliver]},
+		{Display: "wakeup", Metric: clientStageMetrics[stWake]},
+	}
+}
+
 // clientObs is a client's stage-histogram set plus the failure-path
 // counters (cancellation, deadline expiry, hung-peer detection) and the
 // keepalive RTT histogram; nil when no registry is configured, which
@@ -70,6 +106,13 @@ func ClientStageDefs() []obs.StageDef {
 // nil-receiver safe so callers never re-check.
 type clientObs struct {
 	stages [nStages]*obs.Hist
+
+	// Server-span decomposition of stServer (see MergedStageDefs).
+	srvSched  *obs.Hist
+	srvCPU    *obs.Hist
+	srvDiskQ  *obs.Hist
+	srvDevice *obs.Hist
+	netResid  *obs.Hist
 
 	cancels   *obs.Counter // netv3_client_cancels_total
 	deadlines *obs.Counter // netv3_client_deadline_exceeded_total
@@ -83,6 +126,11 @@ func newClientObs(r *obs.Registry) *clientObs {
 		return nil
 	}
 	co := &clientObs{
+		srvSched:  r.Hist(metricSrvSched),
+		srvCPU:    r.Hist(metricSrvCPU),
+		srvDiskQ:  r.Hist(metricSrvDiskQ),
+		srvDevice: r.Hist(metricSrvDevice),
+		netResid:  r.Hist(metricNetResid),
 		cancels:   r.Counter("netv3_client_cancels_total"),
 		deadlines: r.Counter("netv3_client_deadline_exceeded_total"),
 		hungs:     r.Counter("netv3_client_hung_peer_total"),
@@ -141,12 +189,27 @@ func (co *clientObs) noteKeepaliveRTT(ns int64) {
 // histograms. Stages are clamped at zero so a replayed request (whose
 // send-side stamps were overwritten mid-flight) cannot record a negative
 // duration.
-func (co *clientObs) recordTrace(t0, t1, t2, t3, t4, t5 int64) {
+//
+// sp is the server-side span block echoed in the response: the stServer
+// interval (t3-t2) is re-tiled as sched wait + server CPU + disk-queue
+// wait + device time + network residual, each clamped at zero so the
+// five spans still column-sum to the interval they decompose. A
+// pre-trace server answers all-zero spans, which lands the whole
+// interval in the residual — the merged table tiles either way.
+func (co *clientObs) recordTrace(t0, t1, t2, t3, t4, t5 int64, sp wire.SrvSpan) {
 	co.stages[stSubmit].Observe(maxNS(t1 - t0))
 	co.stages[stWire].Observe(maxNS(t2 - t1))
 	co.stages[stServer].Observe(maxNS(t3 - t2))
 	co.stages[stDeliver].Observe(maxNS(t4 - t3))
 	co.stages[stWake].Observe(maxNS(t5 - t4))
+
+	q, svc := int64(sp.SrvQueueNS), int64(sp.SrvServiceNS)
+	dq, dev := int64(sp.SrvDiskQNS), int64(sp.SrvDeviceNS)
+	co.srvSched.Observe(maxNS(q))
+	co.srvCPU.Observe(maxNS(svc - dq - dev))
+	co.srvDiskQ.Observe(maxNS(dq))
+	co.srvDevice.Observe(maxNS(dev))
+	co.netResid.Observe(maxNS((t3 - t2) - q - svc))
 }
 
 func maxNS(ns int64) int64 {
@@ -213,6 +276,24 @@ func newServerObs(r *obs.Registry, s *Server) *serverObs {
 	r.GaugeFunc("netv3_srv_sched_fg_done_total", func() int64 { return s.SchedStats().FGDone })
 	r.GaugeFunc("netv3_srv_sched_bg_done_total", func() int64 { return s.SchedStats().BGDone })
 	r.GaugeFunc("netv3_srv_sched_shed_total", func() int64 { return s.SchedStats().Shed })
+	r.GaugeFunc("netv3_srv_sched_stride_fires_total", func() int64 { return s.SchedStats().StrideFires })
+	r.GaugeFunc("netv3_srv_sched_fg_tenants", func() int64 { return int64(s.SchedStats().FGTenants) })
+	r.GaugeFunc("netv3_srv_sched_bg_tenants", func() int64 { return int64(s.SchedStats().BGTenants) })
+	// Per-tenant queue depths: the member set is whatever tenants exist
+	// at scrape time (logical streams come and go), so this is a gauge
+	// set, not pre-registered gauges.
+	r.GaugeSet("netv3_srv_sched_tenant_queued", func() map[string]int64 {
+		ts := s.SchedTenants()
+		out := make(map[string]int64, len(ts))
+		for _, t := range ts {
+			lane := "fg"
+			if t.BG {
+				lane = "bg"
+			}
+			out[fmt.Sprintf(`{lane=%q,tenant="%d",weight="%d"}`, lane, t.Key, t.Weight)] = int64(t.Queued)
+		}
+		return out
+	})
 	r.GaugeFunc("netv3_srv_cache_hits_total", func() int64 { h, _ := s.CacheStats(); return h })
 	r.GaugeFunc("netv3_srv_cache_misses_total", func() int64 { _, m := s.CacheStats(); return m })
 	r.GaugeFunc("netv3_srv_pool_gets_total", func() int64 { return s.PoolStats().Gets })

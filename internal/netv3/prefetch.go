@@ -281,7 +281,7 @@ func (w *prefetchWorker) fillNow(s *Server, blks []uint64) {
 		return
 	}
 	var t0 int64
-	if s.om != nil {
+	if s.om != nil || s.flight != nil {
 		t0 = obs.Now()
 	}
 	var err error
@@ -296,7 +296,13 @@ func (w *prefetchWorker) fillNow(s *Server, blks []uint64) {
 		s.logf("netv3: prefetch %d blocks from %d: %v", len(blks), blks[0], err)
 	}
 	if t0 != 0 {
-		s.om.prefetchFill.Observe(obs.Now() - t0)
+		dur := obs.Now() - t0
+		if s.om != nil {
+			s.om.prefetchFill.Observe(dur)
+		}
+		// Flight attribution: the speculative fill's size and cost, so a
+		// dump shows read-ahead competing with the demand traffic near it.
+		s.flight.Record(fkPrefetch, 0, uint64(len(blks)), uint64(dur))
 	}
 }
 

@@ -169,9 +169,10 @@ type sched struct {
 	closed    bool
 	wg        sync.WaitGroup
 
-	shed   atomic.Int64 // foreground tasks refused by admission control
-	fgDone atomic.Int64
-	bgDone atomic.Int64
+	shed        atomic.Int64 // foreground tasks refused by admission control
+	fgDone      atomic.Int64
+	bgDone      atomic.Int64
+	strideFires atomic.Int64 // bg pops taken while fg work was pending (anti-starvation)
 }
 
 func newSched(s *Server, workers, limit int) *sched {
@@ -256,6 +257,9 @@ func (sc *sched) worker() {
 		fromBG := false
 		if sc.bg.n > 0 && (sc.bgRunning < sc.bgMax || sc.closed) &&
 			(sc.fg.n == 0 || tick%bgStarvationStride == 0) {
+			if sc.fg.n > 0 {
+				sc.strideFires.Add(1) // bg taken ahead of pending fg: the starvation guard fired
+			}
 			t = sc.bg.pop()
 			fromBG = true
 			sc.bgRunning++
@@ -296,12 +300,15 @@ func (sc *sched) close() {
 // SchedStats is a snapshot of the shared scheduler; zero when the
 // scheduler is disabled.
 type SchedStats struct {
-	Workers  int
-	FGQueued int   // foreground tasks waiting
-	BGQueued int   // background tasks waiting
-	FGDone   int64 // foreground tasks completed
-	BGDone   int64 // background tasks completed
-	Shed     int64 // foreground tasks refused by admission control
+	Workers     int
+	FGQueued    int   // foreground tasks waiting
+	BGQueued    int   // background tasks waiting
+	FGTenants   int   // tenants with queued foreground work
+	BGTenants   int   // tenants with queued background work
+	FGDone      int64 // foreground tasks completed
+	BGDone      int64 // background tasks completed
+	Shed        int64 // foreground tasks refused by admission control
+	StrideFires int64 // anti-starvation pops (bg taken while fg was pending)
 }
 
 // SchedStats returns scheduler counters (zero value when SchedWorkers is 0).
@@ -311,10 +318,46 @@ func (s *Server) SchedStats() SchedStats {
 		return SchedStats{}
 	}
 	sc.mu.Lock()
-	st := SchedStats{Workers: sc.workers, FGQueued: sc.fg.n, BGQueued: sc.bg.n}
+	st := SchedStats{
+		Workers:  sc.workers,
+		FGQueued: sc.fg.n, BGQueued: sc.bg.n,
+		FGTenants: len(sc.fg.tenants), BGTenants: len(sc.bg.tenants),
+	}
 	sc.mu.Unlock()
 	st.FGDone = sc.fgDone.Load()
 	st.BGDone = sc.bgDone.Load()
 	st.Shed = sc.shed.Load()
+	st.StrideFires = sc.strideFires.Load()
 	return st
+}
+
+// SchedTenantStat is one tenant's live scheduler queue state.
+type SchedTenantStat struct {
+	Key    uint64 // sessID<<32|stream (internal bg flows count down from ^0)
+	BG     bool   // which lane the queue lives in
+	Queued int    // tasks waiting
+	Weight int    // round-robin weight
+}
+
+// SchedTenants snapshots every tenant with queued work, foreground lane
+// first. Nil when the scheduler is disabled or idle — tenants retire the
+// moment their queues drain, so this is the transient backlog, not a
+// roster of connected streams.
+func (s *Server) SchedTenants() []SchedTenantStat {
+	sc := s.sched
+	if sc == nil {
+		return nil
+	}
+	var out []SchedTenantStat
+	sc.mu.Lock()
+	for _, l := range []*laneQ{&sc.fg, &sc.bg} {
+		for _, tq := range l.tenants {
+			out = append(out, SchedTenantStat{
+				Key: tq.key, BG: l == &sc.bg,
+				Queued: len(tq.tasks) - tq.head, Weight: tq.weight,
+			})
+		}
+	}
+	sc.mu.Unlock()
+	return out
 }

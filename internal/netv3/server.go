@@ -88,6 +88,15 @@ type ServerConfig struct {
 	// latency histograms plus gauge exports of the served/cache/pool/disk
 	// counters. Nil is the disabled fast path.
 	Metrics *obs.Registry
+	// NoTrace stops the server from negotiating FeatureTrace, so traced
+	// clients get zero span blocks back — the ablation off-arm and the
+	// stand-in for a pre-trace server binary.
+	NoTrace bool
+	// Flight, when non-nil, is the always-on flight recorder: dispatches,
+	// sheds, disk submissions/completions, destage and prefetch passes
+	// record fixed-size events into its ring, and admission-control sheds
+	// auto-capture an incident dump. Nil no-ops every site.
+	Flight *obs.Flight
 	// Logger receives connection-level errors; nil silences them.
 	Logger *log.Logger
 }
@@ -138,10 +147,11 @@ type volume struct {
 
 // Server exports volumes over TCP.
 type Server struct {
-	cfg   ServerConfig
-	pool  *bufpool.Pool // nil when cfg.NoPool: Get/Put degrade to make/no-op
-	om    *serverObs    // nil when cfg.Metrics is unset
-	sched *sched        // nil unless cfg.SchedWorkers > 0
+	cfg    ServerConfig
+	pool   *bufpool.Pool // nil when cfg.NoPool: Get/Put degrade to make/no-op
+	om     *serverObs    // nil when cfg.Metrics is unset
+	flight *obs.Flight   // nil when cfg.Flight is unset; every Record no-ops
+	sched  *sched        // nil unless cfg.SchedWorkers > 0
 
 	// volumes is a copy-on-write map: lookups on the request hot path are
 	// a single atomic load, with no lock shared across sessions. addMu
@@ -182,6 +192,8 @@ func NewServer(cfg ServerConfig) *Server {
 		cfg.MaxStreams = int(^uint16(0))
 	}
 	s := &Server{cfg: cfg, done: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	s.flight = cfg.Flight
+	s.flight.SetKindNames(flightKindNames)
 	if !cfg.NoPool {
 		s.pool = bufpool.New()
 	}
@@ -710,7 +722,11 @@ func (s *Server) session(conn net.Conn) {
 	// client advertised and what this server speaks. An old client encodes
 	// zeros in the (formerly padding) feature field, so the intersection is
 	// empty and both sides keep the original protocol.
-	feats := connect.Features & wire.FeatureStreams
+	srvFeats := wire.FeatureStreams | wire.FeatureTrace
+	if s.cfg.NoTrace {
+		srvFeats &^= wire.FeatureTrace
+	}
+	feats := connect.Features & srvFeats
 	resp := &wire.ConnectResp{
 		Status: wire.StatusOK, Credits: uint16(credits),
 		MaxXfer: s.cfg.MaxXfer, SessionID: s.nextSess.Add(1),
@@ -811,21 +827,23 @@ func (s *Server) session(conn net.Conn) {
 			if err := wire.UnmarshalInto(frame[:], m); err != nil {
 				return
 			}
+			arr := traceArr(m.Trace)
+			s.flight.Record(fkDispatch, m.Trace, uint64(t), uint64(m.Volume))
 			if sched != nil {
-				s.schedRead(m, w, &pf, tenant, mode)
+				s.schedRead(m, w, &pf, tenant, mode, arr)
 				s.obsDispatch(dt0)
 				continue
 			}
-			if s.fastRead(m, w, sc, &pf, mode) {
+			if s.fastRead(m, w, sc, &pf, mode, arr) {
 				s.obsDispatch(dt0)
 				continue
 			}
 			if inline {
-				s.handleRead(m, w, respInline)
+				s.handleRead(m, w, respInline, arr)
 				s.obsDispatch(dt0)
 				continue
 			}
-			go s.handleRead(m, w, respGo)
+			go s.handleRead(m, w, respGo, arr)
 		case wire.TWrite:
 			m := &wrMsg
 			if !inline {
@@ -860,6 +878,8 @@ func (s *Server) session(conn net.Conn) {
 			// after the canceled write's payload already passed through here.
 			// (fc is now touched only by the session loop — no lock.)
 			_ = fc.Release(m.Slot)
+			arr := traceArr(m.Trace)
+			s.flight.Record(fkDispatch, m.Trace, uint64(t), uint64(m.Volume))
 			v := s.lookup(m.Volume)
 			if v != nil && v.wb != nil {
 				if !v.wb.overWater() {
@@ -877,6 +897,7 @@ func (s *Server) session(conn net.Conn) {
 					}
 					*wr = wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
 						ReqID: m.ReqID, Status: st, Credits: 1}
+					fillSpan(&wr.Header, &wr.SrvSpan, m.Trace, arr, arr)
 					s.served.Add(1)
 					_ = w.respond(wr, nil, mode)
 					s.pool.Put(body)
@@ -892,11 +913,12 @@ func (s *Server) session(conn net.Conn) {
 				mm := new(wire.Write)
 				*mm = *m
 				ok, qd := sched.tryEnqueue(key, weight, bg, func() {
-					s.handleWrite(mm, body, w, respSched)
+					s.handleWrite(mm, body, w, respSched, arr)
 					s.pool.Put(body)
 				})
 				if !ok {
 					s.pool.Put(body)
+					s.noteShed(m.Trace, key, qd)
 					_ = w.respond(&wire.WriteResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
 						ReqID: m.ReqID, Status: wire.StatusEOverloaded, Credits: 1,
 						RetryAfterMS: sched.retryAfterMS(qd)}, nil, mode)
@@ -913,7 +935,7 @@ func (s *Server) session(conn net.Conn) {
 				// completion callback may never block on.)
 				if checkStoreRange(v.store.Size(), int64(m.Offset), len(body)) == nil {
 					sc.wg.Add(1)
-					if v.dq.submitWrite(sc, m.Seq, m.ReqID, body, int64(m.Offset)) {
+					if v.dq.submitWrite(sc, m.Seq, m.ReqID, body, int64(m.Offset), m.Trace, arr) {
 						s.obsDispatch(dt0)
 						continue
 					}
@@ -931,13 +953,13 @@ func (s *Server) session(conn net.Conn) {
 				sc.wg.Done()
 			}
 			if inline {
-				s.handleWrite(m, body, w, respInline)
+				s.handleWrite(m, body, w, respInline, arr)
 				s.pool.Put(body)
 				s.obsDispatch(dt0)
 				continue
 			}
 			go func() {
-				s.handleWrite(m, body, w, respGo)
+				s.handleWrite(m, body, w, respGo, arr)
 				s.pool.Put(body)
 			}()
 		case wire.TFlush:
@@ -945,14 +967,17 @@ func (s *Server) session(conn net.Conn) {
 			if err := wire.UnmarshalInto(frame[:], m); err != nil {
 				return
 			}
+			arr := traceArr(m.Trace)
+			s.flight.Record(fkDispatch, m.Trace, uint64(t), uint64(m.Volume))
 			if sched != nil {
 				// Flush rides the scheduler like any other foreground op —
 				// a durability barrier is latency-sensitive to its issuer.
 				// The worker running it may block in destage+fsync, which is
 				// safe: the pass never waits on another scheduler task.
 				key, bg, weight := tenant(m.Stream)
-				ok, qd := sched.tryEnqueue(key, weight, bg, func() { s.handleFlush(m, w) })
+				ok, qd := sched.tryEnqueue(key, weight, bg, func() { s.handleFlush(m, w, arr) })
 				if !ok {
+					s.noteShed(m.Trace, key, qd)
 					_ = w.respond(&wire.FlushResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
 						ReqID: m.ReqID, Status: wire.StatusEOverloaded, Credits: 1,
 						RetryAfterMS: sched.retryAfterMS(qd)}, nil, mode)
@@ -964,7 +989,7 @@ func (s *Server) session(conn net.Conn) {
 			// runs on its own goroutine; its response takes the direct
 			// send path and may complete out of order, which the client
 			// matches by Ack like any other response.
-			go s.handleFlush(m, w)
+			go s.handleFlush(m, w, arr)
 		case wire.TStreamOpen:
 			m := new(wire.StreamOpen)
 			if err := wire.UnmarshalInto(frame[:], m); err != nil {
@@ -1029,7 +1054,12 @@ func (s *Server) session(conn net.Conn) {
 // is the respWriter's reusable one, so a cache-hit read completes with
 // zero heap allocations; goroutine dispatch allocates per response like
 // the seed.
-func (s *Server) handleRead(m *wire.Read, w *respWriter, mode respMode) {
+//
+// arr is the traced request's arrival stamp (zero untraced): the gap to
+// handler entry is the span block's queue wait — on the scheduler path
+// that is the real lane wait, since the worker runs this closure.
+func (s *Server) handleRead(m *wire.Read, w *respWriter, mode respMode, arr int64) {
+	start := traceArr(m.Trace)
 	var rr *wire.ReadResp
 	if mode == respInline {
 		rr = &w.rr
@@ -1076,11 +1106,13 @@ func (s *Server) handleRead(m *wire.Read, w *respWriter, mode respMode) {
 	}
 	s.served.Add(1)
 	rr.Length = uint32(len(body))
+	fillSpan(&rr.Header, &rr.SrvSpan, m.Trace, arr, start)
 	_ = w.respond(rr, body, mode)
 	s.pool.Put(body)
 }
 
-func (s *Server) handleWrite(m *wire.Write, body []byte, w *respWriter, mode respMode) {
+func (s *Server) handleWrite(m *wire.Write, body []byte, w *respWriter, mode respMode, arr int64) {
+	start := traceArr(m.Trace)
 	var wr *wire.WriteResp
 	if mode == respInline {
 		wr = &w.wr
@@ -1101,6 +1133,7 @@ func (s *Server) handleWrite(m *wire.Write, body []byte, w *respWriter, mode res
 		s.logf("netv3: write: %v", err)
 	}
 	s.served.Add(1)
+	fillSpan(&wr.Header, &wr.SrvSpan, m.Trace, arr, start)
 	_ = w.respond(wr, nil, mode)
 }
 
@@ -1111,7 +1144,7 @@ func (s *Server) handleWrite(m *wire.Write, body []byte, w *respWriter, mode res
 // scheduler worker. Admission refusals answer EOverloaded with a backlog-
 // sized retry hint. tenant is the session's stream→scheduler resolver.
 func (s *Server) schedRead(m *wire.Read, w *respWriter, pf *prefetcher,
-	tenant func(uint32) (uint64, bool, int), mode respMode) {
+	tenant func(uint32) (uint64, bool, int), mode respMode, arr int64) {
 	v := s.lookup(m.Volume)
 	if v != nil && m.Length <= s.cfg.MaxXfer &&
 		checkStoreRange(v.store.Size(), int64(m.Offset), int(m.Length)) == nil {
@@ -1134,6 +1167,7 @@ func (s *Server) schedRead(m *wire.Read, w *respWriter, pf *prefetcher,
 				}
 				*rr = wire.ReadResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
 					ReqID: m.ReqID, Status: wire.StatusOK, Credits: 1, Length: uint32(len(body))}
+				fillSpan(&rr.Header, &rr.SrvSpan, m.Trace, arr, arr)
 				s.served.Add(1)
 				_ = w.respond(rr, body, mode)
 				s.pool.Put(body)
@@ -1145,12 +1179,24 @@ func (s *Server) schedRead(m *wire.Read, w *respWriter, pf *prefetcher,
 	key, bg, weight := tenant(m.Stream)
 	mm := new(wire.Read)
 	*mm = *m
-	ok, qd := s.sched.tryEnqueue(key, weight, bg, func() { s.handleRead(mm, w, respSched) })
+	ok, qd := s.sched.tryEnqueue(key, weight, bg, func() { s.handleRead(mm, w, respSched, arr) })
 	if !ok {
+		s.noteShed(m.Trace, key, qd)
 		_ = w.respond(&wire.ReadResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
 			ReqID: m.ReqID, Status: wire.StatusEOverloaded, Credits: 1,
 			RetryAfterMS: s.sched.retryAfterMS(qd)}, nil, mode)
 	}
+}
+
+// noteShed records an admission-control refusal in the flight recorder
+// and auto-captures an incident dump — an overload is exactly the moment
+// the ring's recent history is worth keeping.
+func (s *Server) noteShed(trace, key uint64, backlog int) {
+	if s.flight == nil {
+		return
+	}
+	s.flight.Record(fkShed, trace, key, uint64(backlog))
+	s.flight.Incident("sched-shed")
 }
 
 // fastRead is the pipelined dispatch for reads: it feeds the session's
@@ -1159,7 +1205,7 @@ func (s *Server) schedRead(m *wire.Read, w *respWriter, pf *prefetcher,
 // so one slow store read cannot stall the requests queued behind it. A
 // false return sends the request down the classic path, which also owns
 // all error responses.
-func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetcher, mode respMode) bool {
+func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetcher, mode respMode, arr int64) bool {
 	v := s.lookup(m.Volume)
 	if v == nil || m.Length > s.cfg.MaxXfer {
 		return false
@@ -1191,6 +1237,7 @@ func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetch
 		}
 		*rr = wire.ReadResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
 			ReqID: m.ReqID, Status: wire.StatusOK, Credits: 1, Length: uint32(len(body))}
+		fillSpan(&rr.Header, &rr.SrvSpan, m.Trace, arr, arr)
 		s.served.Add(1)
 		_ = w.respond(rr, body, mode)
 		s.pool.Put(body)
@@ -1219,7 +1266,7 @@ func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetch
 			}
 		}
 		sc.wg.Add(1)
-		if v.dq.submitDemandRead(sc, m.Seq, m.ReqID, body, off, epochs) {
+		if v.dq.submitDemandRead(sc, m.Seq, m.ReqID, body, off, epochs, m.Trace, arr) {
 			return true
 		}
 		sc.wg.Done()
@@ -1239,11 +1286,12 @@ func (s *Server) fastRead(m *wire.Read, w *respWriter, sc *sessCtx, pf *prefetch
 // handleFlush serves the wire-level durability barrier: drain the
 // volume's write-behind state and fsync the store. Writes acknowledged
 // before the Flush was received are durable once it succeeds.
-func (s *Server) handleFlush(m *wire.Flush, w *respWriter) {
+func (s *Server) handleFlush(m *wire.Flush, w *respWriter, arr int64) {
 	var t0 int64
-	if s.om != nil {
+	if s.om != nil || s.flight != nil {
 		t0 = obs.Now()
 	}
+	start := traceArr(m.Trace)
 	fr := &wire.FlushResp{Header: wire.Header{Ack: uint32(m.Seq), Stream: m.Stream},
 		ReqID: m.ReqID, Status: wire.StatusOK, Credits: 1}
 	v := s.lookup(m.Volume)
@@ -1254,9 +1302,14 @@ func (s *Server) handleFlush(m *wire.Flush, w *respWriter) {
 		s.logf("netv3: flush vol %d: %v", m.Volume, err)
 	}
 	if t0 != 0 {
-		s.om.flushDur.Observe(obs.Now() - t0)
+		d := obs.Now() - t0
+		if s.om != nil {
+			s.om.flushDur.Observe(d)
+		}
+		s.flight.Record(fkFlush, m.Trace, uint64(m.Volume), uint64(d))
 	}
 	s.served.Add(1)
+	fillSpan(&fr.Header, &fr.SrvSpan, m.Trace, arr, start)
 	_ = w.send(fr, nil)
 }
 

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecordAndSnapshot(t *testing.T) {
+	f := NewFlight(64, 1)
+	f.SetKindNames([]string{"", "alpha", "beta"})
+	f.Record(1, 7, 10, 20)
+	f.Record(2, 0, 30, 40)
+	if got := f.Recorded(); got != 2 {
+		t.Fatalf("Recorded = %d, want 2", got)
+	}
+	evs := f.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("Snapshot holds %d events, want 2", len(evs))
+	}
+	if evs[0].TS > evs[1].TS {
+		t.Fatalf("snapshot not time-ordered: %d then %d", evs[0].TS, evs[1].TS)
+	}
+	if evs[0].Name != "alpha" || evs[0].Trace != 7 || evs[0].A != 10 || evs[0].B != 20 {
+		t.Fatalf("first event %+v", evs[0])
+	}
+	if evs[1].Name != "beta" || evs[1].Trace != 0 {
+		t.Fatalf("second event %+v", evs[1])
+	}
+}
+
+// The ring holds the most recent events: overfill a small ring and check
+// the retained set is the tail, not the head.
+func TestFlightRingRetainsTail(t *testing.T) {
+	f := NewFlight(16, 1)
+	for i := 0; i < 100; i++ {
+		f.Record(1, 0, uint64(i), 0)
+	}
+	if got := f.Recorded(); got != 100 {
+		t.Fatalf("Recorded = %d, want 100", got)
+	}
+	evs := f.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want ring size 16", len(evs))
+	}
+	for _, e := range evs {
+		if e.A < 84 {
+			t.Fatalf("retained stale event a=%d; ring should hold the last 16", e.A)
+		}
+	}
+}
+
+func TestFlightNilNoops(t *testing.T) {
+	var f *Flight
+	f.Record(1, 2, 3, 4) // must not panic
+	f.SetKindNames([]string{"x"})
+	f.Incident("nil")
+	if f.Snapshot() != nil || f.Dump("x") != nil || f.LastIncident() != nil {
+		t.Fatal("nil recorder returned non-nil data")
+	}
+	if f.Recorded() != 0 {
+		t.Fatal("nil recorder recorded something")
+	}
+}
+
+func TestFlightIncidentRateLimit(t *testing.T) {
+	f := NewFlight(16, 1)
+	f.Record(1, 0, 1, 1)
+	f.Incident("first")
+	f.Record(1, 0, 2, 2)
+	f.Incident("second") // within the 1s gap: counted, not captured
+	if got := f.Incidents(); got != 2 {
+		t.Fatalf("Incidents = %d, want 2", got)
+	}
+	d := f.LastIncident()
+	if d == nil || d.Reason != "first" {
+		t.Fatalf("LastIncident = %+v, want the first capture", d)
+	}
+}
+
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := NewFlight(1024, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Record(uint8(1+g%3), uint64(g), uint64(i), 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := f.Recorded(); got != 8000 {
+		t.Fatalf("Recorded = %d, want 8000", got)
+	}
+	if evs := f.Snapshot(); len(evs) == 0 {
+		t.Fatal("empty snapshot after concurrent records")
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	f := NewFlight(16, 1)
+	f.SetKindNames([]string{"", "ping"})
+	f.Record(1, 42, 1, 2)
+
+	req := httptest.NewRequest("GET", "/debug/flightrec", nil)
+	rec := httptest.NewRecorder()
+	FlightHandler(f).ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ping"`) {
+		t.Fatalf("JSON dump: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+
+	req = httptest.NewRequest("GET", "/debug/flightrec?format=text", nil)
+	rec = httptest.NewRecorder()
+	FlightHandler(f).ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ping") {
+		t.Fatalf("text dump: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+
+	// No incident captured yet: 404. After one: served.
+	req = httptest.NewRequest("GET", "/debug/flightrec?incident=1", nil)
+	rec = httptest.NewRecorder()
+	FlightHandler(f).ServeHTTP(rec, req)
+	if rec.Code != 404 {
+		t.Fatalf("incident before capture: code=%d, want 404", rec.Code)
+	}
+	f.Incident("trouble")
+	rec = httptest.NewRecorder()
+	FlightHandler(f).ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"trouble"`) {
+		t.Fatalf("incident dump: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	FlightHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrec", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil recorder: code=%d, want 404", rec.Code)
+	}
+}
+
+func TestFlightDumpWriteText(t *testing.T) {
+	f := NewFlight(16, 1)
+	f.Record(3, 5, 6, 7)
+	var b strings.Builder
+	f.Dump("test").WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, `reason="test"`) || !strings.Contains(out, "kind3") {
+		t.Fatalf("text dump:\n%s", out)
+	}
+	b.Reset()
+	(*FlightDump)(nil).WriteText(&b)
+	if !strings.Contains(b.String(), "no events") {
+		t.Fatalf("nil dump text: %q", b.String())
+	}
+}

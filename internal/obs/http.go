@@ -47,6 +47,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for k, fn := range r.gaugeFns {
 		fns[k] = fn
 	}
+	sets := make(map[string]func() map[string]int64, len(r.gaugeSets))
+	for k, fn := range r.gaugeSets {
+		sets[k] = fn
+	}
 	hists := make(map[string]HistSnapshot, len(r.hists))
 	for k, h := range r.hists {
 		hists[k] = h.Snapshot()
@@ -56,6 +60,11 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	// locks (server stats, cache shards) that must not nest under ours.
 	for k, fn := range fns {
 		gauges[k] = fn()
+	}
+	for name, fn := range sets {
+		for lbl, v := range fn() {
+			gauges[name+lbl] = v
+		}
 	}
 
 	for _, k := range sortedKeys(counters) {
@@ -113,6 +122,10 @@ func (r *Registry) Snapshot() SnapshotJSON {
 	for k, fn := range r.gaugeFns {
 		fns[k] = fn
 	}
+	sets := make(map[string]func() map[string]int64, len(r.gaugeSets))
+	for k, fn := range r.gaugeSets {
+		sets[k] = fn
+	}
 	for k, h := range r.hists {
 		s := h.Snapshot()
 		out.Hists[k] = HistJSON{
@@ -127,6 +140,11 @@ func (r *Registry) Snapshot() SnapshotJSON {
 	r.mu.Unlock()
 	for k, fn := range fns {
 		out.Gauges[k] = fn()
+	}
+	for name, fn := range sets {
+		for lbl, v := range fn() {
+			out.Gauges[name+lbl] = v
+		}
 	}
 	return out
 }

@@ -113,20 +113,22 @@ func (g *Gauge) Load() int64 {
 // usable; call New. A nil *Registry is the disabled registry: every
 // lookup returns a nil metric whose methods no-op.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Hist
-	gaugeFns map[string]func() int64
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Hist
+	gaugeFns  map[string]func() int64
+	gaugeSets map[string]func() map[string]int64
 }
 
 // New returns an empty enabled registry.
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Hist),
-		gaugeFns: make(map[string]func() int64),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Hist),
+		gaugeFns:  make(map[string]func() int64),
+		gaugeSets: make(map[string]func() map[string]int64),
 	}
 }
 
@@ -189,6 +191,22 @@ func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	}
 	r.mu.Lock()
 	r.gaugeFns[name] = fn
+	r.mu.Unlock()
+}
+
+// GaugeSet registers a callback producing a whole labeled gauge family
+// at once: fn returns label-set → value (label sets in the `{k="v"}`
+// form), and each entry is exported as name{k="v"}. Unlike GaugeFunc,
+// the member set is recomputed at every snapshot, so families whose
+// population changes at runtime — scheduler tenants appearing as logical
+// streams open — export without pre-registering every member. No-op on
+// a nil registry.
+func (r *Registry) GaugeSet(name string, fn func() map[string]int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeSets[name] = fn
 	r.mu.Unlock()
 }
 

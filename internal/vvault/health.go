@@ -84,6 +84,11 @@ func (v *Vault) trip(b *backend, cause error) {
 	}
 	b.state.Store(stateDown)
 	b.trips.Add(1)
+	// A trip is exactly the moment the flight recorder exists for: mark
+	// an incident so the ring's last moments — the errors, sheds, and
+	// replica I/O leading here — are frozen for /debug/flightrec.
+	v.flight.Record(netv3.FlightReplicaTrip, 0, uint64(b.idx), uint64(b.consec.Load()))
+	v.flight.Incident("backend-trip")
 	if v.mirror != nil {
 		v.mirror.SetMask(b.idx, true)
 		v.noteMaskChange()

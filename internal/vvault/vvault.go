@@ -101,6 +101,11 @@ type Config struct {
 	// histogram, degraded-time and resync counters. Nil is the disabled
 	// fast path.
 	Metrics *obs.Registry
+	// Flight, when non-nil, receives replica-level flight-recorder
+	// events: per-replica sub-I/O spans harvested from traced responses
+	// and backend trips (which also mark an incident, freezing a dump of
+	// the ring's recent history). Nil is the disabled fast path.
+	Flight *obs.Flight
 	// Logger receives health transitions and resync progress; nil
 	// silences them.
 	Logger *log.Logger
@@ -181,6 +186,12 @@ type backend struct {
 	// lastProbeRTT is the most recent successful health probe's round
 	// trip in nanoseconds (0 before the first success).
 	lastProbeRTT atomic.Int64
+
+	// srvSpanH folds this replica's server-reported time (queue wait +
+	// service) harvested from traced responses; nil when Config.Metrics
+	// is unset. It is what separates "replica 2 is slow" into the
+	// network (probe RTT minus this) versus the replica's own stack.
+	srvSpanH *obs.Hist
 
 	// ioMu orders mirror writes against resync completion: a write holds
 	// the read side from the moment it observes this backend's state
@@ -297,6 +308,10 @@ type Vault struct {
 	// Config.Metrics is unset.
 	probeRTT *obs.Hist
 
+	// flight is Config.Flight; nil no-ops every record (the obs.Flight
+	// methods are nil-safe, so the data path never branches on it).
+	flight *obs.Flight
+
 	// Degraded-time accounting (mirror mode): degSince is non-zero while
 	// at least one replica is masked out of rotation, degAccum the closed
 	// intervals already summed. Guarded by degMu; maintained by
@@ -379,7 +394,8 @@ func Open(addrs []string, cfg Config) (*Vault, error) {
 		return nil, errors.New("vvault: mirror mode needs at least two backends")
 	}
 
-	v := &Vault{cfg: cfg, done: make(chan struct{})}
+	v := &Vault{cfg: cfg, done: make(chan struct{}), flight: cfg.Flight}
+	netv3.RegisterFlightKinds(v.flight)
 	v.maxio.Store(1 << 20)
 	switch cfg.Mode {
 	case ModeStripe:
@@ -489,6 +505,7 @@ func (v *Vault) registerMetrics(r *obs.Registry) {
 		})
 		r.GaugeFunc("vvault_backend_trips_total"+lbl, b.trips.Load)
 		r.GaugeFunc("vvault_backend_probe_rtt_ns"+lbl, b.lastProbeRTT.Load)
+		b.srvSpanH = r.Hist("vvault_replica_srv_ns" + lbl)
 		if b.dirty != nil {
 			r.GaugeFunc("vvault_backend_dirty_ranges"+lbl, func() int64 {
 				n, _ := b.dirty.stats()
@@ -769,6 +786,18 @@ func (v *Vault) waitExtents(handles []extentIO, berrs map[*backend]error) error 
 			continue
 		}
 		v.recordSuccess(io.b)
+		// A traced response carries the replica's server-side span block;
+		// fold queue+service into the per-backend histogram and drop a
+		// flight event so a dump shows which replica each fan-out leg of
+		// a slow request spent its time on. Pre-trace replicas leave the
+		// block zero — skip rather than pollute the histogram with zeros.
+		if io.h.Traced() {
+			sp := io.h.ServerSpan()
+			if ns := uint64(sp.SrvQueueNS) + uint64(sp.SrvServiceNS); ns != 0 {
+				io.b.srvSpanH.Observe(int64(ns))
+				v.flight.Record(netv3.FlightReplicaIO, 0, uint64(io.b.idx), ns)
+			}
+		}
 	}
 	return firstErr
 }

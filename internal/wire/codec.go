@@ -14,17 +14,30 @@ import (
 //	4    8     seq
 //	12   4     ack
 //	16   ..    type-specific payload
-//	..   60    zero padding
+//	36   16    server span block (responses; zeros from pre-trace peers)
+//	..   52    zero padding
+//	52   8     trace id (0 = untraced; zeros from pre-trace peers)
 //	60   4     stream id (0 = root session; zeros from pre-stream peers)
 //
 // The fixed 64-byte size mirrors the paper's 64-byte request messages and
 // keeps the simulated and TCP transports trivially framed. The stream id
 // lives in the frame's last four bytes — a region every pre-stream peer
 // both emits as zeros and never reads — so stream-aware and legacy
-// binaries interoperate without a version bump.
+// binaries interoperate without a version bump. The trace id and the
+// response span block reuse the same trick one notch earlier: the largest
+// payload (Read) ends at frame byte 48, every response payload by byte 33,
+// so bytes 52..59 are free in all frames and bytes 36..51 are free in
+// every response.
 
 // streamOff is the frame offset of the header's Stream field.
 const streamOff = ControlSize - 4
+
+// traceOff is the frame offset of the header's Trace field.
+const traceOff = ControlSize - 12
+
+// spanOff is the payload-relative offset of the SrvSpan block carried by
+// ReadResp/WriteResp/FlushResp (frame byte 36).
+const spanOff = 20
 
 func putHeader(b []byte, t MsgType, h *Header) {
 	binary.BigEndian.PutUint16(b[0:], Magic)
@@ -32,6 +45,7 @@ func putHeader(b []byte, t MsgType, h *Header) {
 	b[3] = byte(t)
 	binary.BigEndian.PutUint64(b[4:], h.Seq)
 	binary.BigEndian.PutUint32(b[12:], h.Ack)
+	binary.BigEndian.PutUint64(b[traceOff:], h.Trace)
 	binary.BigEndian.PutUint32(b[streamOff:], h.Stream)
 }
 
@@ -52,9 +66,24 @@ func parseHeader(b []byte) (MsgType, Header, error) {
 		Ack:  binary.BigEndian.Uint32(b[12:]),
 	}
 	if len(b) >= ControlSize {
+		h.Trace = binary.BigEndian.Uint64(b[traceOff:])
 		h.Stream = binary.BigEndian.Uint32(b[streamOff:])
 	}
 	return t, h, nil
+}
+
+func putSpan(p []byte, s *SrvSpan) {
+	binary.BigEndian.PutUint32(p[spanOff:], s.SrvQueueNS)
+	binary.BigEndian.PutUint32(p[spanOff+4:], s.SrvServiceNS)
+	binary.BigEndian.PutUint32(p[spanOff+8:], s.SrvDiskQNS)
+	binary.BigEndian.PutUint32(p[spanOff+12:], s.SrvDeviceNS)
+}
+
+func parseSpan(p []byte, s *SrvSpan) {
+	s.SrvQueueNS = binary.BigEndian.Uint32(p[spanOff:])
+	s.SrvServiceNS = binary.BigEndian.Uint32(p[spanOff+4:])
+	s.SrvDiskQNS = binary.BigEndian.Uint32(p[spanOff+8:])
+	s.SrvDeviceNS = binary.BigEndian.Uint32(p[spanOff+12:])
 }
 
 // Marshal encodes m into a fresh ControlSize-byte buffer.
@@ -99,6 +128,7 @@ func MarshalInto(b []byte, m Message) {
 		binary.BigEndian.PutUint16(p[9:], v.Credits)
 		binary.BigEndian.PutUint32(p[11:], v.Length)
 		binary.BigEndian.PutUint16(p[15:], v.RetryAfterMS)
+		putSpan(p, &v.SrvSpan)
 	case *Write:
 		binary.BigEndian.PutUint64(p[0:], v.ReqID)
 		binary.BigEndian.PutUint32(p[8:], v.Volume)
@@ -111,6 +141,7 @@ func MarshalInto(b []byte, m Message) {
 		p[8] = byte(v.Status)
 		binary.BigEndian.PutUint16(p[9:], v.Credits)
 		binary.BigEndian.PutUint16(p[11:], v.RetryAfterMS)
+		putSpan(p, &v.SrvSpan)
 	case *CreditGrant:
 		binary.BigEndian.PutUint16(p[0:], v.Credits)
 	case *Ping, *Pong:
@@ -125,6 +156,7 @@ func MarshalInto(b []byte, m Message) {
 		p[8] = byte(v.Status)
 		binary.BigEndian.PutUint16(p[9:], v.Credits)
 		binary.BigEndian.PutUint16(p[11:], v.RetryAfterMS)
+		putSpan(p, &v.SrvSpan)
 	case *StreamOpen:
 		p[0] = v.Class
 		binary.BigEndian.PutUint16(p[1:], v.Weight)
@@ -245,6 +277,7 @@ func UnmarshalInto(b []byte, m Message) error {
 		v.Credits = binary.BigEndian.Uint16(p[9:])
 		v.Length = binary.BigEndian.Uint32(p[11:])
 		v.RetryAfterMS = binary.BigEndian.Uint16(p[15:])
+		parseSpan(p, &v.SrvSpan)
 	case *Write:
 		if t != TWrite {
 			return ErrBadType
@@ -265,6 +298,7 @@ func UnmarshalInto(b []byte, m Message) error {
 		v.Status = Status(p[8])
 		v.Credits = binary.BigEndian.Uint16(p[9:])
 		v.RetryAfterMS = binary.BigEndian.Uint16(p[11:])
+		parseSpan(p, &v.SrvSpan)
 	case *CreditGrant:
 		if t != TCreditGrant {
 			return ErrBadType
@@ -303,6 +337,7 @@ func UnmarshalInto(b []byte, m Message) error {
 		v.Status = Status(p[8])
 		v.Credits = binary.BigEndian.Uint16(p[9:])
 		v.RetryAfterMS = binary.BigEndian.Uint16(p[11:])
+		parseSpan(p, &v.SrvSpan)
 	case *StreamOpen:
 		if t != TStreamOpen {
 			return ErrBadType

@@ -58,6 +58,19 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(sread[:streamOff]) // truncation that amputates exactly the stream id
 	f.Add(append(append([]byte{}, sread...), sread...))
 	f.Add(Marshal(&WriteResp{Header: Header{Seq: 27, Stream: 3}, ReqID: 16, Status: StatusEOverloaded, RetryAfterMS: 50}))
+	// Trace-layer seeds: a traced request (trace id in the reserved
+	// header bytes), a traced response carrying a full server span
+	// block, a saturated span, and a truncation that amputates exactly
+	// the trace id bytes.
+	traced := Marshal(&Read{Header: Header{Seq: 28, Trace: 0x0123456789abcdef}, ReqID: 17, Volume: 1, Length: 8192})
+	f.Add(traced)
+	f.Add(traced[:traceOff])
+	f.Add(Marshal(&ReadResp{Header: Header{Seq: 29, Trace: 0xfedcba9876543210}, ReqID: 17, Status: StatusOK,
+		SrvSpan: SrvSpan{SrvQueueNS: 100, SrvServiceNS: 2000, SrvDiskQNS: 300, SrvDeviceNS: 40000}}))
+	f.Add(Marshal(&WriteResp{Header: Header{Seq: 30, Trace: 1}, ReqID: 18, Status: StatusOK,
+		SrvSpan: SrvSpan{SrvQueueNS: ^uint32(0), SrvServiceNS: ^uint32(0)}}))
+	f.Add(Marshal(&FlushResp{Header: Header{Seq: 31, Trace: ^uint64(0)}, ReqID: 19, Status: StatusOK,
+		SrvSpan: SrvSpan{SrvServiceNS: 77}}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Unmarshal(data)

@@ -54,6 +54,13 @@ const (
 	// Frames address a stream via the header's Stream field; stream 0 is
 	// the legacy/root session and is always valid.
 	FeatureStreams uint32 = 1 << 0
+
+	// FeatureTrace: requests may carry a nonzero trace id in the header's
+	// Trace field and responses answer with a server-side span block
+	// (queue wait, service time, disk-queue wait, device time). Both ride
+	// frame padding that pre-trace peers emit as zeros and never read, so
+	// a zero intersection falls back to untraced frames transparently.
+	FeatureTrace uint32 = 1 << 1
 )
 
 // Stream QoS classes carried on StreamOpen.
@@ -151,11 +158,18 @@ const (
 // encoded in the frame's trailing padding (bytes 60..63), which every
 // pre-stream peer emits as zeros and ignores on receipt — so stream 0 is
 // the legacy/root session and old binaries interoperate unchanged.
+//
+// Trace carries the request's trace id in frame bytes 52..59 by the same
+// padding trick (every payload ends by byte 48): zero means "untraced",
+// which is exactly what pre-trace peers emit, so traced and legacy
+// binaries interoperate without a version bump. Responses echo the
+// request's trace id. Only meaningful after FeatureTrace is negotiated.
 type Header struct {
 	Type   MsgType
 	Seq    uint64 // connection-scoped sequence number
 	Ack    uint32 // cumulative ack of the peer's sequence numbers (low 32 bits)
 	Stream uint32 // logical stream id (0 = root session / pre-stream peer)
+	Trace  uint64 // trace id (0 = untraced / pre-trace peer)
 }
 
 // Connect opens a session.
@@ -189,6 +203,20 @@ type Read struct {
 	FlagBits uint8
 }
 
+// SrvSpan is the server-side span block a traced response carries back in
+// frame bytes 36..51 — more padding every pre-trace peer emits as zeros.
+// Returning the spans in the response itself (instead of a scrape-side
+// join) lets the client fold server time into its own stage table even
+// against a remote server, and makes the old-server fallback free: zeros
+// decode as "no span". Values are nanoseconds clamped to uint32 (~4.3 s,
+// far beyond any request the keepalive layer would let live).
+type SrvSpan struct {
+	SrvQueueNS   uint32 // sched admission + lane queue wait
+	SrvServiceNS uint32 // worker service time (handler start to response build)
+	SrvDiskQNS   uint32 // disk queue wait (submit to device pickup)
+	SrvDeviceNS  uint32 // device time (pickup to completion reap)
+}
+
 // ReadResp completes a Read. On the VI transport the payload has already
 // been RDMA-written to BufAddr; on TCP the body follows this message.
 // Length is the byte count of that trailing body (0 on error statuses),
@@ -202,6 +230,7 @@ type ReadResp struct {
 	Credits      uint16 // piggybacked credit grant
 	Length       uint32 // bytes of payload following this frame on TCP
 	RetryAfterMS uint16 // shed hint: ms to back off (StatusEOverloaded only)
+	SrvSpan             // server-side spans (zeros from pre-trace servers)
 }
 
 // Write asks the server to commit length bytes to volume vol at offset.
@@ -224,6 +253,7 @@ type WriteResp struct {
 	Status       Status
 	Credits      uint16
 	RetryAfterMS uint16 // shed hint: ms to back off (StatusEOverloaded only)
+	SrvSpan             // server-side spans (zeros from pre-trace servers)
 }
 
 // CreditGrant returns flow-control credits outside of a response.
@@ -261,6 +291,7 @@ type FlushResp struct {
 	Status       Status
 	Credits      uint16
 	RetryAfterMS uint16 // shed hint: ms to back off (StatusEOverloaded only)
+	SrvSpan             // server-side spans (zeros from pre-trace servers)
 }
 
 // StreamOpen asks the server to open the logical stream named by

@@ -66,6 +66,15 @@ type Config struct {
 	// caller-measured end-to-end histogram the stage breakdown is
 	// checked against (pass the same Hist to NewNetStore/NewVaultStore).
 	E2E *obs.Hist
+	// Metrics, when non-nil, exports the engine's live instrumentation
+	// on this registry: per-kind commit-latency histograms
+	// (workload_tx_ns{kind=...}, measurement window only) and the
+	// running counters (page refs, pool hits, physical reads/writes,
+	// log flushes, aborted transactions, open-loop overflows). The same
+	// numbers land in the Result at the end; the registry view exists
+	// so a scrape or /debug/flightrec correlation can watch them move
+	// while the run is still in flight. Nil is the disabled fast path.
+	Metrics *obs.Registry
 }
 
 const logSlotBytes = 64 << 10
@@ -111,6 +120,12 @@ type Engine struct {
 	measuring atomic.Bool
 	lat       []*obs.Hist // per-kind commit latency, measurement window only
 
+	// srvAcc banks per-kind server-side stage time: each terminal
+	// accumulates spans locally across one transaction's demand reads
+	// (via a SpanView of the store) and folds them in at commit. Atomic
+	// because terminals running the same kind commit concurrently.
+	srvAcc []srvKindAcc
+
 	physReads  atomic.Int64
 	physWrites atomic.Int64
 	logFlushes atomic.Int64
@@ -120,6 +135,22 @@ type Engine struct {
 	overflows  atomic.Int64 // open-loop arrivals dropped on a full queue
 
 	snapAt [2]counterSnap // begin/end of the measurement window
+}
+
+// srvKindAcc is one tx kind's banked server-stage totals.
+type srvKindAcc struct {
+	n, sched, cpu, diskq, device atomic.Int64
+}
+
+func (a *srvKindAcc) fold(src *SrvSpanAcc) {
+	if src.N == 0 {
+		return
+	}
+	a.n.Add(src.N)
+	a.sched.Add(src.SchedNS)
+	a.cpu.Add(src.CPUNS)
+	a.diskq.Add(src.DiskQNS)
+	a.device.Add(src.DeviceNS)
 }
 
 type counterSnap struct {
@@ -212,9 +243,24 @@ func New(cfg Config) (*Engine, error) {
 		logKick:   make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		lat:       make([]*obs.Hist, len(cfg.Kinds)),
+		srvAcc:    make([]srvKindAcc, len(cfg.Kinds)),
 	}
 	for i := range e.lat {
 		e.lat[i] = &obs.Hist{}
+	}
+	if r := cfg.Metrics; r != nil {
+		// The per-kind hists double as the registry's: Observe feeds both
+		// the live scrape and the end-of-run Result snapshot.
+		for i, k := range cfg.Kinds {
+			e.lat[i] = r.Hist(fmt.Sprintf(`workload_tx_ns{kind=%q}`, k.Name))
+		}
+		r.GaugeFunc("workload_page_refs_total", e.refs.Load)
+		r.GaugeFunc("workload_pool_hits_total", e.hits.Load)
+		r.GaugeFunc("workload_phys_reads_total", e.physReads.Load)
+		r.GaugeFunc("workload_phys_writes_total", e.physWrites.Load)
+		r.GaugeFunc("workload_log_flushes_total", e.logFlushes.Load)
+		r.GaugeFunc("workload_tx_errors_total", e.errTx.Load)
+		r.GaugeFunc("workload_arrival_overflows_total", e.overflows.Load)
 	}
 	return e, nil
 }
@@ -354,8 +400,10 @@ func (e *Engine) terminal(id, wh int, rng *rand.Rand, dist Dist) {
 		default:
 			if e.measuring.Load() {
 				e.lat[ki].Observe(time.Since(issued).Nanoseconds())
+				e.srvAcc[ki].fold(&tx.acc)
 			}
 		}
+		tx.acc = SrvSpanAcc{} // never leak one tx's spans into the next
 		if think := e.cfg.Arrival.ThinkTime; think > 0 && e.arrivalC == nil {
 			timer := time.NewTimer(think)
 			select {
@@ -389,6 +437,12 @@ type txState struct {
 
 	pending []int64
 	bufs    [][]byte
+
+	// store is the terminal's view of the engine store: a SpanView
+	// attributing demand-read server spans into acc when the adapter
+	// supports it, else the shared store itself.
+	store PageStore
+	acc   SrvSpanAcc
 }
 
 func newTxState(e *Engine, rng *rand.Rand, dist Dist, wh int) *txState {
@@ -396,7 +450,11 @@ func newTxState(e *Engine, rng *rand.Rand, dist Dist, wh int) *txState {
 	for i := range bufs {
 		bufs[i] = make([]byte, e.cfg.PageSize)
 	}
-	return &txState{e: e, rng: rng, dist: dist, wh: wh, bufs: bufs}
+	t := &txState{e: e, rng: rng, dist: dist, wh: wh, bufs: bufs, store: e.store}
+	if sa, ok := e.store.(SpanAttributor); ok {
+		t.store = sa.SpanView(&t.acc)
+	}
+	return t
 }
 
 // flush overlaps the pending miss batch through the store.
@@ -407,7 +465,7 @@ func (t *txState) flush() error {
 	offs := t.pending
 	t.pending = t.pending[:0]
 	t.e.physReads.Add(int64(len(offs)))
-	return t.e.store.ReadPages(offs, t.bufs[:len(offs)])
+	return t.store.ReadPages(offs, t.bufs[:len(offs)])
 }
 
 // runTx executes one transaction: page touches through the buffer pool
@@ -609,7 +667,18 @@ func (e *Engine) result(elapsed time.Duration) *Result {
 	r.Errors = d1.errTx - d0.errTx
 	r.Overflows = d1.overflows - d0.overflows
 	for i, k := range e.kinds {
-		r.Kinds = append(r.Kinds, KindStat{Name: k.Name, Lat: e.lat[i].Snapshot()})
+		a := &e.srvAcc[i]
+		r.Kinds = append(r.Kinds, KindStat{
+			Name: k.Name,
+			Lat:  e.lat[i].Snapshot(),
+			Srv: SrvStageStat{
+				N:        a.n.Load(),
+				SchedNS:  a.sched.Load(),
+				CPUNS:    a.cpu.Load(),
+				DiskQNS:  a.diskq.Load(),
+				DeviceNS: a.device.Load(),
+			},
+		})
 	}
 	if e.cfg.E2E != nil {
 		r.E2E = e.cfg.E2E.Snapshot()

@@ -21,6 +21,7 @@ import (
 	"github.com/v3storage/v3/internal/netv3"
 	"github.com/v3storage/v3/internal/obs"
 	"github.com/v3storage/v3/internal/vvault"
+	"github.com/v3storage/v3/internal/wire"
 )
 
 // PageStore is the storage contract the wall-clock engine programs
@@ -56,6 +57,45 @@ type PageStore interface {
 	BatchLimit() int
 }
 
+// SrvSpanAcc sums the server-reported span blocks of traced requests:
+// scheduler queue wait, worker CPU (service minus the disk split),
+// disk-queue wait, and device time. The caller owns attribution — the
+// engine keeps one per transaction and banks it per tx type — so the
+// stage columns that were only a global table in PR 4 become
+// per-transaction-type columns here.
+type SrvSpanAcc struct {
+	N        int64
+	SchedNS  int64
+	CPUNS    int64
+	DiskQNS  int64
+	DeviceNS int64
+}
+
+// add folds one traced response's span block in, splitting service time
+// into CPU vs the disk pipeline the same way the client registry does.
+func (a *SrvSpanAcc) add(sp wire.SrvSpan) {
+	cpu := int64(sp.SrvServiceNS) - int64(sp.SrvDiskQNS) - int64(sp.SrvDeviceNS)
+	if cpu < 0 {
+		cpu = 0
+	}
+	a.N++
+	a.SchedNS += int64(sp.SrvQueueNS)
+	a.CPUNS += cpu
+	a.DiskQNS += int64(sp.SrvDiskQNS)
+	a.DeviceNS += int64(sp.SrvDeviceNS)
+}
+
+// SpanAttributor is the optional PageStore extension for adapters whose
+// path hands back per-request server spans. SpanView returns a store
+// sharing the adapter's connection but folding every completed traced
+// request's span into acc; the view (and acc) must stay on one
+// goroutine. NetStore implements it; VaultStore cannot — the vault's
+// fan-out hides per-request handles, and its per-replica spans land on
+// the vault's own registry instead.
+type SpanAttributor interface {
+	SpanView(acc *SrvSpanAcc) PageStore
+}
+
 // NetStore adapts a netv3 session — the bare client or one logical
 // stream of it — to PageStore. The end-to-end histogram, when set,
 // receives the caller-measured submit→Wait-return time of every
@@ -68,6 +108,15 @@ type NetStore struct {
 	sizeBytes int64
 	limit     int
 	e2e       *obs.Hist
+	acc       *SrvSpanAcc // span sink for a SpanView; nil on the root store
+}
+
+// SpanView implements SpanAttributor: a shallow copy sharing the
+// session, e2e histogram, and clamp, with acc as its span sink.
+func (s *NetStore) SpanView(acc *SrvSpanAcc) PageStore {
+	v := *s
+	v.acc = acc
+	return &v
 }
 
 // NewNetStore wraps a netv3 client or stream. volSize is the usable
@@ -175,8 +224,16 @@ func (s *NetStore) Flush() error {
 // the e2e histogram — traced requests only, so the population matches
 // the stage histograms exactly.
 func (s *NetStore) observe(h *netv3.Pending, start time.Time) {
-	if s.e2e != nil && h.Traced() {
+	if !h.Traced() {
+		return
+	}
+	if s.e2e != nil {
 		s.e2e.Observe(time.Since(start).Nanoseconds())
+	}
+	if s.acc != nil {
+		if sp := h.ServerSpan(); sp != (wire.SrvSpan{}) {
+			s.acc.add(sp)
+		}
 	}
 }
 

@@ -8,12 +8,43 @@ import (
 	"github.com/v3storage/v3/internal/obs"
 )
 
-// KindStat is one transaction type's measured outcome: a commit count
-// and a latency histogram over the measurement window.
+// SrvStageStat is one transaction type's server-side stage attribution:
+// span totals harvested from the traced demand reads committed inside
+// that type's transactions. N is the traced-request count the totals
+// cover; zero when the path is untraced (old peer, NoTrace) or the
+// adapter cannot attribute (VaultStore).
+type SrvStageStat struct {
+	N        int64 `json:"n"`
+	SchedNS  int64 `json:"sched_ns"`
+	CPUNS    int64 `json:"cpu_ns"`
+	DiskQNS  int64 `json:"diskq_ns"`
+	DeviceNS int64 `json:"device_ns"`
+}
+
+// meanOf returns a per-request mean in float ns.
+func (s SrvStageStat) meanOf(total int64) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(total) / float64(s.N)
+}
+
+func (s *SrvStageStat) merge(o SrvStageStat) {
+	s.N += o.N
+	s.SchedNS += o.SchedNS
+	s.CPUNS += o.CPUNS
+	s.DiskQNS += o.DiskQNS
+	s.DeviceNS += o.DeviceNS
+}
+
+// KindStat is one transaction type's measured outcome: a commit count,
+// a latency histogram, and the server-side stage attribution of its
+// demand reads, all over the measurement window.
 type KindStat struct {
 	Name  string           `json:"name"`
 	Count int64            `json:"count"`
 	Lat   obs.HistSnapshot `json:"lat"`
+	Srv   SrvStageStat     `json:"srv"`
 }
 
 // Result is one measurement window's report: throughput, per-type
@@ -87,6 +118,7 @@ func (r *Result) Merge(o *Result) {
 	for i := range r.Kinds {
 		if i < len(o.Kinds) {
 			r.Kinds[i].Lat.Merge(o.Kinds[i].Lat)
+			r.Kinds[i].Srv.merge(o.Kinds[i].Srv)
 		}
 	}
 	r.PhysReads += o.PhysReads
@@ -110,14 +142,36 @@ func (r *Result) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "window %v: %.0f tpmC, %.1f tx/s, pool hit %.1f%%\n",
 		r.Measure.Round(time.Millisecond), r.TpmC, r.TxPerSec, 100*r.HitRatio())
-	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s\n", "tx", "count", "mean", "p50", "p95", "p99")
+	srv := false
+	for _, k := range r.Kinds {
+		if k.Srv.N > 0 {
+			srv = true
+			break
+		}
+	}
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s", "tx", "count", "mean", "p50", "p95", "p99")
+	if srv {
+		// Per-request means of the server span block, attributed to the
+		// type's own traced demand reads — the paper's breakdown columns
+		// carried through to the transaction mix.
+		fmt.Fprintf(&b, " %10s %10s %10s %10s %10s",
+			"srv.n", "srv.sched", "srv.cpu", "srv.dq", "srv.dev")
+	}
+	b.WriteByte('\n')
 	for _, k := range r.Kinds {
 		if k.Count == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "%-12s %10d %10s %10s %10s %10s\n", k.Name, k.Count,
+		fmt.Fprintf(&b, "%-12s %10d %10s %10s %10s %10s", k.Name, k.Count,
 			fmtMs(k.Lat.Mean()), fmtMs(k.Lat.Quantile(0.50)),
 			fmtMs(k.Lat.Quantile(0.95)), fmtMs(k.Lat.Quantile(0.99)))
+		if srv {
+			s := k.Srv
+			fmt.Fprintf(&b, " %10d %10s %10s %10s %10s", s.N,
+				fmtMs(s.meanOf(s.SchedNS)), fmtMs(s.meanOf(s.CPUNS)),
+				fmtMs(s.meanOf(s.DiskQNS)), fmtMs(s.meanOf(s.DeviceNS)))
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "phys: %d reads, %d writes, %d log flushes; %d errors",
 		r.PhysReads, r.PhysWrites, r.LogFlushes, r.Errors)

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/v3storage/v3/internal/netv3"
+	"github.com/v3storage/v3/internal/obs"
+)
+
+// These tests pin the cross-tier accounting discipline end to end, under
+// -race in CI: the merged stage table (client stages + server spans) must
+// column-sum to the independently measured end-to-end mean on both real
+// storage paths — a single netv3 session and a striped vvault cluster
+// volume. PR 4 proved the client-only table tiles; with server spans the
+// same invariant must hold with the net+kernel residual now carrying only
+// what the server did NOT account for.
+
+// runTraced drives the TPC-C engine over the store and returns the result.
+func runTraced(t *testing.T, store PageStore, e2e *obs.Hist) *Result {
+	t.Helper()
+	eng, err := New(testEngineConfig(store, e2e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eng.Run(100*time.Millisecond, 600*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r)
+	if r.E2E.Count() == 0 {
+		t.Fatal("no traced requests in the e2e histogram")
+	}
+	return r
+}
+
+// TestTraceMergedTilesNetSingle: single in-process v3d server, merged
+// cross-tier stage table, 10% tiling bound.
+func TestTraceMergedTilesNetSingle(t *testing.T) {
+	cl, err := StartCluster(1, testVolSize, netv3.DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	reg := obs.New()
+	e2e := &obs.Hist{}
+	store, closeStore, err := OpenStack(StackConfig{Addrs: cl.Addrs(), VolSize: testVolSize, Reg: reg, E2E: e2e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeStore()
+
+	r := runTraced(t, store, e2e)
+	rows := obs.Breakdown(reg, netv3.MergedStageDefs())
+	t.Logf("\n%s", obs.FormatBreakdown(rows, r.E2E.Mean()))
+	if dev := BreakdownDeviation(rows, r.E2E); dev > 0.10 {
+		t.Fatalf("merged stage sum deviates %.1f%% from measured e2e mean (want <= 10%%)", 100*dev)
+	}
+	// Server spans actually arrived: at least one server-side stage is
+	// nonzero (the scheduler wait can be ~0 on an idle box, but service
+	// time cannot).
+	var srv float64
+	for _, row := range rows {
+		if strings.HasPrefix(row.Stage, "srv ") {
+			srv += row.MeanNS
+		}
+	}
+	if srv == 0 {
+		t.Fatal("merged table has zero server-side time: spans not flowing")
+	}
+}
+
+// TestTraceMergedTilesStripedVault: the same bound over a striped
+// 2-backend vvault cluster volume, where every engine page op maps to
+// sub-I/Os on the member sessions and the vault additionally harvests
+// per-replica server spans into its own histogram.
+func TestTraceMergedTilesStripedVault(t *testing.T) {
+	cl, err := StartCluster(2, testVolSize, netv3.DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	reg := obs.New()
+	e2e := &obs.Hist{}
+	store, closeStore, err := OpenStack(StackConfig{Addrs: cl.Addrs(), VolSize: testVolSize, Reg: reg, E2E: e2e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeStore()
+
+	r := runTraced(t, store, e2e)
+	rows := obs.Breakdown(reg, netv3.MergedStageDefs())
+	t.Logf("\n%s", obs.FormatBreakdown(rows, r.E2E.Mean()))
+	if dev := BreakdownDeviation(rows, r.E2E); dev > 0.10 {
+		t.Fatalf("merged stage sum deviates %.1f%% from measured e2e mean (want <= 10%%)", 100*dev)
+	}
+	// The vault harvested per-replica server spans for both backends.
+	snap := reg.Snapshot()
+	replicas := 0
+	for name, h := range snap.Hists {
+		if strings.HasPrefix(name, "vvault_replica_srv_ns{") && h.Count > 0 {
+			replicas++
+		}
+	}
+	if replicas != 2 {
+		t.Fatalf("per-replica server-span histograms with samples = %d, want 2", replicas)
+	}
+}
