@@ -5,7 +5,7 @@ GO ?= go
 # run instead of hanging it.
 TEST_TIMEOUT ?= 10m
 
-.PHONY: all build test race vet verify chaos bench bench-netv3 bench-disk bench-mux bench-tpcc clean
+.PHONY: all build test race vet verify chaos bench bench-netv3 bench-disk bench-mux bench-tpcc bench-resync clean
 
 all: build
 
@@ -66,6 +66,15 @@ bench-tpcc:
 	BENCH_JSON=$(CURDIR)/BENCH_netv3.json $(GO) test -run '^$$' \
 		-bench 'BenchmarkNetv3TPCC' -benchtime 1x -timeout $(TEST_TIMEOUT) \
 		./internal/workload/
+
+# bench-resync re-records the recovery-path rows: cursor catch-up (a
+# 1 MB outage replayed precisely from the replication log) against the
+# full-rescan floor (a replica with unknown content replaying the whole
+# 8 MB member). Each iteration is one outage/recovery episode, so
+# -benchtime 1x.
+bench-resync:
+	BENCH_JSON=$(CURDIR)/BENCH_netv3.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkNetv3Resync' -benchtime 1x ./internal/vvault/
 
 # bench-mux re-records the session-multiplexing rows: p99 at 100 vs
 # 10000 logical streams on one connection, mux throughput vs a

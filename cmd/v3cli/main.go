@@ -389,9 +389,13 @@ func printClientStatus(c *netv3.Client) {
 		st.StreamsOpen, st.StreamsOpened, st.InFlight, st.Reconnects, st.Retries)
 }
 
-// printStatus renders the vault's per-backend health table.
+// printStatus renders the vault's per-backend health table plus, in
+// mirror mode, the replication log's sequence positions: each replica's
+// applied cursor and flush watermark against the log head, and the
+// log's own depth/truncation state.
 func printStatus(v *vvault.Vault) {
 	fmt.Printf("mode=%s size=%d\n", v.Mode(), v.Size())
+	mirror := v.Mode() == vvault.ModeMirror
 	for i, st := range v.Status() {
 		fmt.Printf("backend %d %-21s %-7s consec=%d trips=%d reconnects=%d",
 			i, st.Addr, st.State, st.Consecutive, st.Trips, st.Reconnects)
@@ -404,14 +408,28 @@ func printStatus(v *vvault.Vault) {
 		if st.ResyncStream != 0 {
 			fmt.Printf(" resync_stream=%d", st.ResyncStream)
 		}
+		if mirror {
+			fmt.Printf(" log_cursor=%d watermark=%d", st.LogCursor, st.LogWatermark)
+			if st.UnflushedBytes > 0 {
+				fmt.Printf(" unflushed=%dB", st.UnflushedBytes)
+			}
+		}
 		if st.DirtyBytes > 0 {
 			fmt.Printf(" resync_remaining=%dB/%d ranges", st.DirtyBytes, st.DirtyRanges)
 		}
 		fmt.Println()
 	}
+	if mirror {
+		ls := v.LogStatus()
+		fmt.Printf("repl_log head=%d base=%d records=%d folded=%d fallbacks=%d\n",
+			ls.Head, ls.Base, ls.Records, ls.Folded, ls.Fallbacks)
+		for name, cur := range v.FeedCursors() {
+			fmt.Printf("feed %-21s cursor=%d lag=%d\n", name, cur, ls.Head-cur)
+		}
+	}
 	s := v.Stats()
-	fmt.Printf("degraded_reads=%d degraded_writes=%d degraded_seconds=%.1f resyncs=%d resynced_bytes=%d\n",
-		s.DegradedReads, s.DegradedWrites, s.DegradedSeconds, s.Resyncs, s.ResyncedBytes)
+	fmt.Printf("degraded_reads=%d degraded_writes=%d degraded_seconds=%.1f resyncs=%d resynced_bytes=%d resync_replayed_bytes=%d resync_fallbacks=%d\n",
+		s.DegradedReads, s.DegradedWrites, s.DegradedSeconds, s.Resyncs, s.ResyncedBytes, s.ResyncReplayedBytes, s.ResyncFallbacks)
 }
 
 // latColumns renders a histogram snapshot as the bench paths' shared

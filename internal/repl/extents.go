@@ -1,0 +1,68 @@
+package repl
+
+import "sort"
+
+// Extent is a half-open byte range [Off, End) in the volume's logical
+// address space.
+type Extent struct {
+	Off, End int64
+}
+
+// Len returns the extent's byte length.
+func (e Extent) Len() int64 { return e.End - e.Off }
+
+// addSpan merges [off, end) into a sorted, non-overlapping, touching-
+// runs-merged span list. It returns the updated list and the number of
+// bytes the insert newly covered — bytes already spanned count zero,
+// which is what lets callers keep net (not gross) progress totals.
+func addSpan(spans []Extent, off, end int64) ([]Extent, int64) {
+	if end <= off {
+		return spans, 0
+	}
+	// First span that could touch the new one (its end reaches off).
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].End >= off })
+	j := i
+	noff, nend := off, end
+	var overlap int64
+	for j < len(spans) && spans[j].Off <= end {
+		if o := min(end, spans[j].End) - max(off, spans[j].Off); o > 0 {
+			overlap += o
+		}
+		if spans[j].Off < noff {
+			noff = spans[j].Off
+		}
+		if spans[j].End > nend {
+			nend = spans[j].End
+		}
+		j++
+	}
+	spans = append(spans[:i], append([]Extent{{noff, nend}}, spans[j:]...)...)
+	return spans, (end - off) - overlap
+}
+
+// capSpans bounds the list to limit spans by repeatedly merging the
+// pair with the smallest gap between them. The merge covers the gap
+// too, so the list loses precision — a consumer replays bytes it did
+// not strictly need — but never loses coverage.
+func capSpans(spans []Extent, limit int) []Extent {
+	for limit > 0 && len(spans) > limit {
+		best, gap := 0, int64(1)<<62
+		for k := 0; k+1 < len(spans); k++ {
+			if g := spans[k+1].Off - spans[k].End; g < gap {
+				best, gap = k, g
+			}
+		}
+		spans[best].End = spans[best+1].End
+		spans = append(spans[:best+1], spans[best+2:]...)
+	}
+	return spans
+}
+
+// spanBytes returns the total bytes covered by the list.
+func spanBytes(spans []Extent) int64 {
+	var n int64
+	for _, s := range spans {
+		n += s.End - s.Off
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package repl
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFeedCatchUpThenLiveTail(t *testing.T) {
+	l := New(1<<20, Config{})
+	l.Append(0, 4096)
+	l.Append(8192, 4096)
+	f := l.Subscribe("clone")
+	b := f.Poll(0)
+	if b.FellBack || len(b.Records) != 2 || b.Next != 2 {
+		t.Fatalf("catch-up batch=%+v", b)
+	}
+	f.Commit(b.Next)
+	// Caught up: empty batch, Wait blocks until the next append.
+	if b := f.Poll(0); len(b.Records) != 0 || b.FellBack {
+		t.Fatalf("caught-up poll=%+v", b)
+	}
+	done := make(chan bool, 1)
+	go func() { done <- f.Wait(nil) }()
+	select {
+	case <-done:
+		t.Fatal("Wait returned with no new records")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Append(16384, 4096)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("Wait returned false on data")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait never woke on append")
+	}
+	b = f.Poll(0)
+	if len(b.Records) != 1 || b.Records[0].Off != 16384 {
+		t.Fatalf("live tail batch=%+v", b)
+	}
+}
+
+func TestFeedPollLimitAndResume(t *testing.T) {
+	l := New(1<<20, Config{})
+	for i := 0; i < 5; i++ {
+		l.Append(int64(i)*4096, 4096)
+	}
+	f := l.Subscribe("clone")
+	b := f.Poll(2)
+	if len(b.Records) != 2 || b.Next != 2 {
+		t.Fatalf("limited batch=%+v", b)
+	}
+	// Uncommitted progress is lost on resume — Poll repeats the batch.
+	if again := f.Poll(2); again.Next != 2 || again.Records[0].Seq != 1 {
+		t.Fatalf("uncommitted re-poll=%+v", again)
+	}
+	f.Commit(b.Next)
+	if rest := f.Poll(0); len(rest.Records) != 3 || rest.Next != 5 {
+		t.Fatalf("resumed batch=%+v", rest)
+	}
+}
+
+func TestFeedStopInterruptsWait(t *testing.T) {
+	l := New(1<<20, Config{})
+	f := l.Subscribe("clone")
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() { done <- f.Wait(stop) }()
+	close(stop)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Wait returned true on stop")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait ignored stop")
+	}
+}
+
+func TestFeedTruncatedCursorFallsBackThenStreams(t *testing.T) {
+	l := New(1<<20, Config{MaxRecords: 4, MaxFolded: 8})
+	f := l.Subscribe("slow")
+	for i := 0; i < 8; i++ {
+		l.Append(int64(i)*4096, 4096)
+	}
+	// Cursor 0 is behind base: the batch is extent coverage of what was
+	// truncated away, then precise records resume.
+	b := f.Poll(0)
+	if !b.FellBack || len(b.Records) != 0 {
+		t.Fatalf("truncated poll=%+v, want fallback extents", b)
+	}
+	if spanBytes(b.Fallback) < 4*4096 {
+		t.Fatalf("fallback covers %d bytes, want at least the 4 truncated records", spanBytes(b.Fallback))
+	}
+	f.Commit(b.Next)
+	rest := f.Poll(0)
+	if rest.FellBack || len(rest.Records) != 4 {
+		t.Fatalf("post-fallback poll=%+v, want the 4 kept records", rest)
+	}
+	f.Commit(rest.Next)
+	if l.Stats().Fallbacks <= 0 {
+		t.Fatal("feed fallback not counted")
+	}
+}
+
+// TestFeedLiveCloneConverges is the subscriber-side proof at the log
+// level: a clone applying feed batches while a writer keeps mutating
+// the source converges byte-identically once the writer stops —
+// including across a truncation-forced fallback.
+func TestFeedLiveCloneConverges(t *testing.T) {
+	const size = 256 << 10
+	l := New(size, Config{MaxRecords: 32, MaxFolded: 8})
+	var mu sync.Mutex // guards src
+	src := make([]byte, size)
+	clone := make([]byte, size)
+
+	f := l.Subscribe("clone")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the clone consumer: catch up, then follow
+		defer wg.Done()
+		for {
+			if !f.Wait(stop) {
+				return
+			}
+			b := f.Poll(16)
+			mu.Lock()
+			for _, e := range b.Fallback {
+				copy(clone[e.Off:e.End], src[e.Off:e.End])
+			}
+			for _, r := range b.Records {
+				copy(clone[r.Off:r.Off+r.Len], src[r.Off:r.Off+r.Len])
+			}
+			mu.Unlock()
+			f.Commit(b.Next)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		off := rng.Int63n(size - 4096)
+		off -= off % 512
+		n := int64(512 + rng.Intn(8)*512)
+		mu.Lock()
+		for j := off; j < off+n; j++ {
+			src[j] = byte(i) ^ byte(j)
+		}
+		mu.Unlock()
+		l.Append(off, n)
+	}
+
+	// Writer done: drain the feed to the head, then stop the consumer.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Cursor() < l.Stats().Head {
+		if time.Now().After(deadline) {
+			t.Fatalf("clone cursor stuck at %d of %d", f.Cursor(), l.Stats().Head)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if !bytes.Equal(src, clone) {
+		t.Fatal("clone diverged from source after the feed drained")
+	}
+}

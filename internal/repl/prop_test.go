@@ -1,0 +1,209 @@
+package repl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPropCapMergeAlwaysCoversInserts is the cap-merge safety property:
+// however the bounded span list merges under pressure, every range ever
+// inserted stays fully covered — precision loss only, never data loss —
+// and the list invariants (sorted, positive-length, gap-separated,
+// within cap) hold after every operation.
+func TestPropCapMergeAlwaysCoversInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 100; iter++ {
+		var spans, exact []Extent
+		var inserted []Extent
+		var netTotal int64
+		for i := 0; i < 200; i++ {
+			off := rng.Int63n(1 << 20)
+			ln := 1 + rng.Int63n(8<<10)
+			var fresh int64
+			spans, fresh = addSpan(spans, off, off+ln)
+			netTotal += fresh
+			spans = capSpans(spans, 16)
+			exact, _ = addSpan(exact, off, off+ln) // uncapped reference
+			inserted = append(inserted, Extent{off, off + ln})
+
+			if len(spans) > 16 {
+				t.Fatalf("iter %d: cap violated: %d spans", iter, len(spans))
+			}
+			for k, s := range spans {
+				if s.End <= s.Off {
+					t.Fatalf("iter %d: degenerate span %v", iter, s)
+				}
+				if k > 0 && spans[k-1].End >= s.Off {
+					t.Fatalf("iter %d: spans overlap or touch unmerged: %v", iter, spans)
+				}
+			}
+		}
+		// Every inserted range is contained in exactly one span (merges
+		// only coalesce, so containment can never fragment).
+		for _, e := range inserted {
+			covered := false
+			for _, s := range spans {
+				if s.Off <= e.Off && e.End <= s.End {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("iter %d: inserted %v lost from %v", iter, e, spans)
+			}
+		}
+		// Cap merges overcover; they must never undercover. And the net
+		// byte accounting is conservative against the capped list: at
+		// most the exact union, never more.
+		if spanBytes(spans) < spanBytes(exact) {
+			t.Fatalf("iter %d: capped list covers %d < exact %d", iter, spanBytes(spans), spanBytes(exact))
+		}
+		if netTotal > spanBytes(exact) {
+			t.Fatalf("iter %d: net total %d overcounts exact union %d", iter, netTotal, spanBytes(exact))
+		}
+	}
+}
+
+// TestPropConsumerProtocolNeverLosesWrites drives the full cursor
+// protocol against a reference model of one replica behind a
+// write-behind cache: acked writes sit in the cache, a flush moves
+// cache to store, and a trip discards the cache (the pessimistic crash:
+// everything unflushed is lost) — plus failed writes that leave garbage
+// and trips that strike between replay and flush. After every recovery
+// the replica's durable store must equal the volume: if the log's plan
+// ever fails to cover a lost or suspect range, the garbage survives and
+// the test fails.
+func TestPropConsumerProtocolNeverLosesWrites(t *testing.T) {
+	const (
+		blocks = 64
+		bs     = int64(512)
+		size   = int64(blocks) * bs
+	)
+	for iter := 0; iter < 40; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		l := New(size, Config{MaxRecords: 16, MaxFolded: 8})
+		c := l.Consumer("replica")
+		var volume, cache, store [blocks]int64
+		gen := int64(0)
+		live := true
+
+		trip := func() {
+			cache = store // write-behind lost
+			c.Reset()
+			live = false
+		}
+		flush := func() { // a successful barrier destages the whole cache
+			store = cache
+		}
+		applyExtent := func(e Extent) {
+			if e.Off < 0 || e.End > size || e.Off%bs != 0 || e.End%bs != 0 {
+				t.Fatalf("iter %d: plan extent %v outside/unaligned", iter, e)
+			}
+			for b := e.Off / bs; b*bs < e.End; b++ {
+				cache[b] = volume[b] // replay sources the live copy
+			}
+		}
+		recoverReplica := func() {
+			trips := 0
+			for {
+				plan := c.CatchUp()
+				if len(plan.Extents) > 0 {
+					for _, e := range plan.Extents {
+						applyExtent(e)
+					}
+					c.CommitReplay(plan)
+					// The crash window: replayed but not yet flushed.
+					if trips < 2 && rng.Intn(5) == 0 {
+						trips++
+						trip()
+					}
+					continue
+				}
+				bar := c.BarrierBegin()
+				flush()
+				c.BarrierCommit(bar)
+				if c.CaughtUp() {
+					c.SetLive(true)
+					live = true
+					return
+				}
+			}
+		}
+
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // write one block
+				blk := rng.Intn(blocks)
+				gen++
+				volume[blk] = gen
+				off := int64(blk) * bs
+				switch {
+				case !live: // skipped: the record alone is the debt
+					l.Append(off, bs)
+				case rng.Intn(10) == 0: // failed mid-write: partial garbage, suspect range
+					cache[blk] = -gen
+					c.Fail(off, bs)
+					l.Append(off, bs)
+					// Before the trip lands, another write can ack and a
+					// barrier can commit the watermark PAST the failed
+					// record — the debt must survive that, or the garbage
+					// below the watermark is never replayed.
+					if rng.Intn(2) == 0 {
+						blk2 := rng.Intn(blocks)
+						gen++
+						volume[blk2] = gen
+						g := c.Gen()
+						seq := l.Append(int64(blk2)*bs, bs)
+						cache[blk2] = gen
+						c.Ack(seq, g)
+						bar := c.BarrierBegin()
+						flush()
+						c.BarrierCommit(bar)
+					}
+					trip()
+				default:
+					g := c.Gen()
+					seq := l.Append(off, bs)
+					cache[blk] = gen
+					c.Ack(seq, g)
+				}
+			case 5, 6: // flush barrier, snapshot-first with racy acks
+				if !live {
+					continue
+				}
+				bar := c.BarrierBegin()
+				for k := 0; k < rng.Intn(3); k++ {
+					blk := rng.Intn(blocks)
+					gen++
+					volume[blk] = gen
+					g := c.Gen()
+					seq := l.Append(int64(blk)*bs, bs)
+					cache[blk] = gen
+					c.Ack(seq, g)
+				}
+				flush() // the real flush covers everything in cache — a superset of the snapshot
+				c.BarrierCommit(bar)
+			case 7: // spontaneous trip
+				if live {
+					trip()
+				}
+			case 8, 9: // recovery
+				if !live {
+					recoverReplica()
+					if store != volume {
+						t.Fatalf("iter %d op %d: store diverged after recovery\nstore=%v\nvolume=%v", iter, op, store, volume)
+					}
+				}
+			}
+		}
+		if !live {
+			recoverReplica()
+		}
+		bar := c.BarrierBegin()
+		flush()
+		c.BarrierCommit(bar)
+		if store != volume {
+			t.Fatalf("iter %d: final store diverged\nstore=%v\nvolume=%v", iter, store, volume)
+		}
+	}
+}

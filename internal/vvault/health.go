@@ -98,13 +98,13 @@ func (v *Vault) trip(b *backend, cause error) {
 	b.mu.Unlock()
 	// The backend destages write-behind, so writes it acknowledged since
 	// its last successful flush may not have reached stable storage; if it
-	// crashed it can come back without them. Move them to the dirty log so
-	// resync replays them instead of declaring the replica clean while it
-	// silently diverges from the live copy.
-	if b.unflushed != nil {
-		for _, r := range b.unflushed.take() {
-			b.dirty.Add(r.off, r.end-r.off)
-		}
+	// crashed it can come back without them. The cursor reset encodes
+	// exactly that: it rolls back to the flush watermark, so the records
+	// in between — plus everything appended while the replica is away —
+	// are the replay debt resync serves from the log, instead of trusting
+	// a possibly-crashed cache.
+	if b.cur != nil {
+		b.cur.Reset()
 	}
 	if c != nil {
 		c.Close()

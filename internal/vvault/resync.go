@@ -2,106 +2,32 @@ package vvault
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 	"time"
+
+	"github.com/v3storage/v3/internal/repl"
 )
 
-// maxDirtyRanges caps the per-replica dirty log. Past the cap the two
-// ranges with the smallest gap between them are merged — the log loses
-// precision (resync copies the gap too), never data.
-const maxDirtyRanges = 512
-
-// xrange is a half-open dirty byte range [off, end) in the logical
-// volume's address space (which, for a mirror replica, is also the
-// member's address space).
-type xrange struct {
-	off, end int64
-}
-
-// extentLog tracks the ranges written while a replica was out of
-// service: sorted, non-overlapping, adjacent runs merged.
-type extentLog struct {
-	mu     sync.Mutex
-	ranges []xrange
-}
-
-func newExtentLog() *extentLog { return &extentLog{} }
-
-// Add merges [off, off+length) into the log.
-func (l *extentLog) Add(off, length int64) {
-	if length <= 0 {
-		return
-	}
-	end := off + length
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	// First range that could touch the new one (its end reaches off).
-	i := sort.Search(len(l.ranges), func(i int) bool { return l.ranges[i].end >= off })
-	j := i
-	for j < len(l.ranges) && l.ranges[j].off <= end {
-		if l.ranges[j].off < off {
-			off = l.ranges[j].off
-		}
-		if l.ranges[j].end > end {
-			end = l.ranges[j].end
-		}
-		j++
-	}
-	l.ranges = append(l.ranges[:i], append([]xrange{{off, end}}, l.ranges[j:]...)...)
-	if len(l.ranges) > maxDirtyRanges {
-		// Merge the pair with the smallest gap; precision for bounded size.
-		best, gap := 0, int64(1)<<62
-		for k := 0; k+1 < len(l.ranges); k++ {
-			if g := l.ranges[k+1].off - l.ranges[k].end; g < gap {
-				best, gap = k, g
-			}
-		}
-		l.ranges[best].end = l.ranges[best+1].end
-		l.ranges = append(l.ranges[:best+1], l.ranges[best+2:]...)
-	}
-}
-
-// take removes and returns every logged range. Ranges added concurrently
-// with or after the call stay for the next take.
-func (l *extentLog) take() []xrange {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := l.ranges
-	l.ranges = nil
-	return out
-}
-
-// empty reports whether the log holds no ranges.
-func (l *extentLog) empty() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.ranges) == 0
-}
-
-// stats returns the range count and total dirty bytes.
-func (l *extentLog) stats() (int, int64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var bytes int64
-	for _, r := range l.ranges {
-		bytes += r.end - r.off
-	}
-	return len(l.ranges), bytes
-}
-
-// resyncLoop replays a recovered replica's dirty ranges from the live
-// replicas, then returns it to service. It runs while the backend is in
-// the Resync state and exits when the replica is clean (→ Up) or fails
-// again (→ Down; the probe loop restarts recovery, and the dirty log —
-// re-stocked with whatever was not replayed — persists across attempts).
+// resyncLoop catches a recovered replica up from the replication log,
+// then returns it to service. It runs while the backend is in the
+// Resync state and exits when the replica is clean (→ Up) or fails
+// again (→ Down; the probe loop restarts recovery, and the cursor —
+// which only advances when a replay pass commits — resumes exactly
+// where the last attempt left off, no full-range re-scan).
 //
-// Convergence under concurrent writes: writes that cannot reach the
-// replica log their extent *after* completing on the live replicas,
-// holding the replica's ioMu read lock across check→complete→log. The
-// final clean check here takes the ioMu write lock, so it cannot pass
-// while such a write is still in flight; any write that completes later
-// must have logged before the check, forcing another replay round.
+// Each round asks the replica's consumer for a catch-up plan: coverage
+// of the records above its cursor plus its out-of-band debt. On the
+// fast path that is precise, incremental record replay; only when the
+// log was truncated past the cursor does the plan fall back to the
+// folded extent summary (or the full volume range). An empty plan means
+// nothing was owed as of the call — run the durability barrier, then
+// try to declare the replica clean.
+//
+// Convergence under concurrent writes: a write holds the replica's ioMu
+// read lock from the moment it observes its state until its outcome is
+// sequenced in the log. The final clean check here takes the ioMu write
+// lock, so it cannot pass while such a write is still in flight; any
+// write that completes later must have appended its record before the
+// check, forcing another replay round.
 func (v *Vault) resyncLoop(b *backend) {
 	defer v.wg.Done()
 	v.resyncs.Add(1)
@@ -110,75 +36,79 @@ func (v *Vault) resyncLoop(b *backend) {
 		if v.closed.Load() || b.state.Load() != stateResync {
 			return
 		}
-		ranges := b.dirty.take()
-		if len(ranges) == 0 {
-			// Everything replayed so far: make it durable, then try to
-			// declare the replica clean. On flush failure the trip moves
-			// the replayed-but-unflushed ranges back to the dirty log, so
-			// the next recovery attempt replays them again.
-			if err := v.flushBackend(b); err != nil {
-				v.trip(b, fmt.Errorf("resync flush: %w", err))
+		plan := b.cur.CatchUp()
+		if len(plan.Extents) > 0 {
+			if plan.Fallback {
+				v.logf("vvault: resync of %s fell back to extent coverage (log truncated past cursor)", b.addr)
+			}
+			if !v.replayPlan(b, plan, buf) {
 				return
 			}
-			b.unflushed.take() // the barrier covered every replay so far
-			b.ioMu.Lock()
-			done := b.dirty.empty() && b.state.Load() == stateResync
-			if done {
-				b.mu.Lock()
-				b.state.Store(stateUp)
-				b.mu.Unlock()
-				v.mirror.SetMask(b.idx, false)
-				v.noteMaskChange()
-			}
-			b.ioMu.Unlock()
-			if done {
-				v.logf("vvault: backend %s resynced and back in rotation", b.addr)
-				return
-			}
-			continue // new writes arrived during the flush; another round
+			continue
 		}
-	replay:
-		for ri, r := range ranges {
-			cur := r.off
-			for cur < r.end {
-				n := min(r.end-cur, int64(len(buf)))
-				if err := v.readMirror(cur, buf[:n]); err != nil {
-					// No live replica could source the data. The recovered
-					// backend is fine — requeue the tail and retry the whole
-					// pass after a beat.
-					v.requeue(b, ranges[ri+1:], xrange{cur, r.end})
-					v.logf("vvault: resync of %s stalled (source read: %v); will retry", b.addr, err)
-					select {
-					case <-v.done:
-						return
-					case <-time.After(v.cfg.ProbeInterval):
-					}
-					break replay
-				}
-				if err := v.writeBackend(b, cur, buf[:n]); err != nil {
-					v.requeue(b, ranges[ri+1:], xrange{cur, r.end})
-					v.trip(b, fmt.Errorf("resync write [%d,+%d): %w", cur, n, err))
-					return
-				}
-				// Replayed but not yet durable: like any acked write, the
-				// range sits in the unflushed log until the resync flush
-				// covers it, so a crash in between re-dirties it.
-				b.unflushed.Add(cur, n)
-				v.resyncedBytes.Add(n)
-				cur += n
-			}
+		// Everything replayed so far: make it durable, then try to
+		// declare the replica clean. Snapshot-first barrier — the commit
+		// advances the watermark (and settles replayed debt) only if the
+		// replica did not trip under the flush.
+		bar := b.cur.BarrierBegin()
+		if err := v.flushBackend(b); err != nil {
+			v.trip(b, fmt.Errorf("resync flush: %w", err))
+			return
 		}
+		b.cur.BarrierCommit(bar)
+		b.ioMu.Lock()
+		done := b.cur.CaughtUp() && b.state.Load() == stateResync
+		if done {
+			b.mu.Lock()
+			b.state.Store(stateUp)
+			b.mu.Unlock()
+			b.cur.SetLive(true)
+			v.mirror.SetMask(b.idx, false)
+			v.noteMaskChange()
+		}
+		b.ioMu.Unlock()
+		if done {
+			v.logf("vvault: backend %s resynced and back in rotation", b.addr)
+			return
+		}
+		continue // new writes arrived during the flush; another round
 	}
 }
 
-// requeue puts the unreplayed tail of a failed pass back in the log.
-func (v *Vault) requeue(b *backend, rest []xrange, cur xrange) {
-	if cur.off < cur.end {
-		b.dirty.Add(cur.off, cur.end-cur.off)
+// replayPlan replays one catch-up plan onto the recovering replica,
+// sourcing each chunk from the live replicas. It returns false when the
+// resync loop must exit (vault closing, or the replica tripped again).
+// A pass abandoned mid-way — source stall or replica failure — simply
+// never commits: the cursor has not moved, so the next CatchUp resumes
+// from the same position and net progress accounting skips what already
+// landed.
+func (v *Vault) replayPlan(b *backend, plan repl.Plan, buf []byte) bool {
+	for _, e := range plan.Extents {
+		cur := e.Off
+		for cur < e.End {
+			n := min(e.End-cur, int64(len(buf)))
+			if err := v.readMirror(cur, buf[:n]); err != nil {
+				// No live replica could source the data. The recovered
+				// backend is fine — drop the pass and retry after a beat.
+				v.logf("vvault: resync of %s stalled (source read: %v); will retry", b.addr, err)
+				select {
+				case <-v.done:
+					return false
+				case <-time.After(v.cfg.ProbeInterval):
+				}
+				return true
+			}
+			if err := v.writeBackend(b, cur, buf[:n]); err != nil {
+				v.trip(b, fmt.Errorf("resync write [%d,+%d): %w", cur, n, err))
+				return false
+			}
+			v.resyncReplayed.Add(n)
+			v.resyncedBytes.Add(b.cur.CountReplay(cur, n))
+			cur += n
+		}
 	}
-	for _, r := range rest {
-		b.dirty.Add(r.off, r.end-r.off)
-	}
+	b.cur.CommitReplay(plan)
+	return true
 }
 
 // writeBackend writes data straight to one backend (resync path),

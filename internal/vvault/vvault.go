@@ -27,6 +27,7 @@ import (
 
 	"github.com/v3storage/v3/internal/netv3"
 	"github.com/v3storage/v3/internal/obs"
+	"github.com/v3storage/v3/internal/repl"
 	"github.com/v3storage/v3/internal/volume"
 )
 
@@ -80,6 +81,12 @@ type Config struct {
 	// replica and replays onto a recovered one (default 256 KB, capped
 	// at the backends' max transfer).
 	ResyncChunk int
+	// LogRecords bounds the mirror's replication log: how many precise
+	// write records it keeps before folding the oldest into an extent
+	// summary (default 4096). A replica whose outage outlives the window
+	// catches up from the folded summary instead of precise replay —
+	// more bytes copied, never fewer.
+	LogRecords int
 	// Streams rides each backend over logical streams when the peer
 	// negotiates the multiplexing feature: a foreground data stream for
 	// client I/O plus (mirror mode) a background-lane resync stream, so
@@ -195,19 +202,18 @@ type backend struct {
 
 	// ioMu orders mirror writes against resync completion: a write holds
 	// the read side from the moment it observes this backend's state
-	// until its dirty extents (if any) are logged, and the resync worker
-	// takes the write side for its final empty-log check. That makes
-	// "log-after-completion" safe: resync cannot declare the replica
-	// clean while a write that will log to it is still in flight.
-	ioMu  sync.RWMutex
-	dirty *extentLog // mirror mode only; nil for stripe
+	// until its outcome is sequenced in the replication log (Ack/Fail),
+	// and the resync worker takes the write side for its final caught-up
+	// check. That makes "sequence-after-completion" safe: resync cannot
+	// declare the replica clean while a write that will append a record
+	// is still in flight.
+	ioMu sync.RWMutex
 
-	// unflushed tracks ranges this replica has acknowledged since its last
-	// successful flush (mirror mode only). v3d destages write-behind, so an
-	// acked write is not durable until a flush covers it; if the replica
-	// trips, these ranges move to the dirty log and resync replays them
-	// instead of trusting a possibly-crashed cache.
-	unflushed *extentLog
+	// cur is this replica's consumer cursor into the vault's replication
+	// log (mirror mode only; nil for stripe). The dirty and unflushed
+	// extent views the vault used to maintain by hand are projections of
+	// its (cursor, watermark, debt) state.
+	cur *repl.Consumer
 }
 
 func (b *backend) getClient() *netv3.Client {
@@ -299,10 +305,20 @@ type Vault struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
+	// rlog is the mirror's sequenced replication log: every acknowledged
+	// write appends one record, each replica is a consumer cursor over
+	// it, and outside subscribers tap it via Subscribe. Nil in stripe
+	// mode.
+	rlog *repl.Log
+
 	degradedReads  atomic.Int64
 	degradedWrites atomic.Int64
 	resyncs        atomic.Int64
 	resyncedBytes  atomic.Int64
+	// resyncReplayed is gross replay traffic (every byte written by the
+	// resync worker, re-runs included); resyncedBytes is net — bytes
+	// brought back in sync, counted once per outage.
+	resyncReplayed atomic.Int64
 
 	// probeRTT is the health-probe round-trip histogram; nil when
 	// Config.Metrics is unset.
@@ -425,13 +441,15 @@ func Open(addrs []string, cfg Config) (*Vault, error) {
 	if cfg.Mode == ModeStripe {
 		v.size = cfg.MemberSize * int64(len(addrs))
 	}
+	if cfg.Mode == ModeMirror {
+		v.rlog = repl.New(v.size, repl.Config{MaxRecords: cfg.LogRecords})
+	}
 
 	live := 0
 	for i, addr := range addrs {
 		b := &backend{idx: i, addr: addr}
-		if cfg.Mode == ModeMirror {
-			b.dirty = newExtentLog()
-			b.unflushed = newExtentLog()
+		if v.rlog != nil {
+			b.cur = v.rlog.Consumer(fmt.Sprintf("replica-%d", i))
 		}
 		c, err := netv3.Dial(addr, cfg.Client)
 		switch {
@@ -443,9 +461,11 @@ func Open(addrs []string, cfg Config) (*Vault, error) {
 			live++
 		case cfg.Mode == ModeMirror:
 			// Come up degraded: the replica's content is unknown, so the
-			// whole volume is dirty and recovery implies a full resync.
+			// whole volume is seeded as debt and recovery implies a full
+			// resync.
 			b.state.Store(stateDown)
-			b.dirty.Add(0, v.size)
+			b.cur.Reset()
+			b.cur.SeedDebt(0, v.size)
 			v.mirror.SetMask(i, true)
 			v.logf("vvault: backend %s unreachable at open (%v); starting degraded", addr, err)
 		default:
@@ -494,9 +514,31 @@ func (v *Vault) registerMetrics(r *obs.Registry) {
 	r.GaugeFunc("vvault_degraded_writes_total", v.degradedWrites.Load)
 	r.GaugeFunc("vvault_resyncs_total", v.resyncs.Load)
 	r.GaugeFunc("vvault_resynced_bytes_total", v.resyncedBytes.Load)
+	r.GaugeFunc("vvault_resync_replayed_bytes_total", v.resyncReplayed.Load)
 	r.GaugeFunc("vvault_degraded_ms", func() int64 {
 		return v.degradedTime().Milliseconds()
 	})
+	if v.rlog != nil {
+		r.GaugeFunc("vvault_repl_log_head", func() int64 {
+			return int64(v.rlog.Stats().Head)
+		})
+		r.GaugeFunc("vvault_repl_log_depth", func() int64 {
+			return int64(v.rlog.Stats().Records)
+		})
+		r.GaugeFunc("vvault_repl_log_folded_ranges", func() int64 {
+			return int64(v.rlog.Stats().Folded)
+		})
+		r.GaugeFunc("vvault_repl_fallbacks_total", func() int64 {
+			return v.rlog.Stats().Fallbacks
+		})
+		r.GaugeSet("vvault_repl_feed_cursor", func() map[string]int64 {
+			out := make(map[string]int64)
+			for name, cur := range v.rlog.FeedCursors() {
+				out[fmt.Sprintf("{feed=%q}", name)] = int64(cur)
+			}
+			return out
+		})
+	}
 	for _, b := range v.backends {
 		b := b
 		lbl := fmt.Sprintf(`{backend="%d",addr=%q}`, b.idx, b.addr)
@@ -506,14 +548,23 @@ func (v *Vault) registerMetrics(r *obs.Registry) {
 		r.GaugeFunc("vvault_backend_trips_total"+lbl, b.trips.Load)
 		r.GaugeFunc("vvault_backend_probe_rtt_ns"+lbl, b.lastProbeRTT.Load)
 		b.srvSpanH = r.Hist("vvault_replica_srv_ns" + lbl)
-		if b.dirty != nil {
+		if b.cur != nil {
 			r.GaugeFunc("vvault_backend_dirty_ranges"+lbl, func() int64 {
-				n, _ := b.dirty.stats()
-				return int64(n)
+				return int64(b.cur.Stats().DirtyRanges)
 			})
 			r.GaugeFunc("vvault_backend_dirty_bytes"+lbl, func() int64 {
-				_, bytes := b.dirty.stats()
-				return bytes
+				return b.cur.Stats().DirtyBytes
+			})
+			r.GaugeFunc("vvault_backend_log_cursor"+lbl, func() int64 {
+				return int64(b.cur.Stats().Pos)
+			})
+			r.GaugeFunc("vvault_backend_watermark_lag"+lbl, func() int64 {
+				// Records acked but not yet covered by a flush barrier:
+				// what a crash right now would cost this replica.
+				return int64(v.rlog.Stats().Head - b.cur.Stats().Durable)
+			})
+			r.GaugeFunc("vvault_backend_unflushed_bytes"+lbl, func() int64 {
+				return b.cur.Stats().UnflushedBytes
 			})
 		}
 	}
@@ -599,19 +650,24 @@ func (v *Vault) Write(off int64, data []byte) error {
 
 // Flush is the cluster-wide durability barrier: it fans out the netv3
 // Flush to every live backend and succeeds only when all of them do.
-// A replica that fails its flush is tripped, and the acknowledged writes
-// the barrier was meant to cover go to its dirty log for resync. In
-// mirror mode, replicas that are out of service are routine (their dirty
-// logs carry the debt), but a barrier that reaches no live replica at
-// all guaranteed nothing and returns ErrDegraded.
+// Each replica's barrier is snapshotted before the flush is issued, so
+// a write acknowledged while the flush is in flight — which it may not
+// cover — stays above the watermark for the next barrier. A replica
+// that fails its flush is tripped; the trip rolls its cursor back to
+// the watermark, which is exactly "everything the barrier should have
+// covered becomes replay debt". In mirror mode, replicas that are out
+// of service are routine (the log carries their debt), but a barrier
+// that reaches no live replica at all guaranteed nothing and returns
+// ErrDegraded. An Up replica with no client cannot serve the barrier
+// either: it is tripped and counts as a failure, not silently skipped.
 func (v *Vault) Flush() error {
 	if v.closed.Load() {
 		return ErrClosed
 	}
 	type inflight struct {
-		b    *backend
-		h    *netv3.Pending
-		snap []xrange
+		b   *backend
+		h   *netv3.Pending
+		bar repl.Barrier
 	}
 	var issued []inflight
 	var firstErr error
@@ -622,36 +678,41 @@ func (v *Vault) Flush() error {
 			}
 			continue
 		}
+		var bar repl.Barrier
+		if b.cur != nil {
+			bar = b.cur.BarrierBegin()
+		}
 		c := b.dataIO()
 		if c == nil {
-			continue
-		}
-		// Snapshot the ranges this barrier covers before issuing it: a
-		// write acked after the snapshot may miss the flush, so it stays
-		// in the unflushed log for the next barrier.
-		var snap []xrange
-		if b.unflushed != nil {
-			snap = b.unflushed.take()
-		}
-		h, err := c.FlushAsync(v.cfg.Volume)
-		if err != nil {
-			v.flushFailed(b, snap, err)
+			err := errors.New("no client")
+			v.flushFailed(b, err)
 			if firstErr == nil {
 				firstErr = fmt.Errorf("vvault: flush backend %s: %w", b.addr, err)
 			}
 			continue
 		}
-		issued = append(issued, inflight{b, h, snap})
+		h, err := c.FlushAsync(v.cfg.Volume)
+		if err != nil {
+			v.flushFailed(b, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("vvault: flush backend %s: %w", b.addr, err)
+			}
+			continue
+		}
+		issued = append(issued, inflight{b, h, bar})
 	}
 	deadline := time.Now().Add(v.cfg.IOTimeout)
 	completed := 0
 	for _, f := range issued {
 		if err := waitUntil(f.h, deadline); err != nil {
-			v.flushFailed(f.b, f.snap, err)
+			v.flushFailed(f.b, err)
 			if firstErr == nil {
 				firstErr = fmt.Errorf("vvault: flush backend %s: %w", f.b.addr, err)
 			}
 			continue
+		}
+		if f.b.cur != nil {
+			f.b.cur.BarrierCommit(f.bar)
 		}
 		completed++
 	}
@@ -662,17 +723,10 @@ func (v *Vault) Flush() error {
 }
 
 // flushFailed handles a failed durability barrier on one backend: the
-// acked-but-unflushed ranges the barrier should have covered go to the
-// dirty log so resync replays them, then the backend is tripped (which
-// also moves over anything acked after the snapshot).
-func (v *Vault) flushFailed(b *backend, snap []xrange, cause error) {
-	if b.dirty != nil {
-		b.ioMu.RLock()
-		for _, r := range snap {
-			b.dirty.Add(r.off, r.end-r.off)
-		}
-		b.ioMu.RUnlock()
-	}
+// trip's cursor reset leaves everything above the watermark — the
+// acked-but-unflushed writes the barrier should have covered — as
+// replay debt for resync.
+func (v *Vault) flushFailed(b *backend, cause error) {
 	v.trip(b, fmt.Errorf("flush failed: %w", cause))
 }
 
@@ -838,15 +892,19 @@ func (v *Vault) readMirror(off int64, buf []byte) error {
 	return fmt.Errorf("%w: no replica served read [%d,+%d): %v", ErrDegraded, off, len(buf), lastErr)
 }
 
-// writeMirror fans a write out to every replica. Live replicas get the
-// bytes in parallel; down or resyncing replicas have the extent recorded
-// in their dirty log — after the live writes complete, under the ioMu
-// read lock, so the resync worker cannot declare the replica clean while
-// this write still owes it a log entry. A live replica that fails its
-// write is tripped on the spot: its copy of the extent is suspect, and
-// it must leave the read rotation before it can serve that staleness
-// back. The write succeeds when at least one replica accepted every
-// byte.
+// writeMirror fans a write out to every replica and sequences the
+// outcome in the replication log: one record per acknowledged write,
+// appended at completion (so a cursor can never pass a record its
+// replica did not really apply), while every replica's ioMu read lock
+// is still held — the resync worker's final caught-up check takes the
+// write side, so it cannot declare a replica clean while a write that
+// will append a record is in flight. Replicas that were down or
+// resyncing need nothing logged per replica: the record sits above
+// their frozen cursor, which IS the debt. A live replica that fails
+// mid-write has the suspect range recorded as out-of-band debt and is
+// tripped on the spot: it must leave the read rotation before it can
+// serve that staleness back. The write succeeds when at least one
+// replica accepted every byte.
 func (v *Vault) writeMirror(off int64, data []byte) error {
 	ext, err := v.layout.MapWrite(off, len(data))
 	if err != nil {
@@ -863,15 +921,21 @@ func (v *Vault) writeMirror(off int64, data []byte) error {
 
 	var handles []extentIO
 	berrs := make(map[*backend]error)
-	skipped := make([]*backend, 0, len(v.backends))
+	gens := make([]uint64, len(v.backends))
+	skipped := 0
 	issuedTo := make([]*backend, 0, len(v.backends))
 	for r, rext := range perReplica {
 		b := v.backends[r]
-		b.ioMu.RLock() // held until dirty logging below
+		b.ioMu.RLock() // held until the outcome is sequenced below
 		if b.state.Load() != stateUp {
-			skipped = append(skipped, b)
+			skipped++
 			continue
 		}
+		// Capture the consumer generation at issue: if the replica trips
+		// while the write is in flight, the late ack carries a stale gen
+		// and is discarded — the record stays above the rolled-back
+		// cursor as replay debt instead.
+		gens[r] = b.cur.Gen()
 		hs, _, err := v.issueExtents(rext, data, true)
 		handles = append(handles, hs...)
 		if err != nil {
@@ -885,27 +949,30 @@ func (v *Vault) writeMirror(off int64, data []byte) error {
 	for _, b := range issuedTo {
 		if berrs[b] == nil {
 			succeeded++
-			// Acked is not durable: the backend destages write-behind, so
-			// the range stays in the unflushed log until a flush covers it.
-			b.unflushed.Add(off, int64(len(data)))
-			b.ioMu.RUnlock()
-			continue
 		}
-		// The replica failed mid-write: its copy of the extent is suspect,
-		// so it owes a resync of the full range, like a skipped replica —
-		// and it cannot stay in the read rotation with unreplayed dirty
-		// extents, or a rotated read could return stale data after this
-		// write reported success. Trip it now rather than waiting for the
-		// error threshold (which a passing probe must not outpace).
-		b.dirty.Add(off, int64(len(data)))
+	}
+	var seq uint64
+	if succeeded > 0 {
+		seq = v.rlog.Append(off, int64(len(data)))
+	}
+	var tripped []*backend
+	for _, b := range issuedTo {
+		if berrs[b] == nil {
+			if seq != 0 {
+				b.cur.Ack(seq, gens[b.idx])
+			}
+		} else {
+			b.cur.Fail(off, int64(len(data)))
+			tripped = append(tripped, b)
+		}
+	}
+	for _, b := range v.backends {
 		b.ioMu.RUnlock()
+	}
+	for _, b := range tripped {
 		v.trip(b, fmt.Errorf("mirror write [%d,+%d): %w", off, len(data), berrs[b]))
 	}
-	for _, b := range skipped {
-		b.dirty.Add(off, int64(len(data)))
-		b.ioMu.RUnlock()
-	}
-	if len(skipped) > 0 || succeeded < len(issuedTo) {
+	if skipped > 0 || succeeded < len(issuedTo) {
 		v.degradedWrites.Add(1)
 	}
 	if succeeded == 0 {
@@ -929,10 +996,19 @@ type Stats struct {
 	// least one replica was out of rotation.
 	DegradedReads  int64
 	DegradedWrites int64
-	// Resyncs counts recovery passes started; ResyncedBytes the data
-	// replayed onto recovered replicas.
-	Resyncs       int64
-	ResyncedBytes int64
+	// Resyncs counts recovery passes started. ResyncedBytes is net
+	// recovery progress — bytes brought back in sync, counted once per
+	// outage no matter how many passes re-ran them — while
+	// ResyncReplayedBytes is the gross replay traffic (stalls and
+	// requeued passes re-count).
+	Resyncs             int64
+	ResyncedBytes       int64
+	ResyncReplayedBytes int64
+	// ResyncFallbacks counts catch-up passes (replica or feed) that
+	// could not be served as precise record replay from a cursor —
+	// the log had been truncated past it — and used the extent-merge
+	// summary or full volume range instead.
+	ResyncFallbacks int64
 	// DegradedSeconds is cumulative wall time with at least one replica
 	// out of the rotation (mirror mode), including any open interval.
 	DegradedSeconds float64
@@ -940,13 +1016,18 @@ type Stats struct {
 
 // Stats returns cumulative counters.
 func (v *Vault) Stats() Stats {
-	return Stats{
-		DegradedReads:   v.degradedReads.Load(),
-		DegradedWrites:  v.degradedWrites.Load(),
-		Resyncs:         v.resyncs.Load(),
-		ResyncedBytes:   v.resyncedBytes.Load(),
-		DegradedSeconds: v.degradedTime().Seconds(),
+	s := Stats{
+		DegradedReads:       v.degradedReads.Load(),
+		DegradedWrites:      v.degradedWrites.Load(),
+		Resyncs:             v.resyncs.Load(),
+		ResyncedBytes:       v.resyncedBytes.Load(),
+		ResyncReplayedBytes: v.resyncReplayed.Load(),
+		DegradedSeconds:     v.degradedTime().Seconds(),
 	}
+	if v.rlog != nil {
+		s.ResyncFallbacks = v.rlog.Stats().Fallbacks
+	}
+	return s
 }
 
 // Credits returns the vault's aggregate foreground credit window: the
@@ -983,6 +1064,14 @@ type BackendStatus struct {
 	Reconnects  int64 // netv3 session re-establishments on the current client
 	DirtyRanges int   // extents awaiting resync (mirror mode)
 	DirtyBytes  int64 // bytes awaiting resync (mirror mode)
+	// LogCursor and LogWatermark are the replica's positions in the
+	// replication log (mirror mode): every record ≤ LogCursor is applied
+	// to the replica, every record ≤ LogWatermark is covered by a
+	// successful flush barrier. UnflushedBytes is the byte coverage in
+	// between — what a crash right now would cost this replica.
+	LogCursor      uint64
+	LogWatermark   uint64
+	UnflushedBytes int64
 	// LastProbeRTT is the most recent successful health probe's round
 	// trip (0 before the first success).
 	LastProbeRTT time.Duration
@@ -1023,10 +1112,53 @@ func (v *Vault) Status() []BackendStatus {
 			s.ResyncStream = b.rsync.ID()
 		}
 		b.mu.Unlock()
-		if b.dirty != nil {
-			s.DirtyRanges, s.DirtyBytes = b.dirty.stats()
+		if b.cur != nil {
+			cs := b.cur.Stats()
+			s.DirtyRanges, s.DirtyBytes = cs.DirtyRanges, cs.DirtyBytes
+			s.LogCursor, s.LogWatermark = cs.Pos, cs.Durable
+			s.UnflushedBytes = cs.UnflushedBytes
 		}
 		out[i] = s
 	}
 	return out
+}
+
+// ErrNoLog reports an operation that needs the replication log on a
+// vault that has none (stripe mode).
+var ErrNoLog = errors.New("vvault: no replication log (stripe mode)")
+
+// Subscribe opens a cursor-resumable change feed over the mirror's
+// replication log, from the beginning: the first batch covers
+// everything the subscriber has never seen (for a fresh clone, the full
+// volume as a fallback extent), then precise records, then the live
+// tail via the feed's Wait. Batches are idempotent range copies, so a
+// consumer that applies durably before committing can crash and resume.
+func (v *Vault) Subscribe(name string) (*repl.Feed, error) {
+	return v.SubscribeAt(name, 0)
+}
+
+// SubscribeAt is Subscribe resuming from a previously committed cursor.
+func (v *Vault) SubscribeAt(name string, from uint64) (*repl.Feed, error) {
+	if v.rlog == nil {
+		return nil, ErrNoLog
+	}
+	return v.rlog.SubscribeAt(name, from), nil
+}
+
+// LogStatus snapshots the replication log (mirror mode; zero in stripe
+// mode).
+func (v *Vault) LogStatus() repl.LogStats {
+	if v.rlog == nil {
+		return repl.LogStats{}
+	}
+	return v.rlog.Stats()
+}
+
+// FeedCursors snapshots every open feed's committed cursor by name
+// (mirror mode; nil in stripe mode).
+func (v *Vault) FeedCursors() map[string]uint64 {
+	if v.rlog == nil {
+		return nil
+	}
+	return v.rlog.FeedCursors()
 }

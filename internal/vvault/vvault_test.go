@@ -17,14 +17,14 @@ import (
 // startBackend runs one v3d-equivalent server on addr ("127.0.0.1:0"
 // for ephemeral) over the given store, so a test can kill it and bring
 // it back with the replica's data intact.
-func startBackend(t *testing.T, store netv3.BlockStore, addr string) (*netv3.Server, string) {
+func startBackend(t testing.TB, store netv3.BlockStore, addr string) (*netv3.Server, string) {
 	t.Helper()
 	return startBackendCfg(t, store, addr, netv3.DefaultServerConfig())
 }
 
 // startBackendCfg is startBackend with a custom server config, for tests
 // that need a backend with e.g. a smaller transfer bound.
-func startBackendCfg(t *testing.T, store netv3.BlockStore, addr string, cfg netv3.ServerConfig) (*netv3.Server, string) {
+func startBackendCfg(t testing.TB, store netv3.BlockStore, addr string, cfg netv3.ServerConfig) (*netv3.Server, string) {
 	t.Helper()
 	srv := netv3.NewServer(cfg)
 	srv.AddVolume(1, store)
@@ -91,7 +91,7 @@ func waitForState(t *testing.T, v *Vault, idx int, want string, timeout time.Dur
 }
 
 // deadAddr returns an address nothing listens on.
-func deadAddr(t *testing.T) string {
+func deadAddr(t testing.TB) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -416,48 +416,6 @@ func TestOpenValidation(t *testing.T) {
 	cfg.MemberSize = 100 // not a multiple of the stripe unit
 	if _, err := Open([]string{"x", "y"}, cfg); err == nil {
 		t.Fatal("non-multiple MemberSize accepted")
-	}
-}
-
-func TestExtentLogMergeAndTake(t *testing.T) {
-	l := newExtentLog()
-	l.Add(0, 100)
-	l.Add(200, 100)
-	l.Add(50, 100) // bridges [0,100) and overlaps into [50,150)
-	if n, b := l.stats(); n != 2 || b != 250 {
-		t.Fatalf("ranges=%d bytes=%d, want 2/250", n, b)
-	}
-	l.Add(150, 50) // [0,150)+[150,200)+[200,300) → one run
-	if n, b := l.stats(); n != 1 || b != 300 {
-		t.Fatalf("ranges=%d bytes=%d, want 1/300", n, b)
-	}
-	got := l.take()
-	if len(got) != 1 || got[0] != (xrange{0, 300}) {
-		t.Fatalf("take=%v", got)
-	}
-	if !l.empty() {
-		t.Fatal("log not empty after take")
-	}
-	// Zero and negative lengths are ignored.
-	l.Add(10, 0)
-	l.Add(10, -5)
-	if !l.empty() {
-		t.Fatal("degenerate ranges were logged")
-	}
-}
-
-func TestExtentLogCapMergesSmallestGap(t *testing.T) {
-	l := newExtentLog()
-	for i := 0; i < maxDirtyRanges+1; i++ {
-		l.Add(int64(i)*1000, 10) // far apart: no natural merges
-	}
-	n, b := l.stats()
-	if n != maxDirtyRanges {
-		t.Fatalf("cap not enforced: %d ranges", n)
-	}
-	// One pair was merged; the covered bytes grew by the (uniform) gap.
-	if want := int64(maxDirtyRanges+1)*10 + 990; b != want {
-		t.Fatalf("bytes=%d, want %d", b, want)
 	}
 }
 
